@@ -1,0 +1,273 @@
+package repro
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/security"
+	"repro/internal/simclock"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// Each evaluation artefact of the paper has a bench that regenerates it
+// (go test -bench=. -benchmem). The harness benches report the figure's
+// headline quantities as custom metrics; absolute wall-times depend on the
+// time scale and are not comparable with the paper's testbed, but the
+// shapes (who converges, what leaks) are asserted by the test suite.
+
+const benchScale = 500
+
+// BenchmarkFig3SingleManagerFarm regenerates Fig. 3: a single AM driving a
+// task farm to a 0.6 task/s contract.
+func BenchmarkFig3SingleManagerFarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(experiments.Options{Scale: benchScale, Tasks: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput.Max(), "peak-tasks/s")
+		b.ReportMetric(res.Workers.Max(), "peak-workers")
+		b.ReportMetric(float64(res.Log.Count("AM_F", trace.AddWorker)), "addWorker-events")
+	}
+}
+
+// BenchmarkFig4HierarchicalPipeline regenerates Fig. 4: the four-manager
+// hierarchy on the three-stage pipeline under the 0.3-0.7 contract.
+func BenchmarkFig4HierarchicalPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Options{Scale: benchScale, Tasks: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput.Max(), "peak-tasks/s")
+		b.ReportMetric(float64(res.Log.Count("AM_A", trace.IncRate)), "incRate-events")
+		b.ReportMetric(float64(res.Log.Count("AM_F", trace.AddWorker)), "addWorker-events")
+		b.ReportMetric(res.Cores.Max(), "peak-cores")
+	}
+}
+
+// BenchmarkExtLoadAdaptation regenerates the §4.2 external-load narrative.
+func BenchmarkExtLoadAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtLoad(experiments.Options{Scale: benchScale, Tasks: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AddsAfterSpike), "adds-after-spike")
+		b.ReportMetric(float64(res.WorkersAfter-res.WorkersBefore), "pool-growth")
+	}
+}
+
+// BenchmarkMultiConcernTwoPhase regenerates the §3.2 comparison: leaks and
+// throughput under two-phase, reactive and unmanaged coordination.
+func BenchmarkMultiConcernTwoPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiConcern(experiments.Options{Scale: benchScale, Tasks: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.Leaks), row.Mode.String()+"-leaks")
+		}
+	}
+}
+
+// BenchmarkFaultRecovery regenerates the EXT-FT experiment: crash
+// injection, stranded-task recovery and worker replacement under contract.
+func BenchmarkFaultRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FaultTolerance(experiments.Options{Scale: benchScale, Tasks: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != 120 {
+			b.Fatalf("lost tasks: %d/120", res.Completed)
+		}
+		b.ReportMetric(float64(res.Injected), "crashes")
+		b.ReportMetric(float64(res.Recovered), "recovered")
+	}
+}
+
+// BenchmarkFarmizeStage regenerates the EXT-FARMIZE comparison (§4.2
+// outlook: pipeline stage transformed into a farm).
+func BenchmarkFarmizeStage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Farmize(experiments.Options{Scale: benchScale, Tasks: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].SteadyMean, "seq-steady-tp")
+		b.ReportMetric(res.Rows[1].SteadyMean, "farmized-steady-tp")
+	}
+}
+
+// BenchmarkMigrationVsAdd regenerates the EXT-MIG ablation (§3 migration
+// policy vs. pool growth under external load).
+func BenchmarkMigrationVsAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Migration(experiments.Options{Scale: benchScale, Tasks: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].PeakCores, "add-peak-cores")
+		b.ReportMetric(res.Rows[1].PeakCores, "migrate-peak-cores")
+		b.ReportMetric(float64(res.Rows[1].Migrations), "migrations")
+	}
+}
+
+// BenchmarkInitialDegree regenerates the EXT-INIT ablation (model-based
+// initial parallelism degree vs. reactive ramp-up).
+func BenchmarkInitialDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.InitialDegree(experiments.Options{Scale: benchScale, Tasks: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].TimeToContract.Seconds(), "cold-ttc-s")
+		b.ReportMetric(res.Rows[1].TimeToContract.Seconds(), "model-ttc-s")
+	}
+}
+
+// BenchmarkShedOverprovision regenerates the EXT-SHED experiment
+// (CheckRateHigh shedding an overprovisioned farm).
+func BenchmarkShedOverprovision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Shed(experiments.Options{Scale: benchScale, Tasks: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Removals), "remWorker-events")
+		b.ReportMetric(float64(res.FinalWorkers), "final-workers")
+	}
+}
+
+// BenchmarkContractSplit regenerates the P_spl demonstration and measures
+// the splitting heuristics themselves.
+func BenchmarkContractSplit(b *testing.B) {
+	c := contract.Conjunction{contract.SecureComms{}, contract.ThroughputRange{Lo: 0.3, Hi: 0.7}}
+	for i := 0; i < b.N; i++ {
+		if _, err := contract.SplitPipeline(c, 5, []float64{1, 2, 3, 2, 1}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := contract.SplitFarm(c, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation micro-benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkRuleEngineCycle measures one MAPE plan phase: a full Fig. 5
+// rule-set evaluation against a four-bean working memory.
+func BenchmarkRuleEngineCycle(b *testing.B) {
+	engine := rules.NewFarmEngine(rules.FarmConstants(0.3, 0.7, 1, 16, 4))
+	mem := []rules.Bean{
+		rules.NewBean(rules.BeanArrivalRate, rules.Num(0.5)),
+		rules.NewBean(rules.BeanDepartureRate, rules.Num(0.2)),
+		rules.NewBean(rules.BeanNumWorker, rules.Num(4)),
+		rules.NewBean(rules.BeanQueueVariance, rules.Num(1)),
+	}
+	eff := rules.EffectorFunc(func(string, *rules.Activation) error { return nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Cycle(mem, eff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleParse measures parsing the Fig. 5 rule file.
+func BenchmarkRuleParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.Parse(rules.FarmRuleSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecureVsPlainCodec quantifies the SSL-vs-plain cost asymmetry
+// that drives the §3.2 conflict (and the paper's earlier "cost of
+// security" studies): AES-GCM round trip vs. plain copy on a 4 KiB
+// payload.
+func BenchmarkSecureVsPlainCodec(b *testing.B) {
+	payload := make([]byte, 4096)
+	b.Run("plain", func(b *testing.B) {
+		var c security.Plain
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			wire, _ := c.Encode(payload)
+			if _, err := c.Decode(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aes-gcm", func(b *testing.B) {
+		c := security.MustAESGCM(security.NewRandomKey(), nil, 0)
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			wire, _ := c.Encode(payload)
+			if _, err := c.Decode(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFarmDispatch measures the skeleton runtime itself: stream
+// throughput of a farm with zero-work tasks (pure plumbing overhead).
+func BenchmarkFarmDispatch(b *testing.B) {
+	env := skel.Env{TimeScale: 1}
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "bench", Env: env, RM: grid.NewSMP(8).RM, InitialWorkers: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make(chan *skel.Task, 1024)
+	out := make(chan *skel.Task, 1024)
+	go f.Run(in, out)
+	drained := make(chan struct{})
+	go func() {
+		for range out {
+		}
+		close(drained)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in <- &skel.Task{ID: uint64(i)}
+	}
+	b.StopTimer()
+	close(in)
+	<-drained
+}
+
+// BenchmarkRateMeter measures the sensor hot path (Mark + Rate).
+func BenchmarkRateMeter(b *testing.B) {
+	m := metrics.NewRateMeter(simclock.NewReal(), time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mark()
+		if i%16 == 0 {
+			_ = m.Rate()
+		}
+	}
+}
+
+// BenchmarkEventLog measures trace recording (managers log on the control
+// path, so this must stay cheap).
+func BenchmarkEventLog(b *testing.B) {
+	log := trace.NewLog()
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.Record(now, "AM_F", trace.ContrLow, "tp=0.1")
+	}
+	io.Discard.Write(nil)
+}

@@ -1,0 +1,92 @@
+// Command bsrun runs an arbitrary behavioural-skeleton application
+// described by a skeleton expression and an SLA contract, printing the
+// resulting throughput curve and autonomic event timeline.
+//
+// Usage:
+//
+//	bsrun -expr "pipe(seq, farm(seq), seq)" -contract "throughput:0.3-0.7" \
+//	      [-scale N] [-tasks N] [-cores N] [-work D] [-interval D]
+//
+// Examples:
+//
+//	bsrun -expr "farm(seq)" -contract "throughput>=0.6"
+//	bsrun -expr "pipe(seq,farm(seq),seq)" -contract "throughput:0.3-0.7" -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/simclock"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+func main() {
+	expr := flag.String("expr", "farm(seq)", "skeleton expression")
+	contractSpec := flag.String("contract", "throughput>=0.6", "SLA contract")
+	scale := flag.Float64("scale", 200, "time scale")
+	tasks := flag.Int("tasks", 150, "stream length")
+	cores := flag.Int("cores", 12, "platform core count")
+	work := flag.Duration("work", 5*time.Second, "per-task nominal service time (modelled)")
+	interval := flag.Duration("interval", time.Second, "task inter-arrival period (modelled)")
+	timeline := flag.Bool("timeline", false, "dump the autonomic event timeline")
+	flag.Parse()
+
+	c, err := contract.Parse(*contractSpec)
+	if err != nil {
+		fail(err)
+	}
+	env := skel.Env{Clock: simclock.NewReal(), TimeScale: *scale}
+
+	farmCfg := core.FarmAppConfig{
+		Env: env, Platform: grid.NewSMP(*cores), Tasks: *tasks,
+		TaskWork: *work, SourceInterval: *interval, Contract: c,
+		Period: 2 * time.Second,
+	}
+	var tr contract.ThroughputRange
+	if got, ok := c.(contract.ThroughputRange); ok {
+		tr = got
+	}
+	pipeCfg := core.PipelineAppConfig{
+		Env: env, Platform: grid.NewSMP(*cores), Tasks: *tasks,
+		FilterWork: *work, ProducerInterval: *interval, Contract: tr,
+		Period: 5 * time.Second,
+	}
+
+	app, err := core.BuildFromExpr(*expr, farmCfg, pipeCfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("running %s under contract %q (scale %gx, %d tasks)\n",
+		*expr, c.Describe(), *scale, *tasks)
+	res, err := app.Run()
+	if err != nil {
+		fail(err)
+	}
+	var bands []float64
+	if tr.Lo > 0 {
+		bands = append(bands, tr.Lo)
+		if tr.Bounded() {
+			bands = append(bands, tr.Hi)
+		}
+	}
+	fmt.Print(trace.RenderSeries(trace.PlotOptions{Width: 72, Height: 12, Bands: bands},
+		res.Throughput))
+	fmt.Printf("\ncompleted %d tasks in %v wall-clock; final throughput %.3f tasks/s, %d workers\n",
+		res.Completed, res.Elapsed.Round(time.Millisecond), res.Final.Throughput, res.Final.ParDegree)
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bsrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Command contractsplit demonstrates the P_spl heuristics of §3.1: how a
+// top-level SLA is split into the sub-contracts propagated to nested
+// behavioural skeletons (identity split for pipeline throughput,
+// proportional split for parallelism degrees, best-effort for farm
+// workers, with boolean security contracts propagating unchanged).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if _, err := experiments.ContractSplit(experiments.Options{Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, "contractsplit:", err)
+		os.Exit(1)
+	}
+}

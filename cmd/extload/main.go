@@ -1,0 +1,36 @@
+// Command extload regenerates the §4.2 external-load narrative: external
+// load appears on the nodes running farm workers mid-run; overloaded
+// workers deliver fewer results and the autonomic manager restores the
+// contract by adding workers.
+//
+// Usage:
+//
+//	extload [-scale N] [-tasks N] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 240, "stream length")
+	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	flag.Parse()
+
+	res, err := experiments.ExtLoad(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extload:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+}

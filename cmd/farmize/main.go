@@ -1,0 +1,31 @@
+// Command farmize runs the EXT-FARMIZE experiment (the §4.2 outlook): a
+// pipeline whose sequential consumer stage caps throughput below the
+// contract is compared with the same pipeline after transforming that
+// stage into a farm whose workers behave as instances of the original
+// stage.
+//
+// Usage:
+//
+//	farmize [-scale N] [-tasks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 150, "stream length")
+	flag.Parse()
+
+	if _, err := experiments.Farmize(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "farmize:", err)
+		os.Exit(1)
+	}
+}

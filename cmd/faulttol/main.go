@@ -1,0 +1,37 @@
+// Command faulttol runs the EXT-FT experiment: worker crashes are injected
+// into a contracted task farm while its fault-tolerance manager is active.
+// The manager detects each crash, redistributes the crashed worker's
+// stranded tasks over the survivors and recruits a replacement — every
+// task completes exactly once and the throughput recovers.
+//
+// Usage:
+//
+//	faulttol [-scale N] [-tasks N] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 200, "stream length")
+	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	flag.Parse()
+
+	res, err := experiments.FaultTolerance(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faulttol:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+}

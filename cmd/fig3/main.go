@@ -1,0 +1,50 @@
+// Command fig3 regenerates the paper's Fig. 3: a single autonomic manager
+// ensuring a 0.6 task/s throughput contract in a task-farm behavioural
+// skeleton by adding processing resources until the contract is satisfied.
+//
+// Usage:
+//
+//	fig3 [-scale N] [-tasks N] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 200, "stream length")
+	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
+	flag.Parse()
+
+	res, err := experiments.Fig3(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig3:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig3:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteSeriesCSV(f, *scale, res.Throughput, res.Workers, res.Cores); err != nil {
+			fmt.Fprintln(os.Stderr, "fig3:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,69 @@
+// Command fig4 regenerates the paper's Fig. 4: hierarchical autonomic
+// management of a three-stage pipeline pipe(producer, farm(filter),
+// consumer) under the application SLA 0.3-0.7 tasks/s, with the manager
+// hierarchy AM_A / AM_P / AM_F / AM_C.
+//
+// Usage:
+//
+//	fig4 [-scale N] [-tasks N] [-timeline] [-rules]
+//
+// -rules prints the Fig. 5 rule file (as parsed and re-rendered by the
+// rule engine) instead of running the experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 150, "stream length")
+	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	showRules := flag.Bool("rules", false, "print the Fig. 5 AM_F rule file and exit")
+	rulesDriven := flag.Bool("rules-driven", false, "store AM_A's reaction policy as DRL rules too")
+	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
+	flag.Parse()
+
+	if *showRules {
+		rs, err := rules.Parse(rules.FarmRuleSource)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig4:", err)
+			os.Exit(1)
+		}
+		fmt.Println("// Fig. 5 — rules used in the AM_F manager (engine round trip)")
+		fmt.Println(rs.String())
+		return
+	}
+
+	res, err := experiments.Fig4(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, RulesDriven: *rulesDriven,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig4:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig4:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteSeriesCSV(f, *scale,
+			res.Throughput, res.InputRate, res.Workers, res.Cores); err != nil {
+			fmt.Fprintln(os.Stderr, "fig4:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,30 @@
+// Command initdegree runs the EXT-INIT ablation for the §3 policy
+// "initial parallelism degree setup": starting the Fig. 3 farm cold (one
+// worker, reactive ramp-up) versus starting it at the degree the task-farm
+// performance model derives from the 0.6 tasks/s contract.
+//
+// Usage:
+//
+//	initdegree [-scale N] [-tasks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 150, "stream length")
+	flag.Parse()
+
+	if _, err := experiments.InitialDegree(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "initdegree:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+// Command migrate runs the EXT-MIG ablation: when external load hits the
+// nodes hosting farm workers, the autonomic layer can either add workers
+// (the paper's Fig. 4 reaction) or migrate the affected workers to free
+// nodes (the §3 "migration of poorly performing activities" policy). The
+// comparison shows both restore the contract, with migration holding fewer
+// cores.
+//
+// Usage:
+//
+//	migrate [-scale N] [-tasks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 240, "stream length")
+	flag.Parse()
+
+	if _, err := experiments.Migration(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "migrate:", err)
+		os.Exit(1)
+	}
+}

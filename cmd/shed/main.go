@@ -1,0 +1,37 @@
+// Command shed runs the EXT-SHED experiment: an overprovisioned task farm
+// under a bounded throughput contract. The measured rate exceeds the upper
+// bound, so the Fig. 5 CheckRateHigh rule removes workers cycle by cycle
+// until the farm fits the contracted range — the "underload" adaptation
+// direction of the paper's earlier evaluation.
+//
+// Usage:
+//
+//	shed [-scale N] [-tasks N] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	tasks := flag.Int("tasks", 200, "stream length")
+	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	flag.Parse()
+
+	res, err := experiments.Shed(experiments.Options{
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shed:", err)
+		os.Exit(1)
+	}
+	if *timeline {
+		fmt.Println("\n--- event timeline ---")
+		fmt.Print(res.Log.Timeline())
+	}
+}

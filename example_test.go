@@ -1,0 +1,54 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ExampleNewFarmApp shows the minimal behavioural-skeleton program: a task
+// farm with an autonomic manager growing it to meet a throughput SLA.
+func ExampleNewFarmApp() {
+	app, err := repro.NewFarmApp(repro.FarmAppConfig{
+		Env:            repro.NewEnv(1000), // modelled time 1000x wall clock
+		Platform:       repro.NewSMP(8),
+		Tasks:          40,
+		TaskWork:       2 * time.Second,
+		SourceInterval: time.Second,
+		Contract:       repro.MinThroughput(0.5),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := app.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", res.Completed)
+	// Output: completed: 40
+}
+
+// ExampleParseContract shows the textual SLA syntax.
+func ExampleParseContract() {
+	c, _ := repro.ParseContract("secure+throughput:0.3-0.7")
+	fmt.Println(c.Describe())
+	fmt.Println(c.Check(repro.Snapshot{Throughput: 0.5}))
+	fmt.Println(c.Check(repro.Snapshot{Throughput: 0.5, UnsecuredSends: 1}))
+	// Output:
+	// secure+throughput:0.3-0.7
+	// satisfied
+	// violated
+}
+
+// ExampleParseExpr shows the skeleton-expression language.
+func ExampleParseExpr() {
+	spec, _ := repro.ParseExpr("pipe(pipe(seq, farm(seq)), seq)")
+	fmt.Println(spec.Normalize())
+	fmt.Println("stages:", spec.Stages())
+	// Output:
+	// pipe(seq,farm(seq),seq)
+	// stages: 3
+}

@@ -1,0 +1,83 @@
+// Adaptive builds an arbitrary multi-stage pipeline with the generalized
+// stream-application API: a sequential pre-processing stage, a heavy farm,
+// and a lighter post-processing farm, each with its own autonomic manager
+// under one application manager. The application SLA is the only tuning
+// input; the managers size both farms.
+//
+// It also demonstrates the §4.2 stage-to-farm transformation: pass
+// -seqpost to keep the post-processing stage sequential and watch it cap
+// the pipeline below the contract.
+//
+// Run with:
+//
+//	go run ./examples/adaptive [-tasks 120] [-scale 100] [-seqpost]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 120, "stream length")
+	scale := flag.Float64("scale", 100, "time scale")
+	seqPost := flag.Bool("seqpost", false, "keep the post stage sequential (bottleneck demo)")
+	flag.Parse()
+
+	post := repro.StageSpec{Name: "post", Kind: repro.StageSeq, Work: 3 * time.Second}
+	if !*seqPost {
+		post = post.Farmize(2)
+	}
+	contract, err := repro.NewThroughputRange(0.3, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := repro.NewStreamApp(repro.StreamAppConfig{
+		Name:           "adaptive",
+		Env:            repro.NewEnv(*scale),
+		Platform:       repro.NewSMP(16),
+		Tasks:          *tasks,
+		SourceInterval: 2 * time.Second, // 0.5 tasks/s offered
+		Stages: []repro.StageSpec{
+			{Name: "prep", Kind: repro.StageSeq, Work: time.Second},
+			{Name: "heavy", Kind: repro.StageFarm, Work: 10 * time.Second, Workers: 3,
+				Limits: repro.FarmLimits{MaxWorkers: 8}},
+			post,
+		},
+		Contract: contract,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("running prep -> farm(heavy) -> %s under %s...\n", post.Name, contract.Describe())
+	res, err := app.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 10, Bands: []float64{0.3, 0.7},
+	}, res.Throughput))
+	fmt.Printf("\ncompleted %d tasks; peak throughput %.2f tasks/s\n",
+		res.Completed, res.Throughput.Max())
+	fmt.Println("\nmanagers at work (collapsed):")
+	for _, am := range []string{"AM_A", "AM_P", "AM_S0", "AM_F", "AM_F1"} {
+		seq := res.Log.KindSequence(am)
+		if len(seq) == 0 {
+			continue
+		}
+		if len(seq) > 12 {
+			seq = seq[:12]
+		}
+		fmt.Printf("  %-6s:", am)
+		for _, k := range seq {
+			fmt.Printf(" %s", k)
+		}
+		fmt.Println(" ...")
+	}
+}

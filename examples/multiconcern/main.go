@@ -1,0 +1,87 @@
+// Multiconcern demonstrates §3.2 of the paper: two autonomic manager
+// hierarchies — performance and security — active on the same farm, under
+// a general manager (GM) that coordinates them with a two-phase protocol.
+//
+// The platform has a trusted domain with only 2 free cores and the
+// untrusted_ip_domain_A with 8 more. The performance contract forces the
+// farm to grow past the trusted capacity, so workers are recruited on
+// untrusted nodes. The scenario is run twice:
+//
+//   - with the two-phase protocol (intent -> secure -> commit): every
+//     binding to an untrusted node is AES-GCM encrypted *before* the first
+//     task can reach it — zero plaintext leaks, by construction;
+//   - with the naive reactive scheme the paper warns about: the
+//     performance manager commits alone and the security manager fixes
+//     the binding on its next control cycle — the messages in between are
+//     exposed.
+//
+// Run with:
+//
+//	go run ./examples/multiconcern [-tasks 200] [-scale 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func run(mode repro.CoordinationMode, tasks int, scale float64) {
+	secure, err := repro.ParseContract("secure+throughput>=1.2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := repro.NewFarmApp(repro.FarmAppConfig{
+		Name:           "multiconcern-" + mode.String(),
+		Env:            repro.NewEnv(scale),
+		Platform:       repro.NewTwoDomainGrid(2, 8),
+		Tasks:          tasks,
+		TaskWork:       4 * time.Second,
+		SourceInterval: 600 * time.Millisecond,
+		Payload:        512,
+		InitialWorkers: 2,
+		Contract:       secure,
+		Limits:         repro.FarmLimits{MaxWorkers: 10},
+		WithSecurity:   true,
+		Coordination:   mode,
+		Handshake:      500 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := app.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	untrusted := 0
+	for _, w := range app.FarmABC.Workers() {
+		if !w.Node.Domain.Trusted {
+			untrusted++
+		}
+	}
+	fmt.Printf("%-10s completed=%d untrusted-workers=%d secured-msgs=%d plaintext-leaks=%d\n",
+		mode, res.Completed, untrusted, app.Auditor.Secured(), app.Auditor.Leaks())
+	if mode == repro.TwoPhase {
+		fmt.Println("  two-phase handshakes (GM view):")
+		for _, e := range res.Log.BySource("GM") {
+			if e.Kind == trace.Intent || e.Kind == trace.Committed {
+				fmt.Printf("    %s\n", e)
+			}
+		}
+	}
+}
+
+func main() {
+	tasks := flag.Int("tasks", 200, "stream length")
+	scale := flag.Float64("scale", 100, "time scale")
+	flag.Parse()
+
+	fmt.Println("growing a farm into untrusted_ip_domain_A under C_perf + C_sec:")
+	run(repro.TwoPhase, *tasks, *scale)
+	run(repro.Reactive, *tasks, *scale)
+	fmt.Println("\nthe two-phase protocol must report zero leaks; the reactive scheme must not.")
+}

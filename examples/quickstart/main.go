@@ -1,0 +1,48 @@
+// Quickstart: the smallest useful behavioural-skeleton program.
+//
+// It builds a task farm <P_farm, M_perf> processing a stream of 60 tasks,
+// hands the manager the SLA "at least 0.5 tasks/s", and lets the autonomic
+// manager grow the farm until the contract holds. Everything runs against
+// a simulated 8-core platform with modelled time 100x faster than the wall
+// clock, so the program finishes in a couple of seconds.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	app, err := repro.NewFarmApp(repro.FarmAppConfig{
+		Name:           "quickstart",
+		Env:            repro.NewEnv(100), // 100 modelled seconds per second
+		Platform:       repro.NewSMP(8),   // one 8-core node
+		Tasks:          60,                // stream length
+		TaskWork:       4 * time.Second,   // per-task cost on one core
+		SourceInterval: time.Second,       // 1 task/s offered
+		InitialWorkers: 1,                 // the manager will grow this
+		Contract:       repro.MinThroughput(0.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := app.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed %d tasks in %v\n", res.Completed, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("final throughput %.2f tasks/s with %d workers (contract: >= 0.5)\n",
+		res.Final.Throughput, res.Final.ParDegree)
+	fmt.Println("\nwhat the autonomic manager did:")
+	repro.RenderTimeline(os.Stdout, res)
+}

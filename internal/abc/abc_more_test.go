@@ -1,0 +1,87 @@
+package abc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/security"
+	"repro/internal/skel"
+)
+
+func TestFarmABCAccessorsAndSecureBinding(t *testing.T) {
+	f, in, stop := newRunningFarm(t, 4, 1)
+	defer stop()
+	a := NewFarmABC(f, nil)
+	if a.Farm() != f {
+		t.Fatal("Farm accessor broken")
+	}
+	if a.Stats().Workers != 1 {
+		t.Fatalf("Stats.Workers = %d", a.Stats().Workers)
+	}
+	id := a.Workers()[0].ID
+	if err := a.SecureBinding(id, security.MustAESGCM(security.NewRandomKey(), nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Workers()[0].Secure {
+		t.Fatal("binding not secured")
+	}
+	if err := a.SecureBinding("nope", security.Plain{}); err == nil {
+		t.Fatal("unknown binding accepted")
+	}
+	in <- &skel.Task{ID: 1}
+}
+
+func TestSourceABCAccessorAndStepDefault(t *testing.T) {
+	src := skel.NewSource("p", fastEnv(), 1, time.Second, nil)
+	a := NewSourceABC(src)
+	if a.Source() != src {
+		t.Fatal("Source accessor broken")
+	}
+	a.Step = 0.5 // invalid: must fall back to 1.5
+	next := a.IncRate()
+	want := time.Second / 3 * 2 // 1s / 1.5, truncated as IncRate computes it
+	if next != want {
+		t.Fatalf("step fallback broken: %v, want %v", next, want)
+	}
+	// DecRate from a zero interval starts from MinInterval.
+	src.SetInterval(0)
+	if d := a.DecRate(); d <= 0 {
+		t.Fatalf("DecRate from zero interval = %v", d)
+	}
+}
+
+func TestFarmABCExecuteErrors(t *testing.T) {
+	// A farm with an exhausted platform: ADD_EXECUTOR must surface the
+	// recruitment error.
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "tiny", Env: fastEnv(), RM: grid.NewSMP(1).RM, InitialWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 4)
+	go func() {
+		for range out {
+		}
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a := NewFarmABC(f, nil)
+	if _, err := a.Execute("ADD_EXECUTOR"); err == nil {
+		t.Fatal("exhausted platform add accepted")
+	}
+	if _, err := a.Execute("REMOVE_EXECUTOR"); err == nil {
+		t.Fatal("removing the last worker accepted")
+	}
+	close(in)
+	<-done
+}

@@ -1,0 +1,242 @@
+package abc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/rules"
+	"repro/internal/security"
+	"repro/internal/skel"
+)
+
+func fastEnv() skel.Env { return skel.Env{TimeScale: 1000} }
+
+func newRunningFarm(t *testing.T, cores, workers int) (*skel.Farm, chan *skel.Task, func()) {
+	t.Helper()
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "farm", Env: fastEnv(), RM: grid.NewSMP(cores).RM, InitialWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task, 64)
+	out := make(chan *skel.Task, 256)
+	go func() {
+		for range out {
+		}
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < workers {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return f, in, func() { close(in); <-done }
+}
+
+func TestFarmABCBeans(t *testing.T) {
+	f, in, stop := newRunningFarm(t, 8, 2)
+	defer stop()
+	in <- &skel.Task{ID: 1}
+	a := NewFarmABC(f, nil)
+	beans := a.Beans()
+	types := map[string]bool{}
+	for _, b := range beans {
+		types[b.BeanType()] = true
+		if _, ok := b.Field("value"); !ok {
+			t.Fatalf("bean %s has no value field", b.BeanType())
+		}
+	}
+	for _, want := range []string{
+		rules.BeanArrivalRate, rules.BeanDepartureRate,
+		rules.BeanNumWorker, rules.BeanQueueVariance,
+	} {
+		if !types[want] {
+			t.Fatalf("missing bean %s (got %v)", want, types)
+		}
+	}
+	if v, _ := beans[2].Field("value"); v.AsStr() != "2" {
+		t.Fatalf("NumWorkerBean = %v, want 2", v)
+	}
+}
+
+func TestFarmABCExecute(t *testing.T) {
+	f, _, stop := newRunningFarm(t, 8, 2)
+	defer stop()
+	a := NewFarmABC(f, nil)
+
+	detail, err := a.Execute(rules.OpAddExecutor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "2->3") {
+		t.Fatalf("detail = %q", detail)
+	}
+	if got := a.Snapshot().ParDegree; got != 3 {
+		t.Fatalf("ParDegree = %d", got)
+	}
+
+	detail, err = a.Execute(rules.OpRemoveExecutor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "3->2") {
+		t.Fatalf("detail = %q", detail)
+	}
+
+	if _, err := a.Execute(rules.OpBalanceLoad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute("NO_SUCH_OP"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFarmABCSnapshotSecurity(t *testing.T) {
+	aud := security.NewAuditor()
+	aud.RecordSend("w", true, false)
+	f, _, stop := newRunningFarm(t, 4, 1)
+	defer stop()
+	a := NewFarmABC(f, aud)
+	if got := a.Snapshot().UnsecuredSends; got != 1 {
+		t.Fatalf("UnsecuredSends = %d", got)
+	}
+}
+
+func TestFarmABCPrepareHook(t *testing.T) {
+	f, _, stop := newRunningFarm(t, 8, 1)
+	defer stop()
+	a := NewFarmABC(f, nil)
+	called := false
+	a.SetPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
+		called = true
+		setCodec(security.MustAESGCM(security.NewRandomKey(), nil, 0))
+		return nil
+	})
+	if _, err := a.Execute(rules.OpAddExecutor); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("prepare hook not invoked")
+	}
+	secure := 0
+	for _, w := range a.Workers() {
+		if w.Secure {
+			secure++
+		}
+	}
+	if secure != 1 {
+		t.Fatalf("secure workers = %d, want 1", secure)
+	}
+}
+
+func TestSourceABCRateActuators(t *testing.T) {
+	src := skel.NewSource("prod", fastEnv(), 10, time.Second, nil)
+	a := NewSourceABC(src)
+	next := a.IncRate()
+	if next >= time.Second {
+		t.Fatalf("IncRate did not shrink interval: %v", next)
+	}
+	slower := a.DecRate()
+	if slower <= next {
+		t.Fatalf("DecRate did not grow interval: %v", slower)
+	}
+	if d := a.SetTargetRate(2); d != 500*time.Millisecond {
+		t.Fatalf("SetTargetRate(2) = %v", d)
+	}
+	if d := a.SetTargetRate(0); d != 500*time.Millisecond {
+		t.Fatalf("SetTargetRate(0) must not change interval, got %v", d)
+	}
+	// Floor: cannot go below MinInterval.
+	a.MinInterval = 400 * time.Millisecond
+	if d := a.SetTargetRate(1e9); d != 400*time.Millisecond {
+		t.Fatalf("floor not applied: %v", d)
+	}
+}
+
+func TestSourceABCExecute(t *testing.T) {
+	src := skel.NewSource("prod", fastEnv(), 10, time.Second, nil)
+	a := NewSourceABC(src)
+	if _, err := a.Execute("INC_RATE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute("DEC_RATE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Execute("OTHER"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSourceABCBeans(t *testing.T) {
+	src := skel.NewSource("prod", fastEnv(), 0, 0, nil)
+	out := make(chan *skel.Task, 1)
+	src.Run(nil, out)
+	a := NewSourceABC(src)
+	beans := a.Beans()
+	if len(beans) != 2 {
+		t.Fatalf("beans = %v", beans)
+	}
+	if v, _ := beans[1].Field("value"); v.AsStr() != "1" {
+		t.Fatalf("StreamDoneBean = %v, want 1 (stream ended)", v)
+	}
+}
+
+func TestSeqAndSinkABC(t *testing.T) {
+	node := grid.NewNode("n", grid.Domain{Trusted: true}, 1, 1)
+	seq := skel.NewSeq("s", fastEnv(), node, nil)
+	sa := NewSeqABC(seq)
+	if len(sa.Beans()) != 1 || sa.Snapshot().ParDegree != 1 {
+		t.Fatal("SeqABC sensors wrong")
+	}
+	if _, err := sa.Execute("ANY"); !errors.Is(err, ErrUnsupported) {
+		t.Fatal("SeqABC must not support actuators")
+	}
+	sink := skel.NewSink("k", fastEnv(), nil)
+	ka := NewSinkABC(sink)
+	if len(ka.Beans()) != 1 {
+		t.Fatal("SinkABC sensors wrong")
+	}
+	if _, err := ka.Execute("ANY"); !errors.Is(err, ErrUnsupported) {
+		t.Fatal("SinkABC must not support actuators")
+	}
+}
+
+func TestPipeABCSnapshot(t *testing.T) {
+	src := skel.NewSource("p", fastEnv(), 0, 0, nil)
+	sink := skel.NewSink("c", fastEnv(), nil)
+	// Feed the sink a few tasks so it has a rate history.
+	in := make(chan *skel.Task, 3)
+	for i := 0; i < 3; i++ {
+		in <- &skel.Task{ID: uint64(i + 1)}
+	}
+	close(in)
+	sink.Run(in, nil)
+	p := NewPipeABC(NewSourceABC(src), NewSinkABC(sink))
+	s := p.Snapshot()
+	if s.Throughput <= 0 {
+		t.Fatalf("pipe throughput = %v, want >0", s.Throughput)
+	}
+	if len(p.Beans()) != 3 {
+		t.Fatalf("pipe beans = %d, want 3 (2 source + 1 sink)", len(p.Beans()))
+	}
+	if _, err := p.Execute("ANY"); !errors.Is(err, ErrUnsupported) {
+		t.Fatal("PipeABC must not support actuators")
+	}
+}
+
+func TestPipeABCNilMonitors(t *testing.T) {
+	p := NewPipeABC(nil, nil)
+	if len(p.Beans()) != 0 {
+		t.Fatal("nil monitors must yield no beans")
+	}
+	if s := p.Snapshot(); s.Throughput != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

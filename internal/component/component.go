@@ -1,0 +1,379 @@
+// Package component implements the Fractal/GCM component model the paper's
+// behavioural skeletons are built from: components with a membrane hosting
+// non-functional controllers — Lifecycle, Content and Binding controllers,
+// exactly the set the Autonomic Behaviour Controller of Fig. 2 is layered
+// on — plus arbitrary named non-functional (server) interfaces such as the
+// manager's contract and violation-callback ports.
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LifecycleState is the state of a component's lifecycle controller.
+type LifecycleState int
+
+// Lifecycle states.
+const (
+	Stopped LifecycleState = iota
+	Started
+)
+
+// String implements fmt.Stringer.
+func (s LifecycleState) String() string {
+	if s == Started {
+		return "STARTED"
+	}
+	return "STOPPED"
+}
+
+// Lifecycle errors.
+var (
+	ErrAlreadyStarted = errors.New("component: already started")
+	ErrNotStarted     = errors.New("component: not started")
+	ErrRunning        = errors.New("component: operation requires a stopped component")
+)
+
+// LifecycleController is the Fractal LifeCycleController.
+type LifecycleController interface {
+	Start() error
+	Stop() error
+	State() LifecycleState
+}
+
+// ContentController is the Fractal ContentController: management of the
+// subcomponents of a composite (the farm manager uses it to add and remove
+// workers).
+type ContentController interface {
+	AddChild(c Component) error
+	RemoveChild(name string) error
+	Child(name string) (Component, bool)
+	Children() []Component
+}
+
+// BindingController is the Fractal BindingController: named client
+// interfaces bound to server objects (the security manager rebinds worker
+// connections onto secure codecs through it).
+type BindingController interface {
+	Bind(itf string, target any) error
+	Unbind(itf string) error
+	Lookup(itf string) (any, bool)
+	Bindings() []string
+}
+
+// Component is a GCM component: a name plus a membrane of non-functional
+// controllers and interfaces.
+type Component interface {
+	Name() string
+	Membrane() *Membrane
+}
+
+// Membrane hosts a component's non-functional side: its standard
+// controllers and any additional named NF interfaces (e.g. the autonomic
+// manager itself, which the paper describes as a membrane component).
+type Membrane struct {
+	lc LifecycleController
+	cc ContentController
+	bc BindingController
+
+	mu  sync.Mutex
+	nfs map[string]any
+}
+
+// NewMembrane assembles a membrane. Nil controllers are replaced by the
+// basic implementations of this package.
+func NewMembrane(lc LifecycleController, cc ContentController, bc BindingController) *Membrane {
+	if lc == nil {
+		lc = NewLifecycle(nil, nil)
+	}
+	if cc == nil {
+		cc = NewContent()
+	}
+	if bc == nil {
+		bc = NewBinding()
+	}
+	return &Membrane{lc: lc, cc: cc, bc: bc, nfs: map[string]any{}}
+}
+
+// Lifecycle returns the lifecycle controller.
+func (m *Membrane) Lifecycle() LifecycleController { return m.lc }
+
+// Content returns the content controller.
+func (m *Membrane) Content() ContentController { return m.cc }
+
+// Binding returns the binding controller.
+func (m *Membrane) Binding() BindingController { return m.bc }
+
+// SetNF installs a named non-functional interface.
+func (m *Membrane) SetNF(name string, itf any) {
+	m.mu.Lock()
+	m.nfs[name] = itf
+	m.mu.Unlock()
+}
+
+// NF looks up a named non-functional interface.
+func (m *Membrane) NF(name string) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	itf, ok := m.nfs[name]
+	return itf, ok
+}
+
+// NFNames returns the installed NF interface names, sorted.
+func (m *Membrane) NFNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.nfs))
+	for n := range m.nfs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lifecycle is the basic LifecycleController: a two-state machine with
+// optional start/stop hooks.
+type Lifecycle struct {
+	mu      sync.Mutex
+	state   LifecycleState
+	onStart func() error
+	onStop  func() error
+}
+
+// NewLifecycle returns a stopped lifecycle controller with the given hooks
+// (either may be nil).
+func NewLifecycle(onStart, onStop func() error) *Lifecycle {
+	return &Lifecycle{onStart: onStart, onStop: onStop}
+}
+
+// Start implements LifecycleController.
+func (l *Lifecycle) Start() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state == Started {
+		return ErrAlreadyStarted
+	}
+	if l.onStart != nil {
+		if err := l.onStart(); err != nil {
+			return err
+		}
+	}
+	l.state = Started
+	return nil
+}
+
+// Stop implements LifecycleController.
+func (l *Lifecycle) Stop() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state == Stopped {
+		return ErrNotStarted
+	}
+	if l.onStop != nil {
+		if err := l.onStop(); err != nil {
+			return err
+		}
+	}
+	l.state = Stopped
+	return nil
+}
+
+// State implements LifecycleController.
+func (l *Lifecycle) State() LifecycleState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state
+}
+
+// Content is the basic ContentController.
+type Content struct {
+	mu       sync.Mutex
+	children map[string]Component
+	order    []string
+}
+
+// NewContent returns an empty content controller.
+func NewContent() *Content {
+	return &Content{children: map[string]Component{}}
+}
+
+// AddChild implements ContentController. Child names must be unique within
+// the composite.
+func (c *Content) AddChild(child Component) error {
+	if child == nil {
+		return errors.New("component: nil child")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := child.Name()
+	if _, dup := c.children[name]; dup {
+		return fmt.Errorf("component: duplicate child %q", name)
+	}
+	c.children[name] = child
+	c.order = append(c.order, name)
+	return nil
+}
+
+// RemoveChild implements ContentController.
+func (c *Content) RemoveChild(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.children[name]; !ok {
+		return fmt.Errorf("component: no child %q", name)
+	}
+	delete(c.children, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Child implements ContentController.
+func (c *Content) Child(name string) (Component, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	child, ok := c.children[name]
+	return child, ok
+}
+
+// Children implements ContentController, in insertion order.
+func (c *Content) Children() []Component {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Component, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.children[n])
+	}
+	return out
+}
+
+// Binding is the basic BindingController.
+type Binding struct {
+	mu       sync.Mutex
+	bindings map[string]any
+}
+
+// NewBinding returns an empty binding controller.
+func NewBinding() *Binding {
+	return &Binding{bindings: map[string]any{}}
+}
+
+// Bind implements BindingController. Rebinding an already bound interface
+// replaces the target (this is how bindings are switched onto secure
+// codecs at run time).
+func (b *Binding) Bind(itf string, target any) error {
+	if target == nil {
+		return fmt.Errorf("component: nil binding target for %q", itf)
+	}
+	b.mu.Lock()
+	b.bindings[itf] = target
+	b.mu.Unlock()
+	return nil
+}
+
+// Unbind implements BindingController.
+func (b *Binding) Unbind(itf string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.bindings[itf]; !ok {
+		return fmt.Errorf("component: interface %q is not bound", itf)
+	}
+	delete(b.bindings, itf)
+	return nil
+}
+
+// Lookup implements BindingController.
+func (b *Binding) Lookup(itf string) (any, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.bindings[itf]
+	return t, ok
+}
+
+// Bindings implements BindingController, sorted by interface name.
+func (b *Binding) Bindings() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.bindings))
+	for n := range b.bindings {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Base is a ready-to-embed Component implementation.
+type Base struct {
+	name     string
+	membrane *Membrane
+}
+
+// NewBase returns a component with the given name and membrane (nil gets a
+// default membrane).
+func NewBase(name string, m *Membrane) *Base {
+	if m == nil {
+		m = NewMembrane(nil, nil, nil)
+	}
+	return &Base{name: name, membrane: m}
+}
+
+// Name implements Component.
+func (b *Base) Name() string { return b.name }
+
+// Membrane implements Component.
+func (b *Base) Membrane() *Membrane { return b.membrane }
+
+// Composite is a component whose lifecycle cascades over its children, as
+// GCM composite components do: Start starts children first (bottom-up),
+// Stop stops the composite first (top-down).
+type Composite struct {
+	*Base
+}
+
+// NewComposite builds a composite with a content controller and a cascading
+// lifecycle.
+func NewComposite(name string) *Composite {
+	content := NewContent()
+	comp := &Composite{}
+	lc := NewLifecycle(
+		func() error {
+			for _, child := range content.Children() {
+				st := child.Membrane().Lifecycle()
+				if st.State() == Stopped {
+					if err := st.Start(); err != nil {
+						return fmt.Errorf("starting child %q: %w", child.Name(), err)
+					}
+				}
+			}
+			return nil
+		},
+		func() error {
+			children := content.Children()
+			for i := len(children) - 1; i >= 0; i-- {
+				st := children[i].Membrane().Lifecycle()
+				if st.State() == Started {
+					if err := st.Stop(); err != nil {
+						return fmt.Errorf("stopping child %q: %w", children[i].Name(), err)
+					}
+				}
+			}
+			return nil
+		},
+	)
+	comp.Base = NewBase(name, NewMembrane(lc, content, NewBinding()))
+	return comp
+}
+
+// Visit walks the component tree rooted at c in depth-first pre-order.
+func Visit(c Component, f func(Component)) {
+	f(c)
+	for _, child := range c.Membrane().Content().Children() {
+		Visit(child, f)
+	}
+}

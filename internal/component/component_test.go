@@ -1,0 +1,210 @@
+package component
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLifecycleStateMachine(t *testing.T) {
+	lc := NewLifecycle(nil, nil)
+	if lc.State() != Stopped {
+		t.Fatalf("initial state = %v", lc.State())
+	}
+	if err := lc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.State() != Started {
+		t.Fatalf("state after start = %v", lc.State())
+	}
+	if err := lc.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("double start err = %v", err)
+	}
+	if err := lc.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("double stop err = %v", err)
+	}
+}
+
+func TestLifecycleHooks(t *testing.T) {
+	var log []string
+	lc := NewLifecycle(
+		func() error { log = append(log, "start"); return nil },
+		func() error { log = append(log, "stop"); return nil },
+	)
+	lc.Start()
+	lc.Stop()
+	if len(log) != 2 || log[0] != "start" || log[1] != "stop" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestLifecycleHookFailureKeepsState(t *testing.T) {
+	boom := errors.New("boom")
+	lc := NewLifecycle(func() error { return boom }, nil)
+	if err := lc.Start(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if lc.State() != Stopped {
+		t.Fatal("failed start must leave the component stopped")
+	}
+}
+
+func TestLifecycleStateString(t *testing.T) {
+	if Stopped.String() != "STOPPED" || Started.String() != "STARTED" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestContentController(t *testing.T) {
+	cc := NewContent()
+	w1 := NewBase("w1", nil)
+	w2 := NewBase("w2", nil)
+	if err := cc.AddChild(w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.AddChild(w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.AddChild(NewBase("w1", nil)); err == nil {
+		t.Fatal("duplicate child accepted")
+	}
+	if err := cc.AddChild(nil); err == nil {
+		t.Fatal("nil child accepted")
+	}
+	kids := cc.Children()
+	if len(kids) != 2 || kids[0].Name() != "w1" || kids[1].Name() != "w2" {
+		t.Fatalf("children = %v", kids)
+	}
+	if _, ok := cc.Child("w2"); !ok {
+		t.Fatal("Child lookup failed")
+	}
+	if err := cc.RemoveChild("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.RemoveChild("w1"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if kids := cc.Children(); len(kids) != 1 || kids[0].Name() != "w2" {
+		t.Fatalf("children after remove = %v", kids)
+	}
+}
+
+func TestBindingController(t *testing.T) {
+	bc := NewBinding()
+	if err := bc.Bind("out", "targetA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Bind("out", "targetB"); err != nil {
+		t.Fatal("rebinding must be allowed:", err)
+	}
+	if got, ok := bc.Lookup("out"); !ok || got != "targetB" {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if err := bc.Bind("x", nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	bc.Bind("alpha", 1)
+	names := bc.Bindings()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "out" {
+		t.Fatalf("Bindings = %v", names)
+	}
+	if err := bc.Unbind("out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Unbind("out"); err == nil {
+		t.Fatal("double unbind accepted")
+	}
+}
+
+func TestMembraneNFInterfaces(t *testing.T) {
+	m := NewMembrane(nil, nil, nil)
+	m.SetNF("manager", "AM")
+	m.SetNF("abc", "ABC")
+	if v, ok := m.NF("manager"); !ok || v != "AM" {
+		t.Fatalf("NF = %v, %v", v, ok)
+	}
+	if _, ok := m.NF("missing"); ok {
+		t.Fatal("missing NF found")
+	}
+	names := m.NFNames()
+	if len(names) != 2 || names[0] != "abc" || names[1] != "manager" {
+		t.Fatalf("NFNames = %v", names)
+	}
+}
+
+func TestCompositeLifecycleCascades(t *testing.T) {
+	root := NewComposite("farm")
+	w1 := NewBase("w1", nil)
+	w2 := NewBase("w2", nil)
+	root.Membrane().Content().AddChild(w1)
+	root.Membrane().Content().AddChild(w2)
+	if err := root.Membrane().Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []*Base{w1, w2} {
+		if w.Membrane().Lifecycle().State() != Started {
+			t.Fatalf("child %s not started", w.Name())
+		}
+	}
+	if err := root.Membrane().Lifecycle().Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []*Base{w1, w2} {
+		if w.Membrane().Lifecycle().State() != Stopped {
+			t.Fatalf("child %s not stopped", w.Name())
+		}
+	}
+}
+
+func TestCompositeStartFailurePropagates(t *testing.T) {
+	root := NewComposite("pipe")
+	boom := errors.New("boom")
+	bad := NewBase("bad", NewMembrane(NewLifecycle(func() error { return boom }, nil), nil, nil))
+	root.Membrane().Content().AddChild(bad)
+	if err := root.Membrane().Lifecycle().Start(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if root.Membrane().Lifecycle().State() != Stopped {
+		t.Fatal("composite must stay stopped after child failure")
+	}
+}
+
+func TestCompositeNested(t *testing.T) {
+	// farm(pipeline(seq, seq)) — the shapes of Fig. 2 right.
+	farm := NewComposite("farm")
+	pipe := NewComposite("pipeline")
+	s1 := NewBase("s1", nil)
+	s2 := NewBase("s2", nil)
+	pipe.Membrane().Content().AddChild(s1)
+	pipe.Membrane().Content().AddChild(s2)
+	farm.Membrane().Content().AddChild(pipe)
+	if err := farm.Membrane().Lifecycle().Start(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Membrane().Lifecycle().State() != Started {
+		t.Fatal("nested start did not cascade two levels")
+	}
+	var names []string
+	Visit(farm, func(c Component) { names = append(names, c.Name()) })
+	want := []string{"farm", "pipeline", "s1", "s2"}
+	if len(names) != len(want) {
+		t.Fatalf("Visit order = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Visit order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestBaseDefaults(t *testing.T) {
+	b := NewBase("x", nil)
+	if b.Name() != "x" || b.Membrane() == nil {
+		t.Fatal("Base defaults broken")
+	}
+	if b.Membrane().Lifecycle() == nil || b.Membrane().Content() == nil || b.Membrane().Binding() == nil {
+		t.Fatal("default membrane missing controllers")
+	}
+}

@@ -1,0 +1,276 @@
+// Package contract implements the SLA formalism of the paper: the contracts
+// users hand to top-level managers, the verdicts managers compute during the
+// analyse phase of the control loop, and the P_spl splitting heuristics that
+// derive sub-contracts for nested behavioural skeletons (a pipeline's
+// throughput SLA replicates to every stage because pipeline throughput is
+// bounded by its slowest stage; a farm hands its workers best-effort
+// contracts; parallelism-degree SLAs split proportionally to stage weights).
+package contract
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the monitored state a contract is checked against. It is the
+// "monitor" output of the MAPE loop, assembled by the ABC sensors.
+type Snapshot struct {
+	Throughput     float64 // completed tasks per second (departure rate)
+	ArrivalRate    float64 // offered tasks per second
+	ParDegree      int     // current number of parallel executors
+	QueueVariance  float64 // imbalance across worker queues
+	UnsecuredSends uint64  // plaintext messages on links requiring security
+	StreamDone     bool    // the input stream is exhausted (endStream)
+}
+
+// Verdict is the analyse-phase outcome of checking a contract.
+type Verdict int
+
+// Verdict values.
+const (
+	Satisfied    Verdict = iota
+	ViolatedLow          // measured value below the contracted range
+	ViolatedHigh         // measured value above the contracted range
+	Violated             // boolean violation (e.g. security breach)
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Satisfied:
+		return "satisfied"
+	case ViolatedLow:
+		return "violated-low"
+	case ViolatedHigh:
+		return "violated-high"
+	case Violated:
+		return "violated"
+	default:
+		return "unknown"
+	}
+}
+
+// OK reports whether the verdict is Satisfied.
+func (v Verdict) OK() bool { return v == Satisfied }
+
+// Contract is a non-functional SLA as agreed between a user (or a parent
+// manager) and an autonomic manager.
+type Contract interface {
+	// Check evaluates the contract against a monitoring snapshot.
+	Check(Snapshot) Verdict
+	// Describe renders the contract in the textual form accepted by Parse.
+	Describe() string
+}
+
+// ThroughputRange contracts a task completion rate within [Lo, Hi] tasks
+// per second — the c_tRange of the Fig. 4 experiment. Hi = +Inf expresses a
+// pure lower bound.
+type ThroughputRange struct {
+	Lo, Hi float64
+}
+
+// NewThroughputRange validates and builds a ThroughputRange.
+func NewThroughputRange(lo, hi float64) (ThroughputRange, error) {
+	if lo < 0 || hi < lo {
+		return ThroughputRange{}, fmt.Errorf("contract: bad throughput range [%v,%v]", lo, hi)
+	}
+	return ThroughputRange{Lo: lo, Hi: hi}, nil
+}
+
+// MinThroughput returns the pure lower-bound contract used in Fig. 3
+// (0.6 images/s).
+func MinThroughput(lo float64) ThroughputRange {
+	return ThroughputRange{Lo: lo, Hi: math.Inf(1)}
+}
+
+// Check implements Contract.
+func (c ThroughputRange) Check(s Snapshot) Verdict {
+	switch {
+	case s.Throughput < c.Lo:
+		return ViolatedLow
+	case s.Throughput > c.Hi:
+		return ViolatedHigh
+	default:
+		return Satisfied
+	}
+}
+
+// Describe implements Contract.
+func (c ThroughputRange) Describe() string {
+	if math.IsInf(c.Hi, 1) {
+		return fmt.Sprintf("throughput>=%.3g", c.Lo)
+	}
+	return fmt.Sprintf("throughput:%.3g-%.3g", c.Lo, c.Hi)
+}
+
+// Bounded reports whether the range has a finite upper bound.
+func (c ThroughputRange) Bounded() bool { return !math.IsInf(c.Hi, 1) }
+
+// BestEffort is the contract a farm manager passes to its workers: no
+// quantitative goal; each worker autonomically does its local best.
+type BestEffort struct{}
+
+// Check implements Contract: best effort is always satisfied.
+func (BestEffort) Check(Snapshot) Verdict { return Satisfied }
+
+// Describe implements Contract.
+func (BestEffort) Describe() string { return "best-effort" }
+
+// ParDegree contracts the parallelism degree within [Min, Max] executors.
+type ParDegree struct {
+	Min, Max int
+}
+
+// NewParDegree validates and builds a ParDegree contract.
+func NewParDegree(min, max int) (ParDegree, error) {
+	if min < 0 || max < min {
+		return ParDegree{}, fmt.Errorf("contract: bad parallelism range [%d,%d]", min, max)
+	}
+	return ParDegree{Min: min, Max: max}, nil
+}
+
+// Check implements Contract.
+func (c ParDegree) Check(s Snapshot) Verdict {
+	switch {
+	case s.ParDegree < c.Min:
+		return ViolatedLow
+	case s.ParDegree > c.Max:
+		return ViolatedHigh
+	default:
+		return Satisfied
+	}
+}
+
+// Describe implements Contract.
+func (c ParDegree) Describe() string {
+	return fmt.Sprintf("pardegree:%d-%d", c.Min, c.Max)
+}
+
+// SecureComms is the boolean security concern c_sec: no plaintext message
+// may ever cross a link the policy requires to be secure.
+type SecureComms struct{}
+
+// Check implements Contract.
+func (SecureComms) Check(s Snapshot) Verdict {
+	if s.UnsecuredSends > 0 {
+		return Violated
+	}
+	return Satisfied
+}
+
+// Describe implements Contract.
+func (SecureComms) Describe() string { return "secure" }
+
+// Boolean reports whether a contract is a boolean concern, which §3.2 says
+// must be given priority over quantitative ones.
+func Boolean(c Contract) bool {
+	switch c := c.(type) {
+	case SecureComms:
+		return true
+	case Conjunction:
+		for _, sub := range c {
+			if Boolean(sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Conjunction is the super-contract c̄ of §3.2: all member contracts must
+// hold. Boolean members take checking priority: if any boolean member is
+// violated the verdict is Violated regardless of the others.
+type Conjunction []Contract
+
+// Check implements Contract.
+func (c Conjunction) Check(s Snapshot) Verdict {
+	// Boolean concerns first (priority of §3.2).
+	for _, sub := range c {
+		if Boolean(sub) {
+			if v := sub.Check(s); !v.OK() {
+				return Violated
+			}
+		}
+	}
+	for _, sub := range c {
+		if Boolean(sub) {
+			continue
+		}
+		if v := sub.Check(s); !v.OK() {
+			return v
+		}
+	}
+	return Satisfied
+}
+
+// Describe implements Contract.
+func (c Conjunction) Describe() string {
+	parts := make([]string, len(c))
+	for i, sub := range c {
+		parts[i] = sub.Describe()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Parse reads the textual contract syntax produced by Describe:
+//
+//	throughput:LO-HI | throughput>=LO | best-effort | secure |
+//	pardegree:MIN-MAX | C1+C2+...
+func Parse(s string) (Contract, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("contract: empty specification")
+	}
+	if strings.Contains(s, "+") {
+		var conj Conjunction
+		for _, part := range strings.Split(s, "+") {
+			sub, err := Parse(part)
+			if err != nil {
+				return nil, err
+			}
+			conj = append(conj, sub)
+		}
+		return conj, nil
+	}
+	switch {
+	case s == "best-effort":
+		return BestEffort{}, nil
+	case s == "secure":
+		return SecureComms{}, nil
+	case strings.HasPrefix(s, "throughput>="):
+		lo, err := strconv.ParseFloat(s[len("throughput>="):], 64)
+		if err != nil || lo < 0 {
+			return nil, fmt.Errorf("contract: bad throughput bound in %q", s)
+		}
+		return MinThroughput(lo), nil
+	case strings.HasPrefix(s, "throughput:"):
+		lo, hi, err := parseRange(s[len("throughput:"):])
+		if err != nil {
+			return nil, fmt.Errorf("contract: %q: %v", s, err)
+		}
+		return NewThroughputRange(lo, hi)
+	case strings.HasPrefix(s, "pardegree:"):
+		lo, hi, err := parseRange(s[len("pardegree:"):])
+		if err != nil {
+			return nil, fmt.Errorf("contract: %q: %v", s, err)
+		}
+		return NewParDegree(int(lo), int(hi))
+	}
+	return nil, fmt.Errorf("contract: unrecognized specification %q", s)
+}
+
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want LO-HI, got %q", s)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,356 @@
+package contract
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputRangeCheck(t *testing.T) {
+	c, err := NewThroughputRange(0.3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		tp   float64
+		want Verdict
+	}{
+		{0.1, ViolatedLow}, {0.3, Satisfied}, {0.5, Satisfied},
+		{0.7, Satisfied}, {0.9, ViolatedHigh},
+	}
+	for _, tc := range cases {
+		if got := c.Check(Snapshot{Throughput: tc.tp}); got != tc.want {
+			t.Errorf("Check(%v) = %v, want %v", tc.tp, got, tc.want)
+		}
+	}
+}
+
+func TestThroughputRangeValidation(t *testing.T) {
+	if _, err := NewThroughputRange(-1, 2); err == nil {
+		t.Fatal("negative low bound accepted")
+	}
+	if _, err := NewThroughputRange(2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestMinThroughput(t *testing.T) {
+	c := MinThroughput(0.6)
+	if c.Bounded() {
+		t.Fatal("MinThroughput must be unbounded above")
+	}
+	if got := c.Check(Snapshot{Throughput: 100}); got != Satisfied {
+		t.Fatalf("high throughput verdict = %v", got)
+	}
+	if got := c.Check(Snapshot{Throughput: 0.5}); got != ViolatedLow {
+		t.Fatalf("low throughput verdict = %v", got)
+	}
+}
+
+func TestBestEffortAlwaysSatisfied(t *testing.T) {
+	if got := (BestEffort{}).Check(Snapshot{}); got != Satisfied {
+		t.Fatalf("verdict = %v", got)
+	}
+}
+
+func TestParDegree(t *testing.T) {
+	c, err := NewParDegree(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Check(Snapshot{ParDegree: 1}); got != ViolatedLow {
+		t.Fatalf("verdict = %v", got)
+	}
+	if got := c.Check(Snapshot{ParDegree: 9}); got != ViolatedHigh {
+		t.Fatalf("verdict = %v", got)
+	}
+	if got := c.Check(Snapshot{ParDegree: 5}); got != Satisfied {
+		t.Fatalf("verdict = %v", got)
+	}
+	if _, err := NewParDegree(5, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSecureComms(t *testing.T) {
+	c := SecureComms{}
+	if got := c.Check(Snapshot{UnsecuredSends: 0}); got != Satisfied {
+		t.Fatalf("verdict = %v", got)
+	}
+	if got := c.Check(Snapshot{UnsecuredSends: 1}); got != Violated {
+		t.Fatalf("verdict = %v", got)
+	}
+}
+
+func TestBooleanDetection(t *testing.T) {
+	if Boolean(ThroughputRange{}) || Boolean(BestEffort{}) {
+		t.Fatal("quantitative contracts flagged boolean")
+	}
+	if !Boolean(SecureComms{}) {
+		t.Fatal("SecureComms not flagged boolean")
+	}
+	if !Boolean(Conjunction{BestEffort{}, SecureComms{}}) {
+		t.Fatal("conjunction containing SecureComms not flagged boolean")
+	}
+}
+
+func TestConjunctionPriority(t *testing.T) {
+	// Security violation must dominate a throughput violation (§3.2:
+	// boolean concerns get priority).
+	c := Conjunction{ThroughputRange{Lo: 0.3, Hi: 0.7}, SecureComms{}}
+	got := c.Check(Snapshot{Throughput: 0.1, UnsecuredSends: 3})
+	if got != Violated {
+		t.Fatalf("verdict = %v, want Violated (security first)", got)
+	}
+	got = c.Check(Snapshot{Throughput: 0.1})
+	if got != ViolatedLow {
+		t.Fatalf("verdict = %v, want ViolatedLow", got)
+	}
+	got = c.Check(Snapshot{Throughput: 0.5})
+	if got != Satisfied {
+		t.Fatalf("verdict = %v", got)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, s := range map[Verdict]string{
+		Satisfied: "satisfied", ViolatedLow: "violated-low",
+		ViolatedHigh: "violated-high", Violated: "violated",
+		Verdict(42): "unknown",
+	} {
+		if v.String() != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if !Satisfied.OK() || ViolatedLow.OK() {
+		t.Fatal("OK() wrong")
+	}
+}
+
+func TestParseDescribeRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"throughput:0.3-0.7",
+		"throughput>=0.6",
+		"best-effort",
+		"secure",
+		"pardegree:2-8",
+		"secure+throughput:0.3-0.7",
+	} {
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		c2, err := Parse(c.Describe())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", c.Describe(), err)
+		}
+		if c2.Describe() != c.Describe() {
+			t.Fatalf("round trip changed %q -> %q", c.Describe(), c2.Describe())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "garbage", "throughput:x-y", "throughput:0.7", "throughput>=-1",
+		"pardegree:1", "secure+garbage",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestSplitPipelineThroughput(t *testing.T) {
+	c := ThroughputRange{Lo: 0.3, Hi: 0.7}
+	subs, err := SplitPipeline(c, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d sub-contracts", len(subs))
+	}
+	for i, s := range subs {
+		tr, ok := s.(ThroughputRange)
+		if !ok || tr != c {
+			t.Fatalf("stage %d contract = %v, want identity split", i, s)
+		}
+	}
+}
+
+func TestSplitPipelineParDegree(t *testing.T) {
+	c := ParDegree{Min: 3, Max: 12}
+	subs, err := SplitPipeline(c, 3, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs := 0, 0
+	for _, s := range subs {
+		pd := s.(ParDegree)
+		mins += pd.Min
+		maxs += pd.Max
+	}
+	if mins != 3 || maxs != 12 {
+		t.Fatalf("splits do not preserve totals: min=%d max=%d", mins, maxs)
+	}
+	// The heavy middle stage must get the biggest share of Max.
+	mid := subs[1].(ParDegree)
+	if mid.Max != 6 {
+		t.Fatalf("middle stage max = %d, want 6", mid.Max)
+	}
+}
+
+func TestSplitPipelineConjunction(t *testing.T) {
+	c := Conjunction{SecureComms{}, ThroughputRange{Lo: 0.3, Hi: 0.7}}
+	subs, err := SplitPipeline(c, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		conj, ok := s.(Conjunction)
+		if !ok || len(conj) != 2 {
+			t.Fatalf("sub-contract = %v", s)
+		}
+		if !Boolean(conj) {
+			t.Fatal("security lost in the split")
+		}
+	}
+}
+
+func TestSplitPipelineErrors(t *testing.T) {
+	if _, err := SplitPipeline(BestEffort{}, 0, nil); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	if _, err := SplitPipeline(BestEffort{}, 2, []float64{1}); err == nil {
+		t.Fatal("weight/stage mismatch accepted")
+	}
+}
+
+func TestSplitFarmBestEffort(t *testing.T) {
+	subs, err := SplitFarm(ThroughputRange{Lo: 0.3, Hi: 0.7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if _, ok := s.(BestEffort); !ok {
+			t.Fatalf("worker contract = %v, want best-effort", s)
+		}
+	}
+}
+
+func TestSplitFarmPropagatesSecurity(t *testing.T) {
+	subs, err := SplitFarm(Conjunction{SecureComms{}, ThroughputRange{Lo: 0.3, Hi: 0.7}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if !Boolean(s) {
+			t.Fatalf("worker contract %v lost security", s)
+		}
+	}
+	if _, err := SplitFarm(BestEffort{}, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+// Property (the P_spl soundness argument for pipelines): if every stage
+// individually satisfies the split throughput contract, and the pipeline's
+// end-to-end throughput equals the minimum stage throughput (the pipeline
+// performance model), then the original contract's lower bound holds.
+func TestSplitPipelineSoundness(t *testing.T) {
+	f := func(loC, hiC uint8, tps []uint8) bool {
+		if len(tps) == 0 {
+			return true
+		}
+		lo := float64(loC) / 100
+		hi := lo + float64(hiC)/100
+		c := ThroughputRange{Lo: lo, Hi: hi}
+		subs, err := SplitPipeline(c, len(tps), nil)
+		if err != nil {
+			return false
+		}
+		minTP := math.Inf(1)
+		allOK := true
+		for i, raw := range tps {
+			tp := float64(raw) / 100
+			if !subs[i].Check(Snapshot{Throughput: tp}).OK() {
+				allOK = false
+			}
+			minTP = math.Min(minTP, tp)
+		}
+		if !allOK {
+			return true // vacuous
+		}
+		return c.Check(Snapshot{Throughput: minTP}) != ViolatedLow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: proportional splitting preserves the total and never produces a
+// negative share.
+func TestProportionalProperties(t *testing.T) {
+	f := func(total uint8, n uint8, ws []uint8) bool {
+		stages := int(n%8) + 1
+		weights := make([]float64, stages)
+		for i := range weights {
+			if i < len(ws) {
+				weights[i] = float64(ws[i])
+			}
+		}
+		shares := proportional(int(total), stages, weights)
+		sum := 0
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		if sum != int(total) {
+			return false
+		}
+		if int(total) >= stages {
+			for _, s := range shares {
+				if s == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineLinear(t *testing.T) {
+	cs := []ThroughputRange{{Lo: 0.2, Hi: 0.4}, {Lo: 0.4, Hi: 0.8}}
+	combined, err := CombineLinear(cs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(combined.Lo-0.3) > 1e-9 || math.Abs(combined.Hi-0.6) > 1e-9 {
+		t.Fatalf("combined = %+v", combined)
+	}
+	weighted, err := CombineLinear(cs, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(weighted.Lo-0.25) > 1e-9 {
+		t.Fatalf("weighted.Lo = %v, want 0.25", weighted.Lo)
+	}
+	if _, err := CombineLinear(nil, nil); err == nil {
+		t.Fatal("empty combine accepted")
+	}
+	if _, err := CombineLinear(cs, []float64{1}); err == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+	if _, err := CombineLinear(cs, []float64{0, 0}); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	unb, err := CombineLinear([]ThroughputRange{MinThroughput(0.6), {Lo: 0.2, Hi: 0.4}}, nil)
+	if err != nil || !math.IsInf(unb.Hi, 1) {
+		t.Fatalf("unbounded combine = %+v, %v", unb, err)
+	}
+}

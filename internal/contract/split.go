@@ -1,0 +1,194 @@
+package contract
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the P_spl problem of §3.1: deriving sub-contracts
+// for the children of a behavioural skeleton from the contract its manager
+// agreed with the user or its own parent. There is no general solution; the
+// heuristics below exploit the performance models of the known patterns,
+// exactly as the paper proposes.
+
+// SplitPipeline derives one sub-contract per pipeline stage.
+//
+// For throughput contracts the split is the identity: the throughput of a
+// pipeline is bounded by its slowest stage, so each stage must individually
+// deliver the pipeline's contracted range.
+//
+// For parallelism-degree contracts the split is proportional to the stage
+// weights (relative computational cost per task); nil weights mean equal
+// stages. Every stage receives at least one executor.
+func SplitPipeline(c Contract, stages int, weights []float64) ([]Contract, error) {
+	if stages <= 0 {
+		return nil, fmt.Errorf("contract: pipeline needs at least one stage")
+	}
+	if weights != nil && len(weights) != stages {
+		return nil, fmt.Errorf("contract: %d weights for %d stages", len(weights), stages)
+	}
+	out := make([]Contract, stages)
+	switch c := c.(type) {
+	case ThroughputRange:
+		for i := range out {
+			out[i] = c
+		}
+	case BestEffort:
+		for i := range out {
+			out[i] = BestEffort{}
+		}
+	case SecureComms:
+		for i := range out {
+			out[i] = SecureComms{}
+		}
+	case ParDegree:
+		mins := proportional(c.Min, stages, weights)
+		maxs := proportional(c.Max, stages, weights)
+		for i := range out {
+			lo, hi := mins[i], maxs[i]
+			if hi < lo {
+				hi = lo
+			}
+			out[i] = ParDegree{Min: lo, Max: hi}
+		}
+	case Conjunction:
+		subSplits := make([][]Contract, len(c))
+		for j, sub := range c {
+			split, err := SplitPipeline(sub, stages, weights)
+			if err != nil {
+				return nil, err
+			}
+			subSplits[j] = split
+		}
+		for i := range out {
+			conj := make(Conjunction, len(c))
+			for j := range c {
+				conj[j] = subSplits[j][i]
+			}
+			out[i] = conj
+		}
+	default:
+		return nil, fmt.Errorf("contract: no pipeline split heuristic for %T", c)
+	}
+	return out, nil
+}
+
+// SplitFarm derives the workers' sub-contracts from a farm contract.
+// Following the task-farm BS definition referenced by §4.2, workers receive
+// best-effort contracts regardless of the farm's own quantitative goal
+// (they are passive from the farm manager's viewpoint but autonomically do
+// their local best). Boolean security contracts do propagate: every worker
+// binding must be secure.
+func SplitFarm(c Contract, workers int) ([]Contract, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("contract: farm needs at least one worker")
+	}
+	out := make([]Contract, workers)
+	secure := Boolean(c)
+	for i := range out {
+		if secure {
+			out[i] = Conjunction{SecureComms{}, BestEffort{}}
+		} else {
+			out[i] = BestEffort{}
+		}
+	}
+	return out, nil
+}
+
+// proportional splits total into len-many non-negative integers summing to
+// total, proportionally to weights (nil = equal), every share >= 1 when
+// total >= n. Largest-remainder rounding keeps the sum exact.
+func proportional(total, n int, weights []float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		if weights == nil {
+			w[i] = 1
+		} else {
+			w[i] = math.Max(weights[i], 0)
+		}
+		sum += w[i]
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		sum = float64(n)
+	}
+	shares := make([]int, n)
+	rema := make([]float64, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		exact := float64(total) * w[i] / sum
+		shares[i] = int(math.Floor(exact))
+		rema[i] = exact - float64(shares[i])
+		assigned += shares[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		shares[best]++
+		rema[best] = -1
+		assigned++
+	}
+	// Guarantee a minimum of one executor per stage when feasible.
+	if total >= n {
+		for i := 0; i < n; i++ {
+			if shares[i] == 0 {
+				// steal from the largest share
+				big := 0
+				for j := 1; j < n; j++ {
+					if shares[j] > shares[big] {
+						big = j
+					}
+				}
+				shares[big]--
+				shares[i]++
+			}
+		}
+	}
+	return shares
+}
+
+// CombineLinear builds the §3.2 summary super-contract c̄ for non-boolean
+// throughput contracts: the weighted linear combination of the member
+// bounds. Boolean members are rejected — they must keep their priority and
+// cannot be averaged away.
+func CombineLinear(cs []ThroughputRange, weights []float64) (ThroughputRange, error) {
+	if len(cs) == 0 {
+		return ThroughputRange{}, fmt.Errorf("contract: nothing to combine")
+	}
+	if weights != nil && len(weights) != len(cs) {
+		return ThroughputRange{}, fmt.Errorf("contract: %d weights for %d contracts", len(weights), len(cs))
+	}
+	var lo, hi, sum float64
+	unboundedHi := false
+	for i, c := range cs {
+		w := 1.0
+		if weights != nil {
+			w = math.Max(weights[i], 0)
+		}
+		lo += w * c.Lo
+		if math.IsInf(c.Hi, 1) {
+			unboundedHi = true
+		} else {
+			hi += w * c.Hi
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return ThroughputRange{}, fmt.Errorf("contract: zero total weight")
+	}
+	out := ThroughputRange{Lo: lo / sum, Hi: hi / sum}
+	if unboundedHi {
+		out.Hi = math.Inf(1)
+	}
+	return out, nil
+}

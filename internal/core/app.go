@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/component"
+	"repro/internal/contract"
+	"repro/internal/grid"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/security"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// BS is a behavioural skeleton instance: the pair <P, M_C> plus the pieces
+// it is assembled from — the skeleton runtime stage, its ABC and the GCM
+// component carrying AM and ABC in its membrane.
+type BS struct {
+	Pattern    PatternKind
+	Component  component.Component
+	Manager    *manager.Manager
+	Controller abc.Controller
+	Stage      skel.Stage
+	Children   []*BS
+}
+
+// newBSComponent builds the GCM composite of a BS with the manager and ABC
+// installed as membrane NF interfaces, as in Fig. 2 (left).
+func newBSComponent(name string, m *manager.Manager, ctrl abc.Controller) *component.Composite {
+	comp := component.NewComposite(name)
+	comp.Membrane().SetNF("manager", m)
+	comp.Membrane().SetNF("abc", ctrl)
+	return comp
+}
+
+// Result is the outcome of one application run: the autonomic event log
+// plus the sampled series that the paper's figures plot.
+type Result struct {
+	Log        *trace.Log
+	Throughput *metrics.Series // completed tasks/s (modelled)
+	InputRate  *metrics.Series // tasks/s offered to the main farm
+	Cores      *metrics.Series // allocated core slots (Fig. 4 bottom graph)
+	Workers    *metrics.Series // farm parallelism degree
+	Completed  int
+	Elapsed    time.Duration // wall-clock duration of the run
+	Final      contract.Snapshot
+}
+
+// App is a runnable behavioural-skeleton application: a stream source, a
+// body of behavioural skeletons, a sink, the manager hierarchy and the
+// optional multi-concern coordination.
+type App struct {
+	Name     string
+	Env      skel.Env
+	Platform *grid.Platform
+	Log      *trace.Log
+
+	Root        *BS
+	RootManager *manager.Manager
+	Source      *skel.Source
+	Sink        *skel.Sink
+	FarmABC     *abc.FarmABC // the principal farm, when the app has one
+	Auditor     *security.Auditor
+
+	Security  *manager.SecurityManager
+	GM        *manager.GeneralManager
+	Fault     *manager.FaultManager
+	Migration *manager.MigrationManager
+
+	// SamplePeriod is the sampling period of the result series in clock
+	// time (already scaled). Default 50ms.
+	SamplePeriod time.Duration
+	// Grace is how long to keep managers running after the sink finishes,
+	// letting end-of-stream events (rebalance, endStream) surface.
+	Grace time.Duration
+
+	stages        []skel.Stage
+	startSecurity bool
+}
+
+// Contract installs the top-level SLA on the root manager (propagating
+// sub-contracts down the hierarchy).
+func (a *App) Contract(c contract.Contract) error {
+	if a.RootManager == nil {
+		return errors.New("core: application has no root manager")
+	}
+	return a.RootManager.AssignContract(c)
+}
+
+// ComponentTree returns the root of the GCM component view.
+func (a *App) ComponentTree() component.Component {
+	if a.Root == nil {
+		return nil
+	}
+	return a.Root.Component
+}
+
+// Run executes the application to stream completion and returns the
+// collected result. It is synchronous and may be called once.
+func (a *App) Run() (*Result, error) {
+	if len(a.stages) == 0 || a.Sink == nil {
+		return nil, errors.New("core: application is not assembled")
+	}
+	sample := a.SamplePeriod
+	if sample <= 0 {
+		sample = 50 * time.Millisecond
+	}
+	clock := a.Env.Clock
+	if clock == nil {
+		return nil, errors.New("core: application needs a clock")
+	}
+
+	res := &Result{
+		Log:        a.Log,
+		Throughput: metrics.NewSeries("throughput"),
+		InputRate:  metrics.NewSeries("input rate"),
+		Cores:      metrics.NewSeries("cores"),
+		Workers:    metrics.NewSeries("workers"),
+	}
+
+	if a.RootManager != nil {
+		a.RootManager.StartTree()
+		defer a.RootManager.StopTree()
+	}
+	if a.Security != nil && a.startSecurity {
+		a.Security.Start()
+		defer a.Security.Stop()
+	}
+	if a.Fault != nil {
+		a.Fault.Start()
+		defer a.Fault.Stop()
+	}
+	if a.Migration != nil {
+		a.Migration.Start()
+		defer a.Migration.Stop()
+	}
+
+	// Sampler.
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		ticker := clock.NewTicker(sample)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case now := <-ticker.C():
+				res.Throughput.Append(now, a.Sink.Rate())
+				if a.FarmABC != nil {
+					st := a.FarmABC.Stats()
+					res.InputRate.Append(now, st.ArrivalRate)
+					res.Workers.Append(now, float64(st.Workers))
+				}
+				if a.Platform != nil {
+					res.Cores.Append(now, float64(a.Platform.RM.CoresInUse()))
+				}
+			}
+		}
+	}()
+
+	pipe, err := skel.NewPipe(a.Name, 16, a.stages...)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pipe.Run(nil, nil)
+	<-a.Sink.Done()
+	if a.Grace > 0 {
+		clock.Sleep(a.Grace)
+	}
+	res.Elapsed = time.Since(start)
+	close(stopSample)
+	<-sampleDone
+
+	res.Completed = a.Sink.Consumed()
+	if a.FarmABC != nil {
+		res.Final = a.FarmABC.Snapshot()
+	} else if a.RootManager != nil {
+		res.Final = a.RootManager.Controller().Snapshot()
+	}
+	return res, nil
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/contract"
+	"repro/internal/grid"
+	"repro/internal/manager"
+	"repro/internal/planner"
+	"repro/internal/security"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// throughputLo extracts the lower throughput bound of a contract (walking
+// conjunctions); ok is false when the contract has no throughput part.
+func throughputLo(c contract.Contract) (float64, bool) {
+	switch c := c.(type) {
+	case contract.ThroughputRange:
+		return c.Lo, true
+	case contract.Conjunction:
+		for _, sub := range c {
+			if lo, ok := throughputLo(sub); ok {
+				return lo, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// FarmAppConfig parameterizes a single-farm behavioural-skeleton
+// application (the Fig. 3 experiment and the §3.2 multi-concern scenario).
+type FarmAppConfig struct {
+	Name     string
+	Env      skel.Env
+	Platform *grid.Platform
+	Log      *trace.Log
+
+	// Tasks is the stream length; TaskWork the per-task nominal service
+	// time; SourceInterval the task inter-arrival period (modelled).
+	Tasks          int
+	TaskWork       time.Duration
+	SourceInterval time.Duration
+	// Payload sizes each task's payload in bytes (0 = 64).
+	Payload int
+
+	// Fn is the worker function (nil = identity).
+	Fn skel.Fn
+
+	InitialWorkers int
+	// AutoDegree derives InitialWorkers from the task-farm performance
+	// model (internal/planner) instead of starting cold: the §3 "initial
+	// parallelism degree set-up" policy.
+	AutoDegree bool
+	Limits     manager.FarmLimits
+	// Contract is the farm SLA (default throughput >= 0.6, the Fig. 3
+	// contract).
+	Contract contract.Contract
+
+	// Period is the manager control-loop period in modelled time
+	// (default 1s); SamplePeriod the series sampling period (default
+	// 0.5s modelled).
+	Period       time.Duration
+	SamplePeriod time.Duration
+	// WarmUp suppresses manager rule firing for this long (modelled)
+	// after start, letting the sliding-window sensors fill before the
+	// manager acts. Default: 10s (one rate-meter window); negative
+	// disables it.
+	WarmUp time.Duration
+
+	// Coordination selects the multi-concern scheme; Unmanaged disables
+	// the security manager (the single-concern experiments). WithSecurity
+	// must be set for TwoPhase/Reactive to take effect.
+	WithSecurity bool
+	Coordination manager.CoordinationMode
+	// Handshake is the simulated SSL session setup latency (modelled).
+	Handshake time.Duration
+	// SecurityPeriod is the reactive security manager's control-loop
+	// period — its reaction latency to an unsecured binding (default:
+	// Period). The §3.2 hazard window is exactly this long.
+	SecurityPeriod time.Duration
+
+	// WithFaultTolerance attaches a fault-tolerance manager (C_ft) that
+	// detects crashed workers, redistributes their stranded tasks and
+	// replaces them. FaultPeriod is its detection latency (default:
+	// Period/2).
+	WithFaultTolerance bool
+	FaultPeriod        time.Duration
+
+	// WithMigration attaches a migration manager that moves workers off
+	// nodes whose external load exceeds MigrationMaxLoad (default 0.5).
+	WithMigration    bool
+	MigrationMaxLoad float64
+	MigrationPeriod  time.Duration
+}
+
+func (cfg *FarmAppConfig) normalize() error {
+	if cfg.Name == "" {
+		cfg.Name = "farmapp"
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = grid.NewSMP(8)
+	}
+	if cfg.Log == nil {
+		cfg.Log = trace.NewLog()
+	}
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 100
+	}
+	if cfg.TaskWork <= 0 {
+		cfg.TaskWork = 1600 * time.Millisecond
+	}
+	if cfg.SourceInterval < 0 {
+		return fmt.Errorf("core: negative source interval")
+	}
+	if cfg.Payload <= 0 {
+		cfg.Payload = 64
+	}
+	if cfg.InitialWorkers <= 0 {
+		cfg.InitialWorkers = 1
+	}
+	if cfg.Contract == nil {
+		cfg.Contract = contract.MinThroughput(0.6)
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = time.Second
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 500 * time.Millisecond
+	}
+	return nil
+}
+
+// scaled converts a modelled duration into clock time under the config's
+// time scale.
+func scaled(env skel.Env, d time.Duration) time.Duration {
+	s := env.TimeScale
+	if s <= 0 {
+		s = 1
+	}
+	out := time.Duration(float64(d) / s)
+	if out <= 0 {
+		out = time.Millisecond
+	}
+	return out
+}
+
+// NewFarmApp assembles source -> farm BS -> sink with a single autonomic
+// manager AM_F responsible for the performance concern, optionally under
+// multi-concern coordination with a security manager.
+func NewFarmApp(cfg FarmAppConfig) (*App, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	env := cfg.Env
+	clock := env.Clock
+	if clock == nil {
+		return nil, fmt.Errorf("core: farm app needs a clock (set Env.Clock)")
+	}
+
+	var auditor *security.Auditor
+	var pol *security.Policy
+	if cfg.WithSecurity {
+		auditor = security.NewAuditor()
+		pol = &security.Policy{Network: cfg.Platform.Network}
+	}
+
+	if cfg.AutoDegree {
+		lo, _ := throughputLo(cfg.Contract)
+		if lo > 0 {
+			plan, err := planner.PlanFarm(cfg.Platform.RM, grid.Request{}, lo, cfg.TaskWork)
+			if err != nil {
+				return nil, err
+			}
+			if plan.Degree > 0 {
+				cfg.InitialWorkers = plan.Degree
+				if max := cfg.Limits.MaxWorkers; max > 0 && cfg.InitialWorkers > max {
+					cfg.InitialWorkers = max
+				}
+			}
+		}
+	}
+
+	payload := make([]byte, cfg.Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	source := skel.NewSource(cfg.Name+".source", env, cfg.Tasks, cfg.SourceInterval,
+		func(i int) *skel.Task {
+			return &skel.Task{Work: cfg.TaskWork, Payload: append([]byte(nil), payload...)}
+		})
+	farm, err := skel.NewFarm(skel.FarmConfig{
+		Name:           cfg.Name + ".farm",
+		Env:            env,
+		Fn:             cfg.Fn,
+		RM:             cfg.Platform.RM,
+		InitialWorkers: cfg.InitialWorkers,
+		Policy:         pol,
+		Auditor:        auditor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sink := skel.NewSink(cfg.Name+".sink", env, nil)
+
+	farmABC := abc.NewFarmABC(farm, auditor)
+	amF, err := manager.NewFarmManager("AM_F", farmABC, cfg.Log, clock,
+		scaled(env, cfg.Period), cfg.Limits)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.WarmUp > 0:
+		amF.SetWarmUp(scaled(env, cfg.WarmUp))
+	case cfg.WarmUp == 0:
+		amF.SetWarmUp(scaled(env, 10*time.Second))
+	}
+
+	app := &App{
+		Name:         cfg.Name,
+		Env:          env,
+		Platform:     cfg.Platform,
+		Log:          cfg.Log,
+		RootManager:  amF,
+		Source:       source,
+		Sink:         sink,
+		FarmABC:      farmABC,
+		Auditor:      auditor,
+		SamplePeriod: scaled(env, cfg.SamplePeriod),
+		Grace:        scaled(env, 2*cfg.Period),
+		stages:       []skel.Stage{source, farm, sink},
+	}
+	app.Root = &BS{
+		Pattern:    FarmPattern,
+		Component:  newBSComponent(cfg.Name+".farmBS", amF, farmABC),
+		Manager:    amF,
+		Controller: farmABC,
+		Stage:      farm,
+	}
+
+	if cfg.WithSecurity {
+		secPeriod := cfg.SecurityPeriod
+		if secPeriod <= 0 {
+			secPeriod = cfg.Period
+		}
+		sec, err := manager.NewSecurityManager(manager.SecurityConfig{
+			Clock:     clock,
+			Log:       cfg.Log,
+			Policy:    *pol,
+			Handshake: scaled(env, cfg.Handshake),
+			Period:    scaled(env, secPeriod),
+		})
+		if err != nil {
+			return nil, err
+		}
+		gm, err := manager.NewGeneralManager("GM", sec, cfg.Log, clock, cfg.Coordination)
+		if err != nil {
+			return nil, err
+		}
+		gm.Coordinate(farmABC)
+		app.Security = sec
+		app.GM = gm
+		app.startSecurity = cfg.Coordination == manager.Reactive
+	}
+
+	if cfg.WithFaultTolerance {
+		fp := cfg.FaultPeriod
+		if fp <= 0 {
+			fp = cfg.Period / 2
+		}
+		ft, err := manager.NewFaultManager(manager.FaultConfig{
+			Clock:  clock,
+			Log:    cfg.Log,
+			Period: scaled(env, fp),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ft.Watch(farmABC)
+		app.Fault = ft
+	}
+
+	if cfg.WithMigration {
+		mp := cfg.MigrationPeriod
+		if mp <= 0 {
+			mp = cfg.Period / 2
+		}
+		mig, err := manager.NewMigrationManager(manager.MigrationConfig{
+			Clock:   clock,
+			Log:     cfg.Log,
+			MaxLoad: cfg.MigrationMaxLoad,
+			Period:  scaled(env, mp),
+		})
+		if err != nil {
+			return nil, err
+		}
+		mig.Watch(farmABC)
+		app.Migration = mig
+	}
+
+	if err := app.Contract(cfg.Contract); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// PipelineAppConfig parameterizes the three-stage pipeline of the Fig. 4
+// experiment: pipe(producer, farm(filter), consumer) with the four-manager
+// hierarchy AM_A / AM_P / AM_F / AM_C.
+type PipelineAppConfig struct {
+	Name     string
+	Env      skel.Env
+	Platform *grid.Platform
+	Log      *trace.Log
+
+	Tasks int
+	// ProducerInterval is the producer's initial emission period; the
+	// Fig. 4 run starts with it too slow (notEnough) on purpose.
+	ProducerInterval time.Duration
+	// FilterWork is the per-task cost of the parallel (farm) stage;
+	// ConsumerWork the per-task cost of the display stage.
+	FilterWork   time.Duration
+	ConsumerWork time.Duration
+	Payload      int
+
+	InitialWorkers int
+	Limits         manager.FarmLimits
+	// Contract is the application SLA c_tRange (default 0.3 - 0.7
+	// tasks/s as in the paper).
+	Contract contract.ThroughputRange
+	// Step is the incRate/decRate multiplicative factor.
+	Step float64
+	// RulesDriven stores the application manager's reaction policy as
+	// DRL rules (rules.PipeRuleSource) instead of the built-in Go policy;
+	// behaviour is equivalent (§4.2: "the policies are stored as JBoss
+	// rules").
+	RulesDriven bool
+
+	Period       time.Duration
+	SamplePeriod time.Duration
+}
+
+func (cfg *PipelineAppConfig) normalize() {
+	if cfg.Name == "" {
+		cfg.Name = "pipeapp"
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = grid.NewSMP(8)
+	}
+	if cfg.Log == nil {
+		cfg.Log = trace.NewLog()
+	}
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 120
+	}
+	if cfg.ProducerInterval <= 0 {
+		cfg.ProducerInterval = 5 * time.Second // 0.2 tasks/s: below contract
+	}
+	if cfg.FilterWork <= 0 {
+		cfg.FilterWork = 4 * time.Second
+	}
+	if cfg.ConsumerWork <= 0 {
+		cfg.ConsumerWork = 200 * time.Millisecond
+	}
+	if cfg.Payload <= 0 {
+		cfg.Payload = 64
+	}
+	if cfg.InitialWorkers <= 0 {
+		cfg.InitialWorkers = 3
+	}
+	if cfg.Contract == (contract.ThroughputRange{}) {
+		cfg.Contract = contract.ThroughputRange{Lo: 0.3, Hi: 0.7}
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = time.Second
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 500 * time.Millisecond
+	}
+}
+
+// NewPipelineApp assembles the Fig. 4 application and its manager
+// hierarchy.
+func NewPipelineApp(cfg PipelineAppConfig) (*App, error) {
+	cfg.normalize()
+	env := cfg.Env
+	clock := env.Clock
+	if clock == nil {
+		return nil, fmt.Errorf("core: pipeline app needs a clock (set Env.Clock)")
+	}
+	rm := cfg.Platform.RM
+
+	// Producer and consumer each occupy one core of the platform for the
+	// whole run (the Fig. 4 resource accounting: 3 farm workers + 2 = 5).
+	prodNode, err := rm.Recruit(grid.Request{})
+	if err != nil {
+		return nil, fmt.Errorf("core: placing producer: %w", err)
+	}
+	consNode, err := rm.Recruit(grid.Request{})
+	if err != nil {
+		return nil, fmt.Errorf("core: placing consumer: %w", err)
+	}
+
+	payload := make([]byte, cfg.Payload)
+	source := skel.NewSource(cfg.Name+".producer", env, cfg.Tasks, cfg.ProducerInterval,
+		func(i int) *skel.Task {
+			return &skel.Task{Work: cfg.FilterWork, Payload: append([]byte(nil), payload...)}
+		})
+	farm, err := skel.NewFarm(skel.FarmConfig{
+		Name:           cfg.Name + ".filter",
+		Env:            env,
+		RM:             rm,
+		InitialWorkers: cfg.InitialWorkers,
+		// Tasks leave the filter carrying the display cost, so the
+		// consumer stage charges ConsumerWork, not FilterWork.
+		Fn: func(t *skel.Task) *skel.Task {
+			t.Work = cfg.ConsumerWork
+			return t
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	consumer := skel.NewSeq(cfg.Name+".consumer", env, consNode, nil)
+	sink := skel.NewSink(cfg.Name+".sink", env, nil)
+
+	sourceABC := abc.NewSourceABC(source)
+	farmABC := abc.NewFarmABC(farm, nil)
+	consABC := abc.NewSeqABC(consumer)
+	pipeABC := abc.NewPipeABC(sourceABC, abc.NewSinkABC(sink))
+
+	period := scaled(env, cfg.Period)
+	amP, err := manager.NewSourceManager("AM_P", sourceABC, cfg.Log, clock, period)
+	if err != nil {
+		return nil, err
+	}
+	amF, err := manager.NewFarmManager("AM_F", farmABC, cfg.Log, clock, period, cfg.Limits)
+	if err != nil {
+		return nil, err
+	}
+	amC, err := manager.NewMonitorManager("AM_C", consABC, cfg.Log, clock, period)
+	if err != nil {
+		return nil, err
+	}
+	var amA *manager.Manager
+	if cfg.RulesDriven {
+		amA, err = manager.NewRuleDrivenPipelineManager("AM_A", pipeABC, amP,
+			cfg.Step, cfg.Contract.Hi*1.2, cfg.Log, clock, period)
+	} else {
+		coord := &manager.PipelineCoordinator{Producer: amP, Step: cfg.Step, Cap: cfg.Contract.Hi * 1.2}
+		amA, err = manager.NewPipelineManager("AM_A", pipeABC, coord, cfg.Log, clock, period)
+	}
+	if err != nil {
+		return nil, err
+	}
+	amA.AttachChild(amP)
+	amA.AttachChild(amF)
+	amA.AttachChild(amC)
+
+	app := &App{
+		Name:         cfg.Name,
+		Env:          env,
+		Platform:     cfg.Platform,
+		Log:          cfg.Log,
+		RootManager:  amA,
+		Source:       source,
+		Sink:         sink,
+		FarmABC:      farmABC,
+		SamplePeriod: scaled(env, cfg.SamplePeriod),
+		Grace:        scaled(env, 3*cfg.Period),
+		stages:       []skel.Stage{source, farm, consumer, sink},
+	}
+
+	// GCM component view: pipe BS containing the three stage BSs.
+	pipeBS := &BS{
+		Pattern:    PipePattern,
+		Component:  newBSComponent(cfg.Name+".pipeBS", amA, pipeABC),
+		Manager:    amA,
+		Controller: pipeABC,
+	}
+	prodBS := &BS{Pattern: SeqPattern, Component: newBSComponent(cfg.Name+".producerBS", amP, sourceABC), Manager: amP, Controller: sourceABC, Stage: source}
+	farmBS := &BS{Pattern: FarmPattern, Component: newBSComponent(cfg.Name+".filterBS", amF, farmABC), Manager: amF, Controller: farmABC, Stage: farm}
+	consBS := &BS{Pattern: SeqPattern, Component: newBSComponent(cfg.Name+".consumerBS", amC, consABC), Manager: amC, Controller: consABC, Stage: consumer}
+	for _, child := range []*BS{prodBS, farmBS, consBS} {
+		pipeBS.Children = append(pipeBS.Children, child)
+		if err := pipeBS.Component.Membrane().Content().AddChild(child.Component); err != nil {
+			return nil, err
+		}
+	}
+	app.Root = pipeBS
+	_ = prodNode // held for the duration of the app (resource accounting)
+
+	if err := app.Contract(cfg.Contract); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// BuildFromExpr assembles an application from a skeleton expression. The
+// supported shapes are the ones the paper evaluates:
+//
+//	farm(seq)                  -> NewFarmApp
+//	pipe(seq, farm(seq), seq)  -> NewPipelineApp (any pipe whose stages
+//	                              are seq or farm(seq); the first and last
+//	                              stages become producer and consumer)
+//
+// Deeper nestings (farm over pipelines) are modelled at the management
+// layer (manager hierarchies support arbitrary trees) but not by this
+// stream runtime; they are rejected with a descriptive error.
+func BuildFromExpr(expr string, farmCfg FarmAppConfig, pipeCfg PipelineAppConfig) (*App, error) {
+	spec, err := ParseExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.Normalize()
+	switch spec.Kind {
+	case FarmPattern:
+		if spec.Children[0].Kind != SeqPattern {
+			return nil, fmt.Errorf("core: farm over %s is not supported by the stream runtime (only farm(seq))", spec.Children[0])
+		}
+		return NewFarmApp(farmCfg)
+	case PipePattern:
+		farms := 0
+		for _, c := range spec.Children {
+			switch {
+			case c.Kind == SeqPattern:
+			case c.Kind == FarmPattern && c.Children[0].Kind == SeqPattern:
+				farms++
+			default:
+				return nil, fmt.Errorf("core: pipeline stage %s is not supported by the stream runtime", c)
+			}
+		}
+		if farms != 1 {
+			return nil, fmt.Errorf("core: pipeline runtime supports exactly one farm stage, found %d", farms)
+		}
+		return NewPipelineApp(pipeCfg)
+	default:
+		return nil, fmt.Errorf("core: a bare seq has nothing to manage; wrap it in farm(...) or pipe(...)")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/grid"
+	"repro/internal/manager"
+)
+
+func TestThroughputLo(t *testing.T) {
+	if lo, ok := throughputLo(contract.ThroughputRange{Lo: 0.4, Hi: 0.9}); !ok || lo != 0.4 {
+		t.Fatalf("direct = %v/%v", lo, ok)
+	}
+	conj := contract.Conjunction{contract.SecureComms{}, contract.MinThroughput(0.7)}
+	if lo, ok := throughputLo(conj); !ok || lo != 0.7 {
+		t.Fatalf("conjunction = %v/%v", lo, ok)
+	}
+	if _, ok := throughputLo(contract.BestEffort{}); ok {
+		t.Fatal("best-effort has no throughput bound")
+	}
+}
+
+func TestFarmAppDefaultsAndErrors(t *testing.T) {
+	// Negative source interval is rejected.
+	if _, err := NewFarmApp(FarmAppConfig{Env: fastEnv(1000), SourceInterval: -time.Second}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	// All defaults: app builds and carries the Fig. 3 contract.
+	app, err := NewFarmApp(FarmAppConfig{Env: fastEnv(1000), Tasks: 1, TaskWork: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := app.RootManager.Contract().(contract.ThroughputRange)
+	if !ok || tr.Lo != 0.6 || !math.IsInf(tr.Hi, 1) {
+		t.Fatalf("default contract = %v", app.RootManager.Contract())
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFarmAppAutoDegree(t *testing.T) {
+	app, err := NewFarmApp(FarmAppConfig{
+		Env:        fastEnv(1000),
+		Platform:   grid.NewSMP(12),
+		Tasks:      1,
+		TaskWork:   6400 * time.Millisecond,
+		AutoDegree: true,
+		Contract:   contract.MinThroughput(0.6),
+		WarmUp:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model wants 4 workers before the stream even starts.
+	deadline := time.Now().Add(5 * time.Second)
+	go app.Run()
+	for len(app.FarmABC.Workers()) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto degree gave %d workers, want 4", len(app.FarmABC.Workers()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFarmAppAutoDegreeCappedByLimits(t *testing.T) {
+	app, err := NewFarmApp(FarmAppConfig{
+		Env:        fastEnv(1000),
+		Platform:   grid.NewSMP(12),
+		Tasks:      1,
+		TaskWork:   6400 * time.Millisecond,
+		AutoDegree: true,
+		Contract:   contract.MinThroughput(0.6),
+		Limits:     manager.FarmLimits{MaxWorkers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := res.Workers.Points(); len(first) > 0 && first[0].V > 2 {
+		t.Fatalf("limits ignored: started with %v workers", first[0].V)
+	}
+}
+
+func TestFarmAppAutoDegreeWithoutThroughputContract(t *testing.T) {
+	// AutoDegree with a best-effort contract is a no-op, not an error.
+	app, err := NewFarmApp(FarmAppConfig{
+		Env: fastEnv(1000), Tasks: 1, TaskWork: time.Millisecond,
+		AutoDegree: true, Contract: contract.BestEffort{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

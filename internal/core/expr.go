@@ -1,0 +1,205 @@
+// Package core assembles behavioural skeletons: the pairs <P, M_C> of a
+// parallelism-exploitation pattern and an autonomic manager that are the
+// paper's central contribution. It offers a small skeleton-expression
+// language (farm(pipe(seq, farm(seq), seq)) and friends), application
+// builders that wire skeleton runtime + ABC + manager hierarchy + GCM
+// component tree together, and a runner that samples the series plotted in
+// the paper's figures.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PatternKind is the parallelism pattern P of a behavioural skeleton.
+type PatternKind int
+
+// Pattern kinds.
+const (
+	SeqPattern PatternKind = iota
+	FarmPattern
+	PipePattern
+)
+
+// String implements fmt.Stringer.
+func (k PatternKind) String() string {
+	switch k {
+	case SeqPattern:
+		return "seq"
+	case FarmPattern:
+		return "farm"
+	default:
+		return "pipe"
+	}
+}
+
+// Spec is a parsed skeleton expression node.
+type Spec struct {
+	Kind     PatternKind
+	Children []*Spec
+}
+
+// String renders the spec back in expression syntax.
+func (s *Spec) String() string {
+	switch s.Kind {
+	case SeqPattern:
+		return "seq"
+	case FarmPattern:
+		return fmt.Sprintf("farm(%s)", s.Children[0])
+	default:
+		parts := make([]string, len(s.Children))
+		for i, c := range s.Children {
+			parts[i] = c.String()
+		}
+		return fmt.Sprintf("pipe(%s)", strings.Join(parts, ","))
+	}
+}
+
+// Stages counts the leaf (sequential) computations of the expression.
+func (s *Spec) Stages() int {
+	if s.Kind == SeqPattern {
+		return 1
+	}
+	n := 0
+	for _, c := range s.Children {
+		n += c.Stages()
+	}
+	return n
+}
+
+// ParseExpr parses a skeleton expression:
+//
+//	expr := "seq" | "farm" "(" expr ")" | "pipe" "(" expr ("," expr)* ")"
+//
+// "pipeline" is accepted as an alias of "pipe". Whitespace is free.
+func ParseExpr(src string) (*Spec, error) {
+	p := &exprParser{src: src}
+	spec, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("core: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return spec, nil
+}
+
+// MustParseExpr is ParseExpr panicking on error.
+func MustParseExpr(src string) *Spec {
+	s, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) word() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *exprParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("core: expected %q at offset %d in %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *exprParser) parse() (*Spec, error) {
+	p.skipSpace()
+	w := strings.ToLower(p.word())
+	switch w {
+	case "seq", "sequential":
+		return &Spec{Kind: SeqPattern}, nil
+	case "farm":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		inner, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &Spec{Kind: FarmPattern, Children: []*Spec{inner}}, nil
+	case "pipe", "pipeline":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var children []*Spec
+		for {
+			child, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(children) == 0 {
+			return nil, fmt.Errorf("core: empty pipeline")
+		}
+		return &Spec{Kind: PipePattern, Children: children}, nil
+	case "":
+		return nil, fmt.Errorf("core: expected skeleton at offset %d in %q", p.pos, p.src)
+	default:
+		return nil, fmt.Errorf("core: unknown skeleton %q (want seq, farm or pipe)", w)
+	}
+}
+
+// Normalize flattens nested pipelines (pipe(pipe(a,b),c) == pipe(a,b,c))
+// and collapses single-stage pipelines, which are semantically identical
+// for both the runtime and the manager hierarchy.
+func (s *Spec) Normalize() *Spec {
+	switch s.Kind {
+	case SeqPattern:
+		return s
+	case FarmPattern:
+		return &Spec{Kind: FarmPattern, Children: []*Spec{s.Children[0].Normalize()}}
+	default:
+		var flat []*Spec
+		for _, c := range s.Children {
+			n := c.Normalize()
+			if n.Kind == PipePattern {
+				flat = append(flat, n.Children...)
+			} else {
+				flat = append(flat, n)
+			}
+		}
+		if len(flat) == 1 {
+			return flat[0]
+		}
+		return &Spec{Kind: PipePattern, Children: flat}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/grid"
+	"repro/internal/manager"
+	"repro/internal/trace"
+)
+
+func TestNewStreamAppValidation(t *testing.T) {
+	if _, err := NewStreamApp(StreamAppConfig{}); err == nil {
+		t.Fatal("stream app without clock accepted")
+	}
+	if _, err := NewStreamApp(StreamAppConfig{Env: fastEnv(100)}); err == nil {
+		t.Fatal("stream app without stages accepted")
+	}
+	if _, err := NewStreamApp(StreamAppConfig{
+		Env:    fastEnv(100),
+		Stages: []StageSpec{{Kind: StageKind(99)}},
+	}); err == nil {
+		t.Fatal("unknown stage kind accepted")
+	}
+}
+
+func TestStreamAppRunsMultiFarmPipeline(t *testing.T) {
+	env := fastEnv(500)
+	log := trace.NewLog()
+	app, err := NewStreamApp(StreamAppConfig{
+		Name:           "multi",
+		Env:            env,
+		Platform:       grid.NewSMP(16),
+		Log:            log,
+		Tasks:          60,
+		SourceInterval: 2 * time.Second,
+		Stages: []StageSpec{
+			{Name: "prep", Kind: StageSeq, Work: time.Second},
+			{Name: "heavy", Kind: StageFarm, Work: 8 * time.Second, Workers: 3,
+				Limits: manager.FarmLimits{MaxWorkers: 8}},
+			{Name: "post", Kind: StageFarm, Work: 3 * time.Second, Workers: 2,
+				Limits: manager.FarmLimits{MaxWorkers: 4}},
+		},
+		Contract: contract.ThroughputRange{Lo: 0.3, Hi: 0.7},
+		Period:   3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manager hierarchy: AM_A with AM_P + 3 stage managers.
+	kids := app.RootManager.Children()
+	if len(kids) != 4 {
+		t.Fatalf("manager children = %d, want 4", len(kids))
+	}
+	names := map[string]bool{}
+	for _, k := range kids {
+		names[k.Name()] = true
+	}
+	for _, want := range []string{"AM_P", "AM_S0", "AM_F", "AM_F1"} {
+		if !names[want] {
+			t.Fatalf("missing manager %s (have %v)", want, names)
+		}
+	}
+	res, err := app.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 60 {
+		t.Fatalf("completed %d/60", res.Completed)
+	}
+	// Both farm managers received (split) contracts.
+	if log.Count("AM_F", trace.NewContr) == 0 || log.Count("AM_F1", trace.NewContr) == 0 {
+		t.Fatalf("farm managers missing contracts:\n%s", log.Timeline())
+	}
+	// BS/component tree mirrors the stage structure (source + 3 stages).
+	if len(app.Root.Children) != 4 {
+		t.Fatalf("BS children = %d", len(app.Root.Children))
+	}
+}
+
+func TestStageSpecFarmize(t *testing.T) {
+	s := StageSpec{Name: "cons", Kind: StageSeq, Work: time.Second}
+	f := s.Farmize(3)
+	if f.Kind != StageFarm || f.Workers != 3 {
+		t.Fatalf("farmized = %+v", f)
+	}
+	if s.Kind != StageSeq {
+		t.Fatal("Farmize mutated the receiver")
+	}
+	d := s.Farmize(0)
+	if d.Workers != 2 {
+		t.Fatalf("default degree = %d, want 2", d.Workers)
+	}
+	e := StageSpec{Kind: StageSeq, Workers: 5}.Farmize(0)
+	if e.Workers != 5 {
+		t.Fatalf("existing degree overridden: %d", e.Workers)
+	}
+}
+
+func TestStreamAppPerStageWork(t *testing.T) {
+	// A pipeline where each stage has its own cost: stage rates must
+	// reflect the per-stage Work, not the task's (zero) Work.
+	env := fastEnv(1000)
+	app, err := NewStreamApp(StreamAppConfig{
+		Env:            env,
+		Platform:       grid.NewSMP(8),
+		Tasks:          20,
+		SourceInterval: 100 * time.Millisecond,
+		Stages: []StageSpec{
+			{Name: "fast", Kind: StageSeq, Work: 10 * time.Millisecond},
+			{Name: "slow", Kind: StageFarm, Work: 300 * time.Millisecond, Workers: 2},
+		},
+		Contract: contract.ThroughputRange{Lo: 0.01, Hi: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 {
+		t.Fatalf("completed %d/20", res.Completed)
+	}
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/trace"
+)
+
+// The experiment harnesses are exercised here at a high time scale (the
+// benches at the repository root run them at the reporting scale).
+
+func TestFig3Harness(t *testing.T) {
+	var buf strings.Builder
+	res, err := Fig3(Options{Scale: 500, Tasks: 120, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 120 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	// Fig. 3 shape: the farm must have grown and crossed the contract.
+	if res.Throughput.Max() < 0.6 {
+		t.Fatalf("throughput max %.3f < contract", res.Throughput.Max())
+	}
+	if res.Workers.Max() < 4 {
+		t.Fatalf("needed >=4 workers, saw %.0f", res.Workers.Max())
+	}
+	if res.Log.Count("AM_F", trace.AddWorker) < 3 {
+		t.Fatalf("addWorker events = %d", res.Log.Count("AM_F", trace.AddWorker))
+	}
+	out := buf.String()
+	for _, frag := range []string{"Fig. 3", "contract 0.6", "addWorker"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig4Harness(t *testing.T) {
+	var buf strings.Builder
+	res, err := Fig4(Options{Scale: 500, Tasks: 120, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 120 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	log := res.Log
+	// The Fig. 4 narrative, phase by phase.
+	checks := []struct {
+		source string
+		kind   trace.Kind
+		min    int
+	}{
+		{"AM_F", trace.ContrLow, 1},
+		{"AM_F", trace.NotEnough, 1},
+		{"AM_F", trace.RaiseViol, 1},
+		{"AM_A", trace.IncRate, 1},
+		{"AM_F", trace.AddWorker, 1},
+		{"AM_A", trace.EndStream, 1},
+	}
+	for _, c := range checks {
+		if got := log.Count(c.source, c.kind); got < c.min {
+			t.Errorf("%s/%s events = %d, want >= %d", c.source, c.kind, got, c.min)
+		}
+	}
+	if t.Failed() {
+		t.Logf("timeline:\n%s", log.Timeline())
+	}
+	if res.Throughput.Max() < 0.3 {
+		t.Fatalf("throughput never entered the stripe: %.3f", res.Throughput.Max())
+	}
+	out := buf.String()
+	for _, frag := range []string{"graph 1", "graph 2", "graph 3", "graph 4", "AM_A", "AM_F"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q", frag)
+		}
+	}
+}
+
+func TestExtLoadHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := ExtLoad(Options{Scale: 500, Tasks: 150, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 150 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.InjectedAt.IsZero() {
+		t.Fatal("load was never injected")
+	}
+	// The manager must react to the slowdown by adding workers.
+	if res.AddsAfterSpike == 0 {
+		t.Fatalf("no addWorker after the load spike:\n%s", res.Log.Timeline())
+	}
+	if res.WorkersAfter <= res.WorkersBefore {
+		t.Fatalf("pool did not grow: %d -> %d", res.WorkersBefore, res.WorkersAfter)
+	}
+	if !strings.Contains(buf.String(), "EXT-LOAD") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestMultiConcernHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := MultiConcern(Options{Scale: 500, Tasks: 150, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMode := map[manager.CoordinationMode]SecRow{}
+	for _, r := range res.Rows {
+		byMode[r.Mode] = r
+		if r.Completed != 150 {
+			t.Fatalf("%s completed %d", r.Mode, r.Completed)
+		}
+		if r.UntrustedHosts == 0 {
+			t.Fatalf("%s never grew into the untrusted domain", r.Mode)
+		}
+	}
+	if byMode[manager.TwoPhase].Leaks != 0 {
+		t.Fatalf("two-phase leaked %d", byMode[manager.TwoPhase].Leaks)
+	}
+	if byMode[manager.Reactive].Leaks == 0 {
+		t.Fatal("reactive scheme leaked nothing; §3.2 hazard did not reproduce")
+	}
+	if byMode[manager.Unmanaged].SecuredMsgs != 0 {
+		t.Fatal("unmanaged run secured traffic")
+	}
+	if byMode[manager.TwoPhase].SecuredMsgs == 0 {
+		t.Fatal("two-phase run secured nothing")
+	}
+	// Boolean-priority check (EXT-PRIO): with leaks the conjunction is
+	// Violated regardless of throughput.
+	if v := byMode[manager.Reactive].ContractVerdict.String(); v != "violated" {
+		t.Fatalf("reactive verdict = %s, want violated (security priority)", v)
+	}
+	if !strings.Contains(buf.String(), "EXT-SEC") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestFaultToleranceHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := FaultTolerance(Options{Scale: 500, Tasks: 150, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 150 {
+		t.Fatalf("completed %d/150 — tasks lost to crashes", res.Completed)
+	}
+	if res.Injected == 0 {
+		t.Fatal("no crashes were injected")
+	}
+	if res.Recovered < res.Injected {
+		t.Fatalf("recovered %d of %d crashes:\n%s", res.Recovered, res.Injected, res.Log.Timeline())
+	}
+	if res.Log.Count("AM_ft", trace.WorkerFail) < res.Injected {
+		t.Fatalf("workerFail events missing:\n%s", res.Log.Timeline())
+	}
+	if !strings.Contains(buf.String(), "EXT-FT") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestFarmizeHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := Farmize(Options{Scale: 500, Tasks: 120, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base, farmized := res.Rows[0], res.Rows[1]
+	if base.Completed != 120 || farmized.Completed != 120 {
+		t.Fatalf("completions: %d / %d", base.Completed, farmized.Completed)
+	}
+	// The sequential consumer caps the pipeline below the farmized one.
+	if farmized.SteadyMean <= base.SteadyMean {
+		t.Fatalf("farmizing did not help: base %.3f vs farmized %.3f",
+			base.SteadyMean, farmized.SteadyMean)
+	}
+	// The farmized variant must clear the 0.3 bound in steady state.
+	if farmized.SteadyMean < 0.3 {
+		t.Fatalf("farmized steady throughput %.3f below contract", farmized.SteadyMean)
+	}
+	if !strings.Contains(buf.String(), "EXT-FARMIZE") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestMigrationHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := Migration(Options{Scale: 500, Tasks: 180, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	add, mig := res.Rows[0], res.Rows[1]
+	if add.Completed != 180 || mig.Completed != 180 {
+		t.Fatalf("completions: %d / %d", add.Completed, mig.Completed)
+	}
+	if mig.Migrations == 0 {
+		t.Fatalf("migration strategy never migrated:\n%s", res.Logs["migrate"].Timeline())
+	}
+	if add.Migrations != 0 {
+		t.Fatal("baseline strategy migrated")
+	}
+	// Migration must not need more peak cores than pure pool growth.
+	if mig.PeakCores > add.PeakCores {
+		t.Fatalf("migration used more cores (%v) than adding (%v)", mig.PeakCores, add.PeakCores)
+	}
+	if !strings.Contains(buf.String(), "EXT-MIG") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestInitialDegreeHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := InitialDegree(Options{Scale: 500, Tasks: 120, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, model := res.Rows[0], res.Rows[1]
+	if cold.Completed != 120 || model.Completed != 120 {
+		t.Fatalf("completions: %d / %d", cold.Completed, model.Completed)
+	}
+	if model.InitialWorkers < 4 {
+		t.Fatalf("model start began with %.0f workers, want >= 4", model.InitialWorkers)
+	}
+	if cold.InitialWorkers > 2 {
+		t.Fatalf("cold start began with %.0f workers", cold.InitialWorkers)
+	}
+	if model.TimeToContract < 0 {
+		t.Fatal("model start never reached the contract")
+	}
+	// Sampling granularity (1 modelled second) plus the sliding-window
+	// lag leave a few seconds of jitter in the crossing instant.
+	const slack = 5 * time.Second
+	if cold.TimeToContract >= 0 && model.TimeToContract > cold.TimeToContract+slack {
+		t.Fatalf("model start slower (%v) than cold start (%v)",
+			model.TimeToContract, cold.TimeToContract)
+	}
+	// Allow a little measurement jitter at high time scales: the model
+	// start must not need substantially more corrections than cold.
+	if model.AddWorkers > cold.AddWorkers+2 {
+		t.Fatalf("model start needed more corrections (%d) than cold (%d)",
+			model.AddWorkers, cold.AddWorkers)
+	}
+	if !strings.Contains(buf.String(), "EXT-INIT") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestShedHarness(t *testing.T) {
+	var buf strings.Builder
+	res, err := Shed(Options{Scale: 500, Tasks: 150, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 150 {
+		t.Fatalf("completed %d/150", res.Completed)
+	}
+	if res.Removals < 3 {
+		t.Fatalf("expected shedding, got %d removals:\n%s", res.Removals, res.Log.Timeline())
+	}
+	if res.FinalWorkers >= res.InitialWorkers {
+		t.Fatalf("pool did not shrink: %d -> %d", res.InitialWorkers, res.FinalWorkers)
+	}
+	// Shedding must not undershoot below the contract's needs during the
+	// active phase (2 workers at 0.2/s each = 0.4 >= the 0.3 bound).
+	if res.FinalWorkers < 2 {
+		t.Fatalf("overshoot: shed down to %d workers", res.FinalWorkers)
+	}
+	if !strings.Contains(buf.String(), "EXT-SHED") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestContractSplitHarness(t *testing.T) {
+	var buf strings.Builder
+	rows, err := ContractSplit(Options{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Throughput pipeline split: identical sub-contracts.
+	for _, s := range rows[0].Subs {
+		if s != rows[0].Subs[0] {
+			t.Fatalf("pipeline throughput split not identical: %v", rows[0].Subs)
+		}
+	}
+	// Weighted par-degree split: middle stage gets the biggest share.
+	if !strings.Contains(rows[1].Subs[1], "pardegree:1-7") {
+		t.Fatalf("weighted middle share = %s", rows[1].Subs[1])
+	}
+	// Farm split keeps security.
+	for _, s := range rows[3].Subs {
+		if !strings.Contains(s, "secure") {
+			t.Fatalf("farm split lost security: %v", rows[3].Subs)
+		}
+	}
+	if !strings.Contains(buf.String(), "EXT-SPLIT") {
+		t.Fatal("report missing header")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// This file renders experiment results as the ASCII analogues of the
+// paper's figures: value series with contract bands, per-manager event
+// strips, and summary tables.
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}
+
+func plotStart(res *core.Result) (time.Time, bool) {
+	pts := res.Throughput.Points()
+	if len(pts) == 0 {
+		return time.Time{}, false
+	}
+	return pts[0].T, true
+}
+
+func writeFig3(w io.Writer, res *core.Result) {
+	header(w, "Fig. 3 — single AM ensuring a 0.6 task/s contract in a task farm BS")
+	fmt.Fprintf(w, "throughput (tasks/s, modelled) and parallelism degree; band = contract 0.6\n\n")
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 12, Bands: []float64{0.6},
+	}, res.Throughput))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 8,
+	}, res.Workers))
+	if start, ok := plotStart(res); ok {
+		fmt.Fprintln(w)
+		bucket := bucketFor(res, 72)
+		fmt.Fprint(w, res.Log.EventStrip("AM_F", start, 72, bucket))
+	}
+	fmt.Fprintf(w, "\ncompleted %d tasks; final throughput %.3f tasks/s with %d workers; addWorker events: %d\n",
+		res.Completed, res.Final.Throughput, res.Final.ParDegree,
+		res.Log.Count("AM_F", trace.AddWorker))
+}
+
+func writeFig4(w io.Writer, res *core.Result) {
+	header(w, "Fig. 4 — hierarchical AMs in a three-stage pipeline (contract 0.3-0.7 task/s)")
+	start, ok := plotStart(res)
+	if !ok {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	bucket := bucketFor(res, 72)
+	fmt.Fprintln(w, "graph 1: events in the top-level pipeline manager AM_A")
+	fmt.Fprint(w, res.Log.EventStrip("AM_A", start, 72, bucket))
+	fmt.Fprintln(w, "\ngraph 2: events in the farm manager AM_F")
+	fmt.Fprint(w, res.Log.EventStrip("AM_F", start, 72, bucket))
+	fmt.Fprintln(w, "\ngraph 3: input task rate (+) and stage throughput (*) vs. contract stripe")
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 12, Bands: []float64{0.3, 0.7},
+	}, res.Throughput, res.InputRate))
+	fmt.Fprintln(w, "\ngraph 4: resources (cores) used")
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 8,
+	}, res.Cores))
+	fmt.Fprintf(w, "\ncompleted %d tasks; incRate=%d decRate=%d addWorker=%d rebalance=%d endStream=%d\n",
+		res.Completed,
+		res.Log.Count("AM_A", trace.IncRate),
+		res.Log.Count("AM_A", trace.DecRate),
+		res.Log.Count("AM_F", trace.AddWorker),
+		res.Log.Count("AM_F", trace.Rebalance),
+		res.Log.Count("AM_A", trace.EndStream))
+}
+
+func writeExtLoad(w io.Writer, res *ExtLoadResult) {
+	header(w, "EXT-LOAD — external load on worker cores; the AM restores the contract")
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 12, Bands: []float64{0.6},
+	}, res.Throughput))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{Width: 72, Height: 8}, res.Workers))
+	fmt.Fprintf(w, "\nworkers before spike: %d; peak workers after: %d; addWorker reactions after spike: %d\n",
+		res.WorkersBefore, res.WorkersAfter, res.AddsAfterSpike)
+}
+
+func writeFaultTolerance(w io.Writer, res *FaultResult) {
+	header(w, "EXT-FT — autonomic fault tolerance: crashes detected, recovered, replaced")
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{
+		Width: 72, Height: 12, Bands: []float64{0.6},
+	}, res.Throughput))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.RenderSeries(trace.PlotOptions{Width: 72, Height: 8}, res.Workers))
+	fmt.Fprintf(w, "\ncrashes injected: %d; recovered: %d; replacements recruited: %d; tasks completed: %d\n",
+		res.Injected, res.Recovered, res.Replaced, res.Completed)
+}
+
+func writeMultiConcern(w io.Writer, res *MultiConcernResult) {
+	header(w, "EXT-SEC — multi-concern coordination: perf + security (§3.2)")
+	fmt.Fprintf(w, "%-12s %10s %8s %10s %10s %10s %12s %10s\n",
+		"scheme", "completed", "leaks", "secured", "total", "untrusted", "peak tp", "verdict")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-12s %10d %8d %10d %10d %10d %12.3f %10s\n",
+			r.Mode, r.Completed, r.Leaks, r.SecuredMsgs, r.TotalMsgs,
+			r.UntrustedHosts, r.PeakThroughput, r.ContractVerdict)
+	}
+	fmt.Fprintln(w, "\nexpected shape: two-phase leaks 0; reactive leaks > 0; unmanaged secures nothing.")
+}
+
+func writeSplit(w io.Writer, rows []SplitRow) {
+	header(w, "EXT-SPLIT — P_spl contract splitting heuristics (§3.1)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-45s  %s\n", r.Pattern, r.Contract)
+		for i, s := range r.Subs {
+			fmt.Fprintf(w, "%45s  child %d: %s\n", "", i, s)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// bucketFor sizes event-strip buckets so the whole run fits in width
+// columns.
+func bucketFor(res *core.Result, width int) time.Duration {
+	pts := res.Throughput.Points()
+	if len(pts) < 2 || width <= 0 {
+		return time.Second
+	}
+	span := pts[len(pts)-1].T.Sub(pts[0].T)
+	b := span / time.Duration(width)
+	if b <= 0 {
+		b = time.Millisecond
+	}
+	return b
+}

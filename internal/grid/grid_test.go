@@ -1,0 +1,220 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeValidation(t *testing.T) {
+	dom := Domain{Name: "d", Trusted: true}
+	for _, tc := range []struct {
+		cores int
+		speed float64
+	}{{0, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cores=%d speed=%v: expected panic", tc.cores, tc.speed)
+				}
+			}()
+			NewNode("n", dom, tc.cores, tc.speed)
+		}()
+	}
+}
+
+func TestNodeAllocateRelease(t *testing.T) {
+	n := NewNode("n", Domain{Name: "d"}, 2, 1.0)
+	n.Allocate()
+	n.Allocate()
+	if n.Busy() != 2 {
+		t.Fatalf("Busy = %d", n.Busy())
+	}
+	n.Release()
+	if n.Busy() != 1 {
+		t.Fatalf("Busy = %d", n.Busy())
+	}
+}
+
+func TestNodeReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNode("n", Domain{}, 1, 1).Release()
+}
+
+func TestEffectiveSpeedOversubscription(t *testing.T) {
+	n := NewNode("n", Domain{}, 2, 1.0)
+	n.Allocate()
+	n.Allocate()
+	if got := n.EffectiveSpeed(); got != 1.0 {
+		t.Fatalf("at capacity speed = %v", got)
+	}
+	n.Allocate() // 3 occupants on 2 cores
+	if got := n.EffectiveSpeed(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("oversubscribed speed = %v, want 2/3", got)
+	}
+}
+
+func TestExternalLoadSlowsNode(t *testing.T) {
+	n := NewNode("n", Domain{}, 1, 1.0)
+	base := n.ServiceTime(time.Second)
+	n.SetExternalLoad(0.5)
+	if n.ExternalLoad() != 0.5 {
+		t.Fatalf("ExternalLoad = %v", n.ExternalLoad())
+	}
+	loaded := n.ServiceTime(time.Second)
+	if loaded != 2*base {
+		t.Fatalf("service time under 50%% load = %v, want %v", loaded, 2*base)
+	}
+}
+
+func TestExternalLoadBounds(t *testing.T) {
+	n := NewNode("n", Domain{}, 1, 1.0)
+	for _, l := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("load %v: expected panic", l)
+				}
+			}()
+			n.SetExternalLoad(l)
+		}()
+	}
+}
+
+func TestNetworkDefaults(t *testing.T) {
+	nw := NewNetwork()
+	if !nw.LinkBetween("a", "a").Private {
+		t.Fatal("intra-domain default must be private")
+	}
+	if nw.LinkBetween("a", "b").Private {
+		t.Fatal("inter-domain default must be public")
+	}
+	nw.SetLink("a", "b", Link{Private: true, Latency: time.Millisecond})
+	if l := nw.LinkBetween("b", "a"); !l.Private || l.Latency != time.Millisecond {
+		t.Fatalf("link lookup not symmetric: %+v", l)
+	}
+}
+
+func TestRecruitPrefersTrustedThenFast(t *testing.T) {
+	trusted := Domain{Name: "t", Trusted: true}
+	untrusted := Domain{Name: "u", Trusted: false}
+	slow := NewNode("slow", trusted, 1, 0.5)
+	fast := NewNode("fast", trusted, 1, 2.0)
+	alien := NewNode("alien", untrusted, 1, 4.0)
+	rm := NewResourceManager(slow, fast, alien)
+
+	n1, err := rm.Recruit(Request{})
+	if err != nil || n1.ID != "fast" {
+		t.Fatalf("first recruit = %v, %v; want fast", n1, err)
+	}
+	n2, _ := rm.Recruit(Request{})
+	if n2.ID != "slow" {
+		t.Fatalf("second recruit = %v; want slow (trusted before untrusted)", n2.ID)
+	}
+	n3, _ := rm.Recruit(Request{})
+	if n3.ID != "alien" {
+		t.Fatalf("third recruit = %v; want alien", n3.ID)
+	}
+	if _, err := rm.Recruit(Request{}); err != ErrExhausted {
+		t.Fatalf("exhausted pool: err = %v", err)
+	}
+}
+
+func TestRecruitTrustedOnly(t *testing.T) {
+	p := NewTwoDomainGrid(1, 3)
+	n, err := p.RM.Recruit(Request{TrustedOnly: true})
+	if err != nil || !n.Domain.Trusted {
+		t.Fatalf("recruit = %v, %v", n, err)
+	}
+	if _, err := p.RM.Recruit(Request{TrustedOnly: true}); err != ErrExhausted {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	// Without the constraint the untrusted capacity is available.
+	if _, err := p.RM.Recruit(Request{}); err != nil {
+		t.Fatalf("unrestricted recruit failed: %v", err)
+	}
+}
+
+func TestRecruitMinSpeed(t *testing.T) {
+	dom := Domain{Name: "d", Trusted: true}
+	rm := NewResourceManager(NewNode("s", dom, 1, 0.5))
+	if _, err := rm.Recruit(Request{MinSpeed: 1.0}); err != ErrExhausted {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	p := NewTwoDomainGrid(2, 2)
+	if got := p.RM.CapacityFree(Request{}); got != 4 {
+		t.Fatalf("CapacityFree = %d", got)
+	}
+	if got := p.RM.CapacityFree(Request{TrustedOnly: true}); got != 2 {
+		t.Fatalf("trusted CapacityFree = %d", got)
+	}
+	n, _ := p.RM.Recruit(Request{})
+	if p.RM.CoresInUse() != 1 {
+		t.Fatalf("CoresInUse = %d", p.RM.CoresInUse())
+	}
+	n.Release()
+	if p.RM.CoresInUse() != 0 {
+		t.Fatalf("CoresInUse after release = %d", p.RM.CoresInUse())
+	}
+}
+
+func TestNewSMPShape(t *testing.T) {
+	p := NewSMP(0)
+	ns := p.RM.Nodes()
+	if len(ns) != 1 || ns[0].Cores != 8 || !ns[0].Domain.Trusted {
+		t.Fatalf("unexpected SMP: %+v", ns)
+	}
+}
+
+func TestNewTwoDomainGridShape(t *testing.T) {
+	p := NewTwoDomainGrid(3, 2)
+	trusted, untrusted := 0, 0
+	for _, n := range p.RM.Nodes() {
+		if n.Domain.Trusted {
+			trusted++
+		} else {
+			untrusted++
+		}
+	}
+	if trusted != 3 || untrusted != 2 {
+		t.Fatalf("trusted=%d untrusted=%d", trusted, untrusted)
+	}
+	if p.Network.LinkBetween("trusted.local", "untrusted_ip_domain_A").Private {
+		t.Fatal("cross-domain link must be public")
+	}
+}
+
+// Property: Recruit never returns an untrusted node when TrustedOnly is
+// set, and never oversubscribes a node.
+func TestRecruitProperties(t *testing.T) {
+	f := func(tc, uc uint8, trustedOnly bool) bool {
+		p := NewTwoDomainGrid(int(tc%8), int(uc%8))
+		seen := map[*Node]int{}
+		for {
+			n, err := p.RM.Recruit(Request{TrustedOnly: trustedOnly})
+			if err != nil {
+				break
+			}
+			if trustedOnly && !n.Domain.Trusted {
+				return false
+			}
+			seen[n]++
+			if seen[n] > n.Cores {
+				return false
+			}
+		}
+		// All matching capacity must have been handed out.
+		return p.RM.CapacityFree(Request{TrustedOnly: trustedOnly}) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// This file implements an autonomic manager for the fault-tolerance
+// concern C_ft — one of the non-functional concerns §2 of the paper lists
+// ("fault tolerance can be supported ... using redundant control in such a
+// way that a limited number of faults can be tolerated"). Like the
+// security manager it is a second, independent hierarchy in the MM scheme:
+// its control loop detects crashed farm workers through the ABC monitor,
+// redistributes their stranded tasks over the surviving workers, and
+// replaces the lost capacity.
+
+// FaultConfig parameterizes a FaultManager.
+type FaultConfig struct {
+	Name  string // default "AM_ft"
+	Clock simclock.Clock
+	Log   *trace.Log
+	// Period is the detection loop period (the fault-detection latency).
+	Period time.Duration
+	// Replace controls whether a recovered worker is also replaced by a
+	// freshly recruited one (default true).
+	Replace *bool
+	// SuspectAfter enables progress-based failure detection: a worker
+	// with queued tasks whose served count does not advance for this
+	// long (clock time) is declared crashed, exactly as a heartbeat
+	// timeout would. Zero disables it (only explicitly injected crashes
+	// are detected). Like any timeout detector it can false-positive on
+	// genuinely slow tasks; pick it well above the expected service time.
+	SuspectAfter time.Duration
+}
+
+// FaultManager is the AM of the fault-tolerance concern.
+type FaultManager struct {
+	cfg     FaultConfig
+	clock   simclock.Clock
+	log     *trace.Log
+	replace bool
+
+	mu        sync.Mutex
+	farms     []*abc.FarmABC
+	recovered int
+	replaced  int
+	suspected int
+	progress  map[string]progressEntry
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// progressEntry tracks a worker's last observed progress for the timeout
+// detector.
+type progressEntry struct {
+	served int
+	since  time.Time
+}
+
+// NewFaultManager validates cfg and builds the manager.
+func NewFaultManager(cfg FaultConfig) (*FaultManager, error) {
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("manager: fault manager needs a trace log")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "AM_ft"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewReal()
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	replace := true
+	if cfg.Replace != nil {
+		replace = *cfg.Replace
+	}
+	return &FaultManager{
+		cfg: cfg, clock: cfg.Clock, log: cfg.Log, replace: replace,
+		progress: map[string]progressEntry{},
+	}, nil
+}
+
+// Suspected returns how many stalled workers the timeout detector
+// declared crashed.
+func (m *FaultManager) Suspected() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.suspected
+}
+
+// Name returns the manager's name.
+func (m *FaultManager) Name() string { return m.cfg.Name }
+
+// Recovered returns how many crashes were repaired.
+func (m *FaultManager) Recovered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
+}
+
+// Replaced returns how many replacement workers were recruited.
+func (m *FaultManager) Replaced() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replaced
+}
+
+// Watch registers a farm for fault supervision.
+func (m *FaultManager) Watch(f *abc.FarmABC) {
+	m.mu.Lock()
+	m.farms = append(m.farms, f)
+	m.mu.Unlock()
+}
+
+// RunOnce performs one detection cycle: every crashed worker found in a
+// watched farm is recovered (its stranded tasks redistributed) and, when
+// configured, replaced. It returns the number of crashes repaired.
+func (m *FaultManager) RunOnce() int {
+	m.mu.Lock()
+	farms := make([]*abc.FarmABC, len(m.farms))
+	copy(farms, m.farms)
+	m.mu.Unlock()
+
+	repaired := 0
+	for _, fa := range farms {
+		if m.cfg.SuspectAfter > 0 {
+			m.suspectStalled(fa)
+		}
+		for _, w := range fa.Workers() {
+			if !w.Failed {
+				continue
+			}
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.WorkerFail,
+				fmt.Sprintf("%s on %s (%d tasks stranded)", w.ID, w.Node.ID, w.QueueLen))
+			n, err := fa.Farm().RecoverWorker(w.ID)
+			if err != nil {
+				// Typically: no live worker to recover onto. Recruit one
+				// (valid even after end of stream) and retry on the next
+				// cycle.
+				if _, err := fa.Farm().AddRecoveryWorker(); err == nil {
+					m.mu.Lock()
+					m.replaced++
+					m.mu.Unlock()
+				}
+				continue
+			}
+			repaired++
+			m.mu.Lock()
+			m.recovered++
+			m.mu.Unlock()
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Recovered,
+				fmt.Sprintf("%s: %d tasks redistributed", w.ID, n))
+			if m.replace {
+				if id, err := fa.Farm().AddWorker(); err == nil {
+					m.mu.Lock()
+					m.replaced++
+					m.mu.Unlock()
+					m.log.Record(m.clock.Now(), m.cfg.Name, trace.AddWorker,
+						fmt.Sprintf("%s replaces %s", id, w.ID))
+				}
+			}
+		}
+	}
+	return repaired
+}
+
+// suspectStalled declares workers crashed when their served count has not
+// advanced despite queued work for longer than SuspectAfter.
+func (m *FaultManager) suspectStalled(fa *abc.FarmABC) {
+	now := m.clock.Now()
+	for _, w := range fa.Workers() {
+		if w.Failed {
+			continue
+		}
+		if w.QueueLen == 0 {
+			// Idle workers make no progress legitimately.
+			m.mu.Lock()
+			delete(m.progress, w.ID)
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Lock()
+		e, ok := m.progress[w.ID]
+		if !ok || e.served != w.Served {
+			m.progress[w.ID] = progressEntry{served: w.Served, since: now}
+			m.mu.Unlock()
+			continue
+		}
+		stalled := now.Sub(e.since) >= m.cfg.SuspectAfter
+		m.mu.Unlock()
+		if !stalled {
+			continue
+		}
+		if err := fa.Farm().KillWorker(w.ID); err != nil {
+			continue
+		}
+		m.mu.Lock()
+		m.suspected++
+		delete(m.progress, w.ID)
+		m.mu.Unlock()
+		m.log.Record(now, m.cfg.Name, trace.WorkerFail,
+			fmt.Sprintf("%s suspected stalled (no progress for %v, %d queued)",
+				w.ID, m.cfg.SuspectAfter, w.QueueLen))
+	}
+}
+
+// Start launches the detection loop.
+func (m *FaultManager) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.stop, m.done = stop, done
+	m.mu.Unlock()
+	ticker := m.clock.NewTicker(m.cfg.Period)
+	go func() {
+		defer close(done)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C():
+				m.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop terminates the detection loop.
+func (m *FaultManager) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,238 @@
+package manager
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/grid"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+func newRunningFarmForFT(t *testing.T) (*skel.Farm, *abc.FarmABC, chan *skel.Task, chan int, func()) {
+	t.Helper()
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "ft", Env: skel.Env{TimeScale: 200}, RM: grid.NewSMP(8).RM, InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 256)
+	count := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		count <- n
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fa := abc.NewFarmABC(f, nil)
+	stop := func() {
+		close(in)
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("farm did not terminate")
+		}
+	}
+	return f, fa, in, count, stop
+}
+
+func TestFaultManagerValidation(t *testing.T) {
+	if _, err := NewFaultManager(FaultConfig{}); err == nil {
+		t.Fatal("fault manager without log accepted")
+	}
+	m, err := NewFaultManager(FaultConfig{Log: trace.NewLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "AM_ft" {
+		t.Fatalf("default name = %q", m.Name())
+	}
+}
+
+func TestFaultManagerRecoversCrash(t *testing.T) {
+	f, fa, in, count, stop := newRunningFarmForFT(t)
+	log := trace.NewLog()
+	ft, err := NewFaultManager(FaultConfig{Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Watch(fa)
+
+	// Backlog, then crash one worker.
+	for i := 0; i < 20; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: time.Second}
+	}
+	victim := f.Workers()[0].ID
+	if err := f.KillWorker(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// One detection cycle repairs it: tasks redistributed + replacement.
+	deadline := time.Now().Add(5 * time.Second)
+	for ft.RunOnce() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fault never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ft.Recovered() != 1 {
+		t.Fatalf("Recovered = %d", ft.Recovered())
+	}
+	if ft.Replaced() != 1 {
+		t.Fatalf("Replaced = %d", ft.Replaced())
+	}
+	if log.Count("AM_ft", trace.WorkerFail) == 0 || log.Count("AM_ft", trace.Recovered) == 0 {
+		t.Fatalf("events missing:\n%s", log.Timeline())
+	}
+	if log.Count("AM_ft", trace.AddWorker) != 1 {
+		t.Fatalf("replacement not logged:\n%s", log.Timeline())
+	}
+
+	stop()
+	if n := <-count; n != 20 {
+		t.Fatalf("completed %d/20 despite recovery", n)
+	}
+}
+
+func TestFaultManagerLoopAndIdempotence(t *testing.T) {
+	f, fa, in, count, stop := newRunningFarmForFT(t)
+	log := trace.NewLog()
+	ft, _ := NewFaultManager(FaultConfig{Log: log, Period: time.Millisecond})
+	ft.Watch(fa)
+	ft.Start()
+	ft.Start() // idempotent
+	for i := 0; i < 10; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: 500 * time.Millisecond}
+	}
+	victim := f.Workers()[1].ID
+	if err := f.KillWorker(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ft.Recovered() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never recovered the crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ft.Stop()
+	ft.Stop() // idempotent
+	stop()
+	if n := <-count; n != 10 {
+		t.Fatalf("completed %d/10", n)
+	}
+}
+
+func TestFaultManagerSuspectsStalledWorker(t *testing.T) {
+	// Two single-core nodes; one gets stalled via near-total external
+	// load so its worker stops making progress while holding a queue.
+	dom := grid.Domain{Name: "c", Trusted: true}
+	n0 := grid.NewNode("n0", dom, 1, 1.0)
+	n1 := grid.NewNode("n1", dom, 1, 1.0)
+	spare := grid.NewNode("n2", dom, 1, 1.0)
+	rm := grid.NewResourceManager(n0, n1, spare)
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "hb", Env: skel.Env{TimeScale: 1000}, RM: rm, InitialWorkers: 2,
+		Dispatch: skel.RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 256)
+	count := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		count <- n
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stall one worker's node (100x slowdown) and give everyone work.
+	// At 0.99 load a 2 s task takes 200 s modelled (200 ms real at this
+	// scale): far beyond the 50 ms suspicion timeout, so the worker is
+	// effectively hung while holding a queue.
+	victim := f.Workers()[0]
+	victim.Node.SetExternalLoad(0.99)
+	for i := 0; i < 30; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: 2 * time.Second}
+	}
+
+	log := trace.NewLog()
+	ft, _ := NewFaultManager(FaultConfig{
+		Log: log, Period: time.Millisecond, SuspectAfter: 50 * time.Millisecond,
+	})
+	ft.Watch(abc.NewFarmABC(f, nil))
+	ft.Start()
+	deadline = time.Now().Add(10 * time.Second)
+	for ft.Suspected() == 0 || ft.Recovered() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stall never detected/recovered (suspected=%d recovered=%d):\n%s",
+				ft.Suspected(), ft.Recovered(), log.Timeline())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ft.Stop()
+	close(in)
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("farm hung after stall recovery")
+	}
+	if n := <-count; n != 30 {
+		t.Fatalf("completed %d/30", n)
+	}
+	if log.Count("AM_ft", trace.WorkerFail) == 0 {
+		t.Fatalf("no workerFail event:\n%s", log.Timeline())
+	}
+}
+
+func TestFaultManagerNoReplace(t *testing.T) {
+	f, fa, in, count, stop := newRunningFarmForFT(t)
+	log := trace.NewLog()
+	replace := false
+	ft, _ := NewFaultManager(FaultConfig{Log: log, Replace: &replace})
+	ft.Watch(fa)
+	for i := 0; i < 6; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: 500 * time.Millisecond}
+	}
+	victim := f.Workers()[0].ID
+	f.KillWorker(victim)
+	deadline := time.Now().Add(5 * time.Second)
+	for ft.RunOnce() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fault never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ft.Replaced() != 0 {
+		t.Fatalf("Replaced = %d with replacement disabled", ft.Replaced())
+	}
+	stop()
+	if n := <-count; n != 6 {
+		t.Fatalf("completed %d/6", n)
+	}
+}

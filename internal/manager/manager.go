@@ -1,0 +1,459 @@
+// Package manager implements the active part of autonomic management: the
+// autonomic managers (AMs) of the paper. A Manager runs the classical MAPE
+// control loop — monitor via its ABC, analyse against its SLA contract,
+// plan via its rule engine, execute through the ABC actuators — and plays
+// the two roles of the P_rol problem: active (autonomously restoring its
+// contract) and passive (only monitoring, reporting violations to its
+// parent through the callback interface added in §4.2 and waiting for a
+// new contract).
+//
+// Managers compose into hierarchies mirroring the behavioural-skeleton
+// tree; contract propagation uses the P_spl splitting heuristics of
+// internal/contract. Multi-concern coordination (a performance hierarchy
+// plus a security manager under a general manager, with the two-phase
+// intent/prepare/commit protocol of §3.2) lives in multiconcern.go.
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/contract"
+	"repro/internal/rules"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// State is a manager's autonomic role.
+type State int
+
+// Manager states (Fig. 1, right).
+const (
+	// Active: the manager autonomically tries to ensure its contract.
+	Active State = iota
+	// Passive: no locally fireable plan can restore the contract; the
+	// manager only monitors and waits for a new contract.
+	Passive
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == Passive {
+		return "passive"
+	}
+	return "active"
+}
+
+// Violation is the message a manager sends its parent through the
+// violation-callback interface when it cannot restore its contract with
+// local actions.
+type Violation struct {
+	From     string // reporting manager name
+	Tag      string // rules.TagNotEnoughTasks, rules.TagTooMuchTasks, ...
+	Snapshot contract.Snapshot
+	When     time.Time
+}
+
+// Policy collects the pluggable policy hooks of a manager. Zero-value
+// hooks are simply skipped; mechanisms stay in the ABC.
+type Policy struct {
+	// OnContract applies a freshly assigned contract locally (rebuild the
+	// rule engine from its bounds, retarget an emission rate, ...).
+	OnContract func(m *Manager, c contract.Contract)
+	// OnChildViolation reacts to a violation reported by a child (the
+	// incRate/decRate reactions of AM_A in Fig. 4).
+	OnChildViolation func(m *Manager, v Violation)
+	// Split derives the children's sub-contracts when a contract is
+	// assigned (P_spl). n is the number of children.
+	Split func(c contract.Contract, n int) ([]contract.Contract, error)
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Name    string
+	Concern string // e.g. "performance", "security"
+	Clock   simclock.Clock
+	// Period is the control-loop period in clock time (already scaled by
+	// the caller). Default 100ms.
+	Period time.Duration
+	// Controller is the manager's ABC (monitor + actuators). Required.
+	Controller abc.Controller
+	// Engine holds the manager's autonomic rules; nil for managers whose
+	// behaviour is purely hierarchical coordination.
+	Engine *rules.Engine
+	// Policy hooks.
+	Policy Policy
+	// Log receives the manager's autonomic events. Required.
+	Log *trace.Log
+	// WarmUp suppresses the plan/execute phase (rule firing) for this
+	// long after creation, in clock time: acting before the sliding-
+	// window sensors hold a full window's worth of samples makes the
+	// manager chase measurement transients. Monitoring and verdict
+	// logging stay on throughout.
+	WarmUp time.Duration
+}
+
+// Manager is one autonomic manager.
+type Manager struct {
+	cfg     Config
+	clock   simclock.Clock
+	log     *trace.Log
+	created time.Time
+
+	mu       sync.Mutex
+	contract contract.Contract
+	engine   *rules.Engine
+	state    State
+	parent   *Manager
+	children []*Manager
+
+	violations chan Violation
+
+	// per-RunOnce scratch (single goroutine)
+	cycleLocalAction bool
+	cycleViolation   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and builds a manager (initially active, with a
+// best-effort contract).
+func New(cfg Config) (*Manager, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("manager: missing name")
+	}
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("manager %s: missing controller", cfg.Name)
+	}
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("manager %s: missing trace log", cfg.Name)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewReal()
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	return &Manager{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		log:        cfg.Log,
+		contract:   contract.BestEffort{},
+		engine:     cfg.Engine,
+		violations: make(chan Violation, 256),
+		created:    cfg.Clock.Now(),
+	}, nil
+}
+
+// Name returns the manager's name (e.g. "AM_F").
+func (m *Manager) Name() string { return m.cfg.Name }
+
+// Concern returns the non-functional concern the manager handles.
+func (m *Manager) Concern() string { return m.cfg.Concern }
+
+// Controller returns the manager's ABC.
+func (m *Manager) Controller() abc.Controller { return m.cfg.Controller }
+
+// Log returns the manager's trace log.
+func (m *Manager) Log() *trace.Log { return m.log }
+
+// State returns the manager's current role.
+func (m *Manager) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Contract returns the currently installed contract.
+func (m *Manager) Contract() contract.Contract {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.contract
+}
+
+// Parent returns the parent manager, or nil at the root.
+func (m *Manager) Parent() *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.parent
+}
+
+// Children returns the child managers.
+func (m *Manager) Children() []*Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Manager, len(m.children))
+	copy(out, m.children)
+	return out
+}
+
+// AttachChild links child under m in the management hierarchy.
+func (m *Manager) AttachChild(child *Manager) {
+	if child == nil || child == m {
+		return
+	}
+	m.mu.Lock()
+	m.children = append(m.children, child)
+	m.mu.Unlock()
+	child.mu.Lock()
+	child.parent = m
+	child.mu.Unlock()
+}
+
+// WarmUp returns the manager's warm-up window.
+func (m *Manager) WarmUp() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.WarmUp
+}
+
+// SetWarmUp changes the warm-up window (clock time since creation during
+// which the rule engine does not fire).
+func (m *Manager) SetWarmUp(d time.Duration) {
+	m.mu.Lock()
+	m.cfg.WarmUp = d
+	m.mu.Unlock()
+}
+
+// SetEngine replaces the manager's rule engine (used when a new contract
+// re-parameterizes the rules).
+func (m *Manager) SetEngine(e *rules.Engine) {
+	m.mu.Lock()
+	m.engine = e
+	m.mu.Unlock()
+}
+
+// Engine returns the current rule engine (may be nil).
+func (m *Manager) Engine() *rules.Engine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.engine
+}
+
+// AssignContract installs c, applies it locally through the OnContract
+// hook, splits it over the children (P_spl) and recursively propagates the
+// sub-contracts. Receiving a contract (re-)activates the manager.
+func (m *Manager) AssignContract(c contract.Contract) error {
+	if c == nil {
+		return fmt.Errorf("manager %s: nil contract", m.cfg.Name)
+	}
+	m.mu.Lock()
+	m.contract = c
+	wasPassive := m.state == Passive
+	m.state = Active
+	children := make([]*Manager, len(m.children))
+	copy(children, m.children)
+	m.mu.Unlock()
+
+	m.log.Record(m.clock.Now(), m.cfg.Name, trace.NewContr, c.Describe())
+	if wasPassive {
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.EnterActive, "new contract")
+	}
+	if m.cfg.Policy.OnContract != nil {
+		m.cfg.Policy.OnContract(m, c)
+	}
+	if len(children) == 0 || m.cfg.Policy.Split == nil {
+		return nil
+	}
+	subs, err := m.cfg.Policy.Split(c, len(children))
+	if err != nil {
+		return fmt.Errorf("manager %s: splitting %q: %w", m.cfg.Name, c.Describe(), err)
+	}
+	for i, child := range children {
+		if err := child.AssignContract(subs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver enqueues a child violation; overflowing reports are dropped (a
+// slow parent must not stall its children's control loops).
+func (m *Manager) deliver(v Violation) {
+	select {
+	case m.violations <- v:
+	default:
+	}
+}
+
+// reportViolation sends a violation to the parent (or only logs it at the
+// root) and marks this cycle as violation-raising.
+func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
+	m.cycleViolation = true
+	m.log.Record(m.clock.Now(), m.cfg.Name, trace.RaiseViol, tag)
+	parent := m.Parent()
+	if parent != nil {
+		parent.deliver(Violation{From: m.cfg.Name, Tag: tag, Snapshot: snap, When: m.clock.Now()})
+	}
+}
+
+// Escalate forwards a violation up the hierarchy. Intermediate managers —
+// like the inner pipeline AM of the §3.1 expression
+// farm(pipeline(seq, farm(seq), seq)), which must "report to the AM of the
+// outer, top level farm" — call it from their OnChildViolation policy when
+// a child's violation cannot be absorbed at their level.
+func (m *Manager) Escalate(tag string, snap contract.Snapshot) {
+	m.reportViolation(tag, snap)
+}
+
+// FireOperation implements rules.Effector: it is how the plan phase's rule
+// actions reach the execute phase. Violation raising goes to the parent;
+// everything else is an ABC mechanism.
+func (m *Manager) FireOperation(op string, act *rules.Activation) error {
+	switch op {
+	case rules.OpRaiseViolation:
+		tag := act.LastData()
+		switch tag {
+		case rules.TagNotEnoughTasks:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.NotEnough, "")
+		case rules.TagTooMuchTasks:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.TooMuch, "")
+		}
+		m.reportViolation(tag, m.cfg.Controller.Snapshot())
+		return nil
+	default:
+		detail, err := m.cfg.Controller.Execute(op)
+		if err != nil {
+			// Corrective action required but not possible: report a
+			// violation upward instead (§3.1).
+			m.reportViolation(op+"_failed: "+err.Error(), m.cfg.Controller.Snapshot())
+			return nil
+		}
+		m.cycleLocalAction = true
+		switch op {
+		case rules.OpAddExecutor:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.AddWorker, detail)
+		case rules.OpRemoveExecutor:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.RemWorker, detail)
+		case rules.OpBalanceLoad:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Rebalance, detail)
+		default:
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind(op), detail)
+		}
+		return nil
+	}
+}
+
+// RunOnce performs one MAPE iteration. It is exported so that tests and
+// deterministic experiments can drive the loop explicitly.
+func (m *Manager) RunOnce() error {
+	m.cycleLocalAction = false
+	m.cycleViolation = false
+
+	// React to child violations first (hierarchical coordination).
+	for {
+		select {
+		case v := <-m.violations:
+			if m.cfg.Policy.OnChildViolation != nil {
+				m.cfg.Policy.OnChildViolation(m, v)
+			}
+		default:
+			goto drained
+		}
+	}
+drained:
+
+	// Monitor + analyse: verdict logging (the contrLow events of Fig. 4).
+	snap := m.cfg.Controller.Snapshot()
+	switch m.Contract().Check(snap) {
+	case contract.ViolatedLow:
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrLow,
+			fmt.Sprintf("tp=%.3f", snap.Throughput))
+	case contract.ViolatedHigh:
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrHigh,
+			fmt.Sprintf("tp=%.3f", snap.Throughput))
+	case contract.Violated:
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrLow, "boolean concern violated")
+	}
+
+	// Plan + execute via the rule engine (skipped during sensor warm-up).
+	engine := m.Engine()
+	if engine != nil && !m.clock.Now().Before(m.created.Add(m.WarmUp())) {
+		if _, err := engine.Cycle(m.cfg.Controller.Beans(), m); err != nil {
+			return fmt.Errorf("manager %s: %w", m.cfg.Name, err)
+		}
+	}
+
+	// Role transition (P_rol): passive iff the only reaction available
+	// was raising a violation.
+	m.mu.Lock()
+	var transition trace.Kind
+	if m.cycleViolation && !m.cycleLocalAction {
+		if m.state == Active {
+			transition = trace.EnterPass
+		}
+		m.state = Passive
+	} else if m.cycleLocalAction {
+		if m.state == Passive {
+			transition = trace.EnterActive
+		}
+		m.state = Active
+	}
+	m.mu.Unlock()
+	if transition != "" {
+		m.log.Record(m.clock.Now(), m.cfg.Name, transition, "")
+	}
+	return nil
+}
+
+// Start launches the control loop at the configured period. Stop it with
+// Stop; Start again after Stop is allowed.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.stop, m.done = stop, done
+	m.mu.Unlock()
+
+	ticker := m.clock.NewTicker(m.cfg.Period)
+	go func() {
+		defer close(done)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C():
+				if err := m.RunOnce(); err != nil {
+					m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind("error"), err.Error())
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the control loop and waits for it to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// StartTree starts the control loops of m and all its descendants.
+func (m *Manager) StartTree() {
+	m.Start()
+	for _, c := range m.Children() {
+		c.StartTree()
+	}
+}
+
+// StopTree stops the control loops of m and all its descendants.
+func (m *Manager) StopTree() {
+	for _, c := range m.Children() {
+		c.StopTree()
+	}
+	m.Stop()
+}

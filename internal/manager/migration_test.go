@@ -1,0 +1,154 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/grid"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+func singleCoreCluster(n int) *grid.ResourceManager {
+	dom := grid.Domain{Name: "c", Trusted: true}
+	var nodes []*grid.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, grid.NewNode(fmt.Sprintf("n%02d", i), dom, 1, 1.0))
+	}
+	return grid.NewResourceManager(nodes...)
+}
+
+func TestMigrationManagerValidation(t *testing.T) {
+	if _, err := NewMigrationManager(MigrationConfig{}); err == nil {
+		t.Fatal("migration manager without log accepted")
+	}
+	m, err := NewMigrationManager(MigrationConfig{Log: trace.NewLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "AM_mig" {
+		t.Fatalf("default name = %q", m.Name())
+	}
+}
+
+func TestMigrationManagerMovesLoadedWorkers(t *testing.T) {
+	rm := singleCoreCluster(6)
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "mig", Env: skel.Env{TimeScale: 500}, RM: rm, InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 128)
+	count := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		count <- n
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: time.Second}
+	}
+
+	// Overload both worker nodes.
+	before := map[string]bool{}
+	for _, w := range f.Workers() {
+		w.Node.SetExternalLoad(0.8)
+		before[w.Node.ID] = true
+	}
+
+	log := trace.NewLog()
+	mig, err := NewMigrationManager(MigrationConfig{Log: log, MaxLoad: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := abc.NewFarmABC(f, nil)
+	mig.Watch(fa)
+	if moved := mig.RunOnce(); moved != 2 {
+		t.Fatalf("moved %d workers, want 2", moved)
+	}
+	if mig.Migrated() != 2 {
+		t.Fatalf("Migrated = %d", mig.Migrated())
+	}
+	for _, w := range fa.Workers() {
+		if before[w.Node.ID] {
+			t.Fatalf("worker %s still on loaded node %s", w.ID, w.Node.ID)
+		}
+		if w.Node.ExternalLoad() > 0.5 {
+			t.Fatalf("worker %s migrated onto loaded node %s", w.ID, w.Node.ID)
+		}
+	}
+	if log.Count("AM_mig", trace.Migrated) != 2 {
+		t.Fatalf("migration events missing:\n%s", log.Timeline())
+	}
+	// Idempotent: nothing left to move.
+	if moved := mig.RunOnce(); moved != 0 {
+		t.Fatalf("second scan moved %d", moved)
+	}
+	close(in)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm hung after migrations")
+	}
+	if n := <-count; n != 20 {
+		t.Fatalf("completed %d/20 across migrations", n)
+	}
+}
+
+func TestMigrationManagerSkipsWhenNoDestination(t *testing.T) {
+	rm := singleCoreCluster(2) // only the two worker nodes exist
+	f, _ := skel.NewFarm(skel.FarmConfig{
+		Name: "mig", Env: skel.Env{TimeScale: 500}, RM: rm, InitialWorkers: 2,
+	})
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 8)
+	go func() {
+		for range out {
+		}
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(in, out); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, w := range f.Workers() {
+		w.Node.SetExternalLoad(0.8)
+	}
+	log := trace.NewLog()
+	mig, _ := NewMigrationManager(MigrationConfig{Log: log, MaxLoad: 0.5})
+	mig.Watch(abc.NewFarmABC(f, nil))
+	if moved := mig.RunOnce(); moved != 0 {
+		t.Fatalf("moved %d with no free destination", moved)
+	}
+	close(in)
+	<-done
+}
+
+func TestMigrationManagerStartStop(t *testing.T) {
+	log := trace.NewLog()
+	mig, _ := NewMigrationManager(MigrationConfig{Log: log, Period: time.Millisecond})
+	mig.Start()
+	mig.Start()
+	time.Sleep(5 * time.Millisecond)
+	mig.Stop()
+	mig.Stop()
+}

@@ -1,0 +1,278 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/grid"
+	"repro/internal/security"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// This file implements the multi-concern (MM) management scheme of §3.2:
+// one hierarchy per concern — here performance (the Managers of this
+// package) and security (SecurityManager) — coordinated by a general
+// manager (GeneralManager) that arbitrates cross-concern actions with the
+// two-phase protocol: (i) AM_perf expresses the *intent* to add a worker,
+// (ii) AM_sec reacts by securing the new binding, (iii) AM_perf commits
+// and only then does the worker receive tasks.
+
+// CoordinationMode selects how the security concern is enforced when the
+// performance manager reconfigures the farm.
+type CoordinationMode int
+
+// Coordination modes.
+const (
+	// TwoPhase is the paper's protocol: bindings are secured before the
+	// new worker can receive any task. Zero leaks by construction.
+	TwoPhase CoordinationMode = iota
+	// Reactive is the naive scheme §3.2 warns about: AM_perf commits by
+	// itself and AM_sec secures the binding on its next control cycle;
+	// messages sent in between are exposed.
+	Reactive
+	// Unmanaged disables the security manager entirely (baseline).
+	Unmanaged
+)
+
+// String implements fmt.Stringer.
+func (m CoordinationMode) String() string {
+	switch m {
+	case TwoPhase:
+		return "two-phase"
+	case Reactive:
+		return "reactive"
+	default:
+		return "unmanaged"
+	}
+}
+
+// SecurityConfig parameterizes a SecurityManager.
+type SecurityConfig struct {
+	Name  string // default "AM_sec"
+	Clock simclock.Clock
+	Log   *trace.Log
+	// Policy decides which bindings must be secured.
+	Policy security.Policy
+	// DispatchNode anchors the policy checks (where S/C run). Optional.
+	DispatchNode *grid.Node
+	// Key is the session key for secured bindings (default: random).
+	Key []byte
+	// Handshake is the simulated SSL session-establishment latency paid
+	// by each newly secured binding.
+	Handshake time.Duration
+	// Period is the reactive-mode control-loop period.
+	Period time.Duration
+}
+
+// SecurityManager is the AM of the security concern C_sec. In two-phase
+// mode it acts during the prepare step of farm reconfigurations; in
+// reactive mode it runs its own control loop scanning for bindings that
+// violate the policy.
+type SecurityManager struct {
+	cfg   SecurityConfig
+	clock simclock.Clock
+	log   *trace.Log
+
+	mu      sync.Mutex
+	farms   []*abc.FarmABC
+	secured int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSecurityManager validates cfg and builds the manager.
+func NewSecurityManager(cfg SecurityConfig) (*SecurityManager, error) {
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("manager: security manager needs a trace log")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "AM_sec"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewReal()
+	}
+	if len(cfg.Key) == 0 {
+		cfg.Key = security.NewRandomKey()
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 100 * time.Millisecond
+	}
+	return &SecurityManager{cfg: cfg, clock: cfg.Clock, log: cfg.Log}, nil
+}
+
+// Name returns the manager's name.
+func (s *SecurityManager) Name() string { return s.cfg.Name }
+
+// Secured returns how many bindings this manager has secured so far.
+func (s *SecurityManager) Secured() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.secured
+}
+
+// Watch registers a farm whose bindings the manager supervises in
+// reactive mode.
+func (s *SecurityManager) Watch(f *abc.FarmABC) {
+	s.mu.Lock()
+	s.farms = append(s.farms, f)
+	s.mu.Unlock()
+}
+
+// newCodec builds a fresh secure codec paying the configured handshake.
+func (s *SecurityManager) newCodec() (security.Codec, error) {
+	return security.NewAESGCM(s.cfg.Key, s.clock, s.cfg.Handshake)
+}
+
+// PrepareWorker is the manager's contribution to the two-phase protocol:
+// called between recruitment and first dispatch, it secures the binding if
+// the policy requires it.
+func (s *SecurityManager) PrepareWorker(id string, node *grid.Node, setCodec func(security.Codec)) error {
+	if !s.cfg.Policy.RequireSecure(s.cfg.DispatchNode, node) {
+		return nil
+	}
+	codec, err := s.newCodec()
+	if err != nil {
+		return fmt.Errorf("manager %s: securing %s: %w", s.cfg.Name, id, err)
+	}
+	setCodec(codec)
+	s.mu.Lock()
+	s.secured++
+	s.mu.Unlock()
+	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Prepared,
+		fmt.Sprintf("%s on %s (%s)", id, node.ID, node.Domain.Name))
+	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Secured, id)
+	return nil
+}
+
+// RunOnce performs one reactive control cycle: every watched binding that
+// the policy requires to be secure but is not gets rebound onto the secure
+// codec. It returns the number of bindings secured this cycle.
+func (s *SecurityManager) RunOnce() int {
+	s.mu.Lock()
+	farms := make([]*abc.FarmABC, len(s.farms))
+	copy(farms, s.farms)
+	s.mu.Unlock()
+	n := 0
+	for _, f := range farms {
+		for _, w := range f.Workers() {
+			if w.Secure || !s.cfg.Policy.RequireSecure(s.cfg.DispatchNode, w.Node) {
+				continue
+			}
+			codec, err := s.newCodec()
+			if err != nil {
+				continue
+			}
+			if err := f.SecureBinding(w.ID, codec); err != nil {
+				continue
+			}
+			n++
+			s.mu.Lock()
+			s.secured++
+			s.mu.Unlock()
+			s.log.Record(s.clock.Now(), s.cfg.Name, trace.Secured,
+				fmt.Sprintf("%s (reactive)", w.ID))
+		}
+	}
+	return n
+}
+
+// Start launches the reactive control loop.
+func (s *SecurityManager) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+	s.mu.Unlock()
+	ticker := s.clock.NewTicker(s.cfg.Period)
+	go func() {
+		defer close(done)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C():
+				s.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop terminates the reactive loop.
+func (s *SecurityManager) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// GeneralManager is the GM of §3.2: it owns the per-concern managers and
+// wires the cross-concern coordination protocol into the farms' actuator
+// paths.
+type GeneralManager struct {
+	name  string
+	clock simclock.Clock
+	log   *trace.Log
+	sec   *SecurityManager
+	mode  CoordinationMode
+}
+
+// NewGeneralManager builds a GM over the given security manager.
+func NewGeneralManager(name string, sec *SecurityManager, log *trace.Log, clock simclock.Clock, mode CoordinationMode) (*GeneralManager, error) {
+	if log == nil {
+		return nil, fmt.Errorf("manager: general manager needs a trace log")
+	}
+	if name == "" {
+		name = "GM"
+	}
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	if sec == nil && mode != Unmanaged {
+		return nil, fmt.Errorf("manager: %s coordination needs a security manager", mode)
+	}
+	return &GeneralManager{name: name, clock: clock, log: log, sec: sec, mode: mode}, nil
+}
+
+// Name returns the GM's name.
+func (g *GeneralManager) Name() string { return g.name }
+
+// Mode returns the coordination mode in force.
+func (g *GeneralManager) Mode() CoordinationMode { return g.mode }
+
+// Coordinate installs the coordination protocol on a farm's actuator path.
+// In TwoPhase mode every ADD_EXECUTOR goes intent -> prepare (security) ->
+// commit; in Reactive mode the security manager merely watches the farm;
+// in Unmanaged mode nothing is installed.
+func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
+	switch g.mode {
+	case TwoPhase:
+		farm.SetPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
+			g.log.Record(g.clock.Now(), g.name, trace.Intent,
+				fmt.Sprintf("add %s on %s (%s)", id, node.ID, node.Domain.Name))
+			if err := g.sec.PrepareWorker(id, node, setCodec); err != nil {
+				g.log.Record(g.clock.Now(), g.name, trace.Aborted, err.Error())
+				return err
+			}
+			g.log.Record(g.clock.Now(), g.name, trace.Committed, id)
+			return nil
+		})
+	case Reactive:
+		g.sec.Watch(farm)
+	case Unmanaged:
+		// baseline: no security enforcement at all
+	}
+}

@@ -1,0 +1,226 @@
+package manager
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/contract"
+	"repro/internal/rules"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// This file provides the standard manager policies of the paper's
+// experiments: the farm manager AM_F (Fig. 5 rules parameterized by the
+// contract), the producer manager AM_P (rate contracts applied to the
+// source actuator), passive stage managers, and the application/pipeline
+// manager AM_A that coordinates its stage managers hierarchically.
+
+// throughputBounds extracts the throughput range governing a contract
+// (walking conjunctions); a contract with no throughput component yields
+// [0, +Inf), which parameterizes the farm rules into best-effort behaviour.
+func throughputBounds(c contract.Contract) (lo, hi float64) {
+	switch c := c.(type) {
+	case contract.ThroughputRange:
+		return c.Lo, c.Hi
+	case contract.Conjunction:
+		for _, sub := range c {
+			if tr, ok := sub.(contract.ThroughputRange); ok {
+				return tr.Lo, tr.Hi
+			}
+		}
+	}
+	return 0, math.Inf(1)
+}
+
+// FarmLimits bounds the farm manager's reconfiguration space.
+type FarmLimits struct {
+	MinWorkers   int     // default 1
+	MaxWorkers   int     // default 64
+	MaxUnbalance float64 // queue-variance threshold for rebalance; default 4
+}
+
+func (l FarmLimits) normalized() FarmLimits {
+	if l.MinWorkers < 1 {
+		l.MinWorkers = 1
+	}
+	if l.MaxWorkers < l.MinWorkers {
+		l.MaxWorkers = 64
+		if l.MaxWorkers < l.MinWorkers {
+			l.MaxWorkers = l.MinWorkers
+		}
+	}
+	if l.MaxUnbalance <= 0 {
+		l.MaxUnbalance = 4
+	}
+	return l
+}
+
+// NewFarmManager builds the AM of a task-farm behavioural skeleton: the
+// Fig. 5 rule engine, re-parameterized from each assigned throughput
+// contract, plus the best-effort farm split for its children.
+func NewFarmManager(name string, a *abc.FarmABC, log *trace.Log, clock simclock.Clock, period time.Duration, limits FarmLimits) (*Manager, error) {
+	limits = limits.normalized()
+	mkEngine := func(c contract.Contract) *rules.Engine {
+		lo, hi := throughputBounds(c)
+		return rules.NewFarmEngine(rules.FarmConstants(
+			lo, hi, limits.MinWorkers, limits.MaxWorkers, limits.MaxUnbalance))
+	}
+	m, err := New(Config{
+		Name:       name,
+		Concern:    "performance",
+		Clock:      clock,
+		Period:     period,
+		Controller: a,
+		Engine:     mkEngine(contract.BestEffort{}),
+		Log:        log,
+		Policy: Policy{
+			OnContract: func(m *Manager, c contract.Contract) {
+				m.SetEngine(mkEngine(c))
+			},
+			Split: contract.SplitFarm,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewSourceManager builds the AM of a producer stage (AM_P): it has no
+// local rules. A pure rate demand (an unbounded lower-bound contract, the
+// shape AM_A's incRate/decRate reactions send) is applied by retargeting
+// the emission rate. A bounded range contract — the stage's share of the
+// application SLA forwarded by the pipeline split — is only monitored: as
+// in the paper, forwarding c_tRange does not by itself make the producer
+// faster; only explicit rate contracts do.
+func NewSourceManager(name string, a *abc.SourceABC, log *trace.Log, clock simclock.Clock, period time.Duration) (*Manager, error) {
+	return New(Config{
+		Name:       name,
+		Concern:    "performance",
+		Clock:      clock,
+		Period:     period,
+		Controller: a,
+		Log:        log,
+		Policy: Policy{
+			OnContract: func(m *Manager, c contract.Contract) {
+				if tr, ok := c.(contract.ThroughputRange); ok && tr.Lo > 0 && !tr.Bounded() {
+					a.SetTargetRate(tr.Lo)
+				}
+			},
+		},
+	})
+}
+
+// NewMonitorManager builds a sensors-only AM for stages with no actuator
+// surface (the Consumer stage manager AM_C of Fig. 4).
+func NewMonitorManager(name string, ctrl abc.Controller, log *trace.Log, clock simclock.Clock, period time.Duration) (*Manager, error) {
+	return New(Config{
+		Name:       name,
+		Concern:    "performance",
+		Clock:      clock,
+		Period:     period,
+		Controller: ctrl,
+		Log:        log,
+	})
+}
+
+// PipelineCoordinator is the hierarchical policy of the application
+// manager AM_A in Fig. 4: it splits its contract identically over the
+// stage managers (pipeline performance model) and reacts to farm-stage
+// violations by adjusting the producer's rate contract — incRate on
+// notEnoughTasks, decRate on tooMuchTasks, and nothing once the stream has
+// ended (the endStream phase where notEnough persists unanswered).
+type PipelineCoordinator struct {
+	// Producer is the stage manager receiving rate contracts.
+	Producer *Manager
+	// Step is the multiplicative rate-adjustment factor (default 1.3).
+	Step float64
+	// Floor is the minimum requested rate when starting from a silent
+	// producer (default 0.05 tasks/s).
+	Floor float64
+	// Cap bounds the requested rate (0 = uncapped). Because the measured
+	// arrival rate lags the sliding window, uncapped compounding can
+	// overshoot wildly; the builders set it slightly above the contract's
+	// upper bound so the mild overshoot-then-decRate of Fig. 4 survives.
+	Cap float64
+	// Weights are the optional stage weights for par-degree splits.
+	Weights []float64
+
+	requested float64
+	endLogged bool
+	endStream bool
+}
+
+func (p *PipelineCoordinator) step() float64 {
+	if p.Step <= 1 {
+		return 1.3
+	}
+	return p.Step
+}
+
+func (p *PipelineCoordinator) floor() float64 {
+	if p.Floor <= 0 {
+		return 0.05
+	}
+	return p.Floor
+}
+
+// OnChildViolation implements the AM_A reaction policy.
+func (p *PipelineCoordinator) OnChildViolation(m *Manager, v Violation) {
+	switch v.Tag {
+	case rules.TagNotEnoughTasks:
+		if v.Snapshot.StreamDone || p.endStream {
+			// No significant action is possible: the stream is over.
+			if !p.endLogged {
+				m.Log().Record(m.clock.Now(), m.Name(), trace.EndStream, "")
+				p.endLogged = true
+			}
+			p.endStream = p.endStream || v.Snapshot.StreamDone
+			return
+		}
+		base := math.Max(math.Max(v.Snapshot.ArrivalRate, p.requested), p.floor())
+		p.requested = base * p.step()
+		if p.Cap > 0 && p.requested > p.Cap {
+			p.requested = p.Cap
+		}
+		m.Log().Record(m.clock.Now(), m.Name(), trace.IncRate,
+			fmt.Sprintf("rate->%.3f", p.requested))
+		if p.Producer != nil {
+			_ = p.Producer.AssignContract(contract.MinThroughput(p.requested))
+		}
+	case rules.TagTooMuchTasks:
+		base := math.Max(v.Snapshot.ArrivalRate, p.requested)
+		p.requested = base / p.step()
+		m.Log().Record(m.clock.Now(), m.Name(), trace.DecRate,
+			fmt.Sprintf("rate->%.3f", p.requested))
+		if p.Producer != nil {
+			_ = p.Producer.AssignContract(contract.MinThroughput(p.requested))
+		}
+	}
+}
+
+// NewPipelineManager builds the application manager AM_A over a pipeline
+// ABC with the PipelineCoordinator policy. Attach the stage managers with
+// AttachChild before assigning the top-level contract.
+func NewPipelineManager(name string, ctrl abc.Controller, coord *PipelineCoordinator, log *trace.Log, clock simclock.Clock, period time.Duration) (*Manager, error) {
+	if coord == nil {
+		coord = &PipelineCoordinator{}
+	}
+	return New(Config{
+		Name:       name,
+		Concern:    "performance",
+		Clock:      clock,
+		Period:     period,
+		Controller: ctrl,
+		Log:        log,
+		Policy: Policy{
+			OnChildViolation: coord.OnChildViolation,
+			Split: func(c contract.Contract, n int) ([]contract.Contract, error) {
+				return contract.SplitPipeline(c, n, coord.Weights)
+			},
+		},
+	})
+}

@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2009, 5, 25, 0, 0, 0, 0, time.UTC)
+
+func TestRateMeterBasic(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, 10*time.Second)
+	for i := 0; i < 6; i++ {
+		m.Mark()
+		c.Advance(time.Second)
+	}
+	// Six events in the last 10 s window.
+	if got := m.Rate(); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("Rate = %v, want 0.6", got)
+	}
+	if m.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", m.Total())
+	}
+}
+
+func TestRateMeterExpiry(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, time.Second)
+	m.MarkN(10)
+	if got := m.Rate(); got != 10 {
+		t.Fatalf("Rate = %v, want 10", got)
+	}
+	c.Advance(2 * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after expiry = %v, want 0", got)
+	}
+	if m.Total() != 10 {
+		t.Fatalf("Total must survive expiry, got %d", m.Total())
+	}
+}
+
+func TestRateMeterMarkNNonPositive(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, time.Second)
+	m.MarkN(0)
+	m.MarkN(-3)
+	if m.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", m.Total())
+	}
+}
+
+func TestRateMeterZeroWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRateMeter(simclock.NewManual(epoch), 0)
+}
+
+func TestRateMeterConcurrent(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Mark()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", m.Total())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA must not be initialized")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample must seed the average, got %v", e.Value())
+	}
+	e.Observe(20)
+	if got := e.Value(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("Value = %v, want 15", got)
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha=%v: expected panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Mean != 5 || s.Variance != 4 || s.StdDev != 2 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestQueueImbalance(t *testing.T) {
+	if v := QueueImbalance([]int{3, 3, 3}); v != 0 {
+		t.Fatalf("balanced queues variance = %v, want 0", v)
+	}
+	if v := QueueImbalance([]int{0, 6}); v != 9 {
+		t.Fatalf("variance = %v, want 9", v)
+	}
+	if v := QueueImbalance(nil); v != 0 {
+		t.Fatalf("nil variance = %v, want 0", v)
+	}
+}
+
+// Property: imbalance is invariant under permutation and zero iff all equal.
+func TestQueueImbalanceProperties(t *testing.T) {
+	f := func(lens []uint8) bool {
+		qs := make([]int, len(lens))
+		for i, l := range lens {
+			qs[i] = int(l)
+		}
+		v := QueueImbalance(qs)
+		if v < 0 {
+			return false
+		}
+		// reverse permutation
+		rev := make([]int, len(qs))
+		for i := range qs {
+			rev[i] = qs[len(qs)-1-i]
+		}
+		if math.Abs(QueueImbalance(rev)-v) > 1e-6 {
+			return false
+		}
+		allEq := true
+		for _, q := range qs {
+			if q != qs[0] {
+				allEq = false
+			}
+		}
+		if allEq && v != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer(0)
+	for _, d := range []time.Duration{time.Second, 3 * time.Second, 2 * time.Second} {
+		tm.Observe(d)
+	}
+	if tm.Count() != 3 {
+		t.Fatalf("Count = %d", tm.Count())
+	}
+	if tm.Mean() != 2*time.Second {
+		t.Fatalf("Mean = %v", tm.Mean())
+	}
+	if tm.Min() != time.Second || tm.Max() != 3*time.Second {
+		t.Fatalf("Min/Max = %v/%v", tm.Min(), tm.Max())
+	}
+	if p := tm.Percentile(50); p != 2*time.Second {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := tm.Percentile(100); p != 3*time.Second {
+		t.Fatalf("P100 = %v", p)
+	}
+}
+
+func TestTimerEmpty(t *testing.T) {
+	tm := NewTimer(4)
+	if tm.Mean() != 0 || tm.Min() != 0 || tm.Max() != 0 || tm.Percentile(50) != 0 {
+		t.Fatal("empty timer must report zeros")
+	}
+}
+
+func TestTimerReservoirOverflow(t *testing.T) {
+	tm := NewTimer(4)
+	for i := 0; i < 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if tm.Count() != 100 {
+		t.Fatalf("Count = %d", tm.Count())
+	}
+	if tm.Max() != 99*time.Millisecond {
+		t.Fatalf("Max = %v", tm.Max())
+	}
+}
+
+func TestTimerPercentileBounds(t *testing.T) {
+	tm := NewTimer(4)
+	tm.Observe(time.Second)
+	for _, p := range []float64{0, -1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%v: expected panic", p)
+				}
+			}()
+			tm.Percentile(p)
+		}()
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("throughput")
+	if s.Name() != "throughput" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series must report no last point")
+	}
+	s.Append(epoch, 0.1)
+	s.Append(epoch.Add(time.Second), 0.7)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Max() != 0.7 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 0.7 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	pts := s.Points()
+	pts[0].V = 99 // must not alias internal storage
+	if s.Points()[0].V == 99 {
+		t.Fatal("Points leaked internal storage")
+	}
+}
+
+// Property: the rate meter never reports a negative rate and Total is
+// monotone in the number of Mark calls.
+func TestRateMeterProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		c := simclock.NewManual(epoch)
+		m := NewRateMeter(c, 5*time.Second)
+		var marks uint64
+		for _, g := range gaps {
+			m.Mark()
+			marks++
+			c.Advance(time.Duration(g) * time.Millisecond)
+			if m.Rate() < 0 {
+				return false
+			}
+		}
+		return m.Total() == marks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package planner implements the analytical performance models behind the
+// "initial parallelism degree set-up" policy the paper lists in §3: the
+// classical task-farm and pipeline models used to derive an initial
+// configuration from a throughput contract, instead of starting from one
+// worker and ramping up reactively. The same models justify the P_spl
+// heuristics (pipeline throughput = slowest stage) that
+// internal/contract implements.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// FarmThroughput predicts the steady-state completion rate (tasks/s) of a
+// task farm with the given parallelism degree: the offered arrival rate
+// capped by the service capacity degree*speed/serviceTime.
+func FarmThroughput(degree int, serviceTime time.Duration, speed, arrivalRate float64) float64 {
+	if degree <= 0 || serviceTime <= 0 || speed <= 0 {
+		return 0
+	}
+	capacity := float64(degree) * speed / serviceTime.Seconds()
+	return math.Min(arrivalRate, capacity)
+}
+
+// FarmDegree returns the minimal parallelism degree whose predicted
+// capacity reaches targetRate tasks/s with workers of the given relative
+// speed. It returns at least 1.
+func FarmDegree(targetRate float64, serviceTime time.Duration, speed float64) int {
+	if targetRate <= 0 || serviceTime <= 0 || speed <= 0 {
+		return 1
+	}
+	d := int(math.Ceil(targetRate * serviceTime.Seconds() / speed))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// PipelineThroughput predicts a pipeline's completion rate: the minimum of
+// its stage rates (the model P_spl exploits).
+func PipelineThroughput(stageRates []float64) float64 {
+	if len(stageRates) == 0 {
+		return 0
+	}
+	min := stageRates[0]
+	for _, r := range stageRates[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Bottleneck returns the index and rate of the slowest stage.
+func Bottleneck(stageRates []float64) (int, float64) {
+	if len(stageRates) == 0 {
+		return -1, 0
+	}
+	idx := 0
+	for i, r := range stageRates {
+		if r < stageRates[idx] {
+			idx = i
+		}
+	}
+	return idx, stageRates[idx]
+}
+
+// FarmPlan is a model-derived initial farm configuration.
+type FarmPlan struct {
+	Degree    int
+	Predicted float64 // predicted throughput at that degree (uncapped by arrival)
+	Feasible  bool    // the platform has enough free capacity
+	Capacity  int     // free core slots matching the request
+}
+
+// PlanFarm derives the initial degree for a farm that must deliver
+// targetRate tasks/s of work costing serviceTime per task on reference
+// cores, bounded by what the platform can actually supply. The reference
+// speed used is the fastest matching node's (conservative plans can pass a
+// stricter Request).
+func PlanFarm(rm *grid.ResourceManager, req grid.Request, targetRate float64, serviceTime time.Duration) (FarmPlan, error) {
+	if rm == nil {
+		return FarmPlan{}, fmt.Errorf("planner: nil resource manager")
+	}
+	if targetRate <= 0 || serviceTime <= 0 {
+		return FarmPlan{}, fmt.Errorf("planner: need positive target rate and service time")
+	}
+	speed := 0.0
+	for _, n := range rm.Nodes() {
+		if req.TrustedOnly && !n.Domain.Trusted {
+			continue
+		}
+		if req.MinSpeed > 0 && n.Speed < req.MinSpeed {
+			continue
+		}
+		if n.Speed > speed {
+			speed = n.Speed
+		}
+	}
+	if speed == 0 {
+		return FarmPlan{Feasible: false}, nil
+	}
+	degree := FarmDegree(targetRate, serviceTime, speed)
+	cap := rm.CapacityFree(req)
+	plan := FarmPlan{
+		Degree:    degree,
+		Predicted: float64(degree) * speed / serviceTime.Seconds(),
+		Feasible:  degree <= cap,
+		Capacity:  cap,
+	}
+	if !plan.Feasible && cap > 0 {
+		plan.Degree = cap // best effort: everything the platform has
+		plan.Predicted = float64(cap) * speed / serviceTime.Seconds()
+	}
+	return plan, nil
+}

@@ -1,0 +1,135 @@
+package planner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/grid"
+)
+
+func TestFarmThroughput(t *testing.T) {
+	// 4 workers, 2 s tasks, reference speed, plentiful input: 2 tasks/s.
+	got := FarmThroughput(4, 2*time.Second, 1.0, 100)
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("throughput = %v, want 2", got)
+	}
+	// Arrival-limited.
+	if got := FarmThroughput(4, 2*time.Second, 1.0, 0.5); got != 0.5 {
+		t.Fatalf("arrival-capped throughput = %v", got)
+	}
+	// Degenerate inputs.
+	if FarmThroughput(0, time.Second, 1, 1) != 0 ||
+		FarmThroughput(1, 0, 1, 1) != 0 ||
+		FarmThroughput(1, time.Second, 0, 1) != 0 {
+		t.Fatal("degenerate inputs must predict 0")
+	}
+}
+
+func TestFarmDegree(t *testing.T) {
+	// 0.6 tasks/s of 6.4 s tasks needs ceil(3.84) = 4 workers.
+	if d := FarmDegree(0.6, 6400*time.Millisecond, 1.0); d != 4 {
+		t.Fatalf("degree = %d, want 4", d)
+	}
+	// Faster nodes need fewer workers.
+	if d := FarmDegree(0.6, 6400*time.Millisecond, 2.0); d != 2 {
+		t.Fatalf("degree at speed 2 = %d, want 2", d)
+	}
+	if d := FarmDegree(0, time.Second, 1); d != 1 {
+		t.Fatalf("degenerate degree = %d, want 1", d)
+	}
+}
+
+// Property: FarmDegree returns the *minimal* degree whose capacity reaches
+// the target.
+func TestFarmDegreeMinimality(t *testing.T) {
+	f := func(rate100 uint8, svcMS uint16) bool {
+		target := float64(rate100%200+1) / 100
+		svc := time.Duration(int(svcMS)%5000+1) * time.Millisecond
+		d := FarmDegree(target, svc, 1.0)
+		capAt := func(k int) float64 { return float64(k) / svc.Seconds() }
+		if capAt(d) < target-1e-9 {
+			return false
+		}
+		if d > 1 && capAt(d-1) >= target+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineThroughputAndBottleneck(t *testing.T) {
+	rates := []float64{0.8, 0.3, 0.5}
+	if got := PipelineThroughput(rates); got != 0.3 {
+		t.Fatalf("pipeline throughput = %v", got)
+	}
+	idx, rate := Bottleneck(rates)
+	if idx != 1 || rate != 0.3 {
+		t.Fatalf("bottleneck = %d/%v", idx, rate)
+	}
+	if PipelineThroughput(nil) != 0 {
+		t.Fatal("empty pipeline throughput != 0")
+	}
+	if idx, _ := Bottleneck(nil); idx != -1 {
+		t.Fatal("empty bottleneck index != -1")
+	}
+}
+
+func TestPlanFarm(t *testing.T) {
+	p := grid.NewSMP(12)
+	plan, err := PlanFarm(p.RM, grid.Request{}, 0.6, 6400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Degree != 4 || !plan.Feasible {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Predicted < 0.6 {
+		t.Fatalf("predicted %v below target", plan.Predicted)
+	}
+
+	// Infeasible: tiny platform caps the plan at its capacity.
+	small := grid.NewSMP(2)
+	plan, err = PlanFarm(small.RM, grid.Request{}, 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible || plan.Degree != 2 {
+		t.Fatalf("capped plan = %+v", plan)
+	}
+
+	// No matching nodes at all.
+	empty := grid.NewResourceManager()
+	plan, err = PlanFarm(empty, grid.Request{}, 1, time.Second)
+	if err != nil || plan.Feasible {
+		t.Fatalf("empty plan = %+v, %v", plan, err)
+	}
+
+	if _, err := PlanFarm(nil, grid.Request{}, 1, time.Second); err == nil {
+		t.Fatal("nil RM accepted")
+	}
+	if _, err := PlanFarm(p.RM, grid.Request{}, 0, time.Second); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+func TestPlanFarmRespectsRequest(t *testing.T) {
+	trusted := grid.Domain{Name: "t", Trusted: true}
+	untrusted := grid.Domain{Name: "u", Trusted: false}
+	rm := grid.NewResourceManager(
+		grid.NewNode("slowT", trusted, 4, 0.5),
+		grid.NewNode("fastU", untrusted, 4, 2.0),
+	)
+	plan, err := PlanFarm(rm, grid.Request{TrustedOnly: true}, 1.0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the slow trusted node counts: degree 2 at speed 0.5.
+	if plan.Degree != 2 {
+		t.Fatalf("trusted-only degree = %d, want 2", plan.Degree)
+	}
+}

@@ -1,0 +1,275 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RuleSet is a parsed collection of rules, in declaration order.
+type RuleSet struct {
+	Rules []*Rule
+}
+
+// Rule is one precondition–action rule.
+type Rule struct {
+	Name     string
+	Salience int // higher fires first; 0 is the default
+	Patterns []*Pattern
+	Actions  []*Action
+	Line     int
+}
+
+// Pattern matches one bean in working memory: `$var : Type ( cond )`.
+// Cond may be nil (match any bean of the type) and Var may be empty (no
+// binding).
+type Pattern struct {
+	Var  string
+	Type string
+	Cond Expr
+}
+
+// Action is one statement of a rule's then-part: a method call either on a
+// bound variable (`$x.fireOperation(OP);`) or bare (`log("...");`).
+type Action struct {
+	Var    string // receiver binding; empty for bare calls
+	Method string
+	Args   []Expr
+	Line   int
+}
+
+// env carries the name-resolution context of an expression evaluation.
+type env struct {
+	current  Bean            // bean under test in a pattern; nil in actions
+	bindings map[string]Bean // previously bound pattern variables
+	consts   Constants
+	symbolic bool // actions: unresolved identifiers become string tags
+}
+
+func (e *env) lookupIdent(path []string) (Value, error) {
+	name := strings.Join(path, ".")
+	// A bare identifier may be a field of the bean under test.
+	if e.current != nil && len(path) == 1 {
+		if v, ok := e.current.Field(path[0]); ok {
+			return v, nil
+		}
+	}
+	if e.consts != nil {
+		if v, ok := e.consts.Lookup(name); ok {
+			return v, nil
+		}
+	}
+	if e.symbolic {
+		// In action arguments, unknown constants degrade to their last
+		// path segment as a symbolic tag (the paper's
+		// ManagersConstants.notEnoughTasks_VIOL style).
+		return Str(path[len(path)-1]), nil
+	}
+	return Value{}, fmt.Errorf("rules: unknown identifier %q", name)
+}
+
+// Expr is a rule expression node.
+type Expr interface {
+	eval(*env) (Value, error)
+	String() string
+}
+
+type numLit struct{ v float64 }
+
+func (n numLit) eval(*env) (Value, error) { return Num(n.v), nil }
+func (n numLit) String() string           { return Num(n.v).String() }
+
+type strLit struct{ s string }
+
+func (s strLit) eval(*env) (Value, error) { return Str(s.s), nil }
+func (s strLit) String() string           { return fmt.Sprintf("%q", s.s) }
+
+type boolLit struct{ b bool }
+
+func (b boolLit) eval(*env) (Value, error) { return Bool(b.b), nil }
+func (b boolLit) String() string           { return Bool(b.b).String() }
+
+type identRef struct{ path []string }
+
+func (i identRef) eval(e *env) (Value, error) { return e.lookupIdent(i.path) }
+func (i identRef) String() string             { return strings.Join(i.path, ".") }
+
+type varRef struct {
+	name  string // binding name without '$'
+	field string
+}
+
+func (v varRef) eval(e *env) (Value, error) {
+	b, ok := e.bindings[v.name]
+	if !ok {
+		return Value{}, fmt.Errorf("rules: unbound variable $%s", v.name)
+	}
+	val, ok := b.Field(v.field)
+	if !ok {
+		return Value{}, fmt.Errorf("rules: bean %s has no field %q", b.BeanType(), v.field)
+	}
+	return val, nil
+}
+
+func (v varRef) String() string { return "$" + v.name + "." + v.field }
+
+type unary struct {
+	op string // "-" or "!"
+	x  Expr
+}
+
+func (u unary) eval(e *env) (Value, error) {
+	v, err := u.x.eval(e)
+	if err != nil {
+		return Value{}, err
+	}
+	switch u.op {
+	case "-":
+		n, err := v.AsNum()
+		if err != nil {
+			return Value{}, err
+		}
+		return Num(-n), nil
+	case "!":
+		b, err := v.AsBool()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!b), nil
+	}
+	return Value{}, fmt.Errorf("rules: unknown unary operator %q", u.op)
+}
+
+func (u unary) String() string { return u.op + u.x.String() }
+
+type binary struct {
+	op   string
+	l, r Expr
+}
+
+func (b binary) eval(e *env) (Value, error) {
+	// Short-circuit logical operators.
+	switch b.op {
+	case "&&", "||":
+		lv, err := b.l.eval(e)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, err := lv.AsBool()
+		if err != nil {
+			return Value{}, err
+		}
+		if b.op == "&&" && !lb {
+			return Bool(false), nil
+		}
+		if b.op == "||" && lb {
+			return Bool(true), nil
+		}
+		rv, err := b.r.eval(e)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := rv.AsBool()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(rb), nil
+	}
+	lv, err := b.l.eval(e)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := b.r.eval(e)
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.op {
+	case "==":
+		return Bool(lv.Equal(rv)), nil
+	case "!=":
+		return Bool(!lv.Equal(rv)), nil
+	}
+	ln, err := lv.AsNum()
+	if err != nil {
+		return Value{}, err
+	}
+	rn, err := rv.AsNum()
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.op {
+	case "<":
+		return Bool(ln < rn), nil
+	case "<=":
+		return Bool(ln <= rn), nil
+	case ">":
+		return Bool(ln > rn), nil
+	case ">=":
+		return Bool(ln >= rn), nil
+	case "+":
+		return Num(ln + rn), nil
+	case "-":
+		return Num(ln - rn), nil
+	case "*":
+		return Num(ln * rn), nil
+	case "/":
+		if rn == 0 {
+			return Value{}, fmt.Errorf("rules: division by zero")
+		}
+		return Num(ln / rn), nil
+	}
+	return Value{}, fmt.Errorf("rules: unknown operator %q", b.op)
+}
+
+func (b binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r)
+}
+
+// String renders the rule back in the source syntax.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %q\n", r.Name)
+	if r.Salience != 0 {
+		fmt.Fprintf(&b, "  salience %d\n", r.Salience)
+	}
+	b.WriteString("  when\n")
+	for _, p := range r.Patterns {
+		b.WriteString("    ")
+		if p.Var != "" {
+			fmt.Fprintf(&b, "$%s : ", p.Var)
+		}
+		b.WriteString(p.Type)
+		if p.Cond != nil {
+			fmt.Fprintf(&b, "( %s )", p.Cond)
+		} else {
+			b.WriteString("( )")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  then\n")
+	for _, a := range r.Actions {
+		b.WriteString("    ")
+		if a.Var != "" {
+			fmt.Fprintf(&b, "$%s.", a.Var)
+		}
+		b.WriteString(a.Method)
+		b.WriteByte('(')
+		for i, arg := range a.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(arg.String())
+		}
+		b.WriteString(");\n")
+	}
+	b.WriteString("end")
+	return b.String()
+}
+
+// String renders the whole set in source syntax.
+func (rs *RuleSet) String() string {
+	parts := make([]string, len(rs.Rules))
+	for i, r := range rs.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n\n")
+}

@@ -1,0 +1,234 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Effector receives the operations fired by rule actions. The Autonomic
+// Behaviour Controller implements this interface with its actuators
+// (ADD_EXECUTOR, BALANCE_LOAD, RAISE_VIOLATION, ...).
+type Effector interface {
+	// FireOperation performs op. act carries the activation context,
+	// including any tags accumulated by preceding setData actions.
+	FireOperation(op string, act *Activation) error
+}
+
+// EffectorFunc adapts a function to the Effector interface.
+type EffectorFunc func(op string, act *Activation) error
+
+// FireOperation implements Effector.
+func (f EffectorFunc) FireOperation(op string, act *Activation) error {
+	return f(op, act)
+}
+
+// Activation is one rule firing: the rule, its variable bindings and the
+// data tags set by setData actions before each fireOperation.
+type Activation struct {
+	Rule     *Rule
+	Bindings map[string]Bean
+	Data     []string // tags accumulated by setData, in order
+	Logs     []string // output of log(...) actions
+}
+
+// LastData returns the most recent setData tag, or "".
+func (a *Activation) LastData() string {
+	if len(a.Data) == 0 {
+		return ""
+	}
+	return a.Data[len(a.Data)-1]
+}
+
+// Bound returns the bean bound to the named variable, or nil.
+func (a *Activation) Bound(name string) Bean {
+	return a.Bindings[name]
+}
+
+// Engine evaluates a RuleSet against working memory once per control-loop
+// cycle, JBoss-style: fireable rules are selected, prioritized by salience
+// (declaration order breaking ties) and executed.
+type Engine struct {
+	rules  []*Rule // sorted by (salience desc, declaration order)
+	consts Constants
+}
+
+// New builds an engine over the given rule set and constant table.
+func New(rs *RuleSet, consts Constants) *Engine {
+	ordered := make([]*Rule, len(rs.Rules))
+	copy(ordered, rs.Rules)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Salience > ordered[j].Salience
+	})
+	return &Engine{rules: ordered, consts: consts}
+}
+
+// Rules returns the rules in firing-priority order.
+func (e *Engine) Rules() []*Rule {
+	out := make([]*Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
+// Constants returns the engine's constant table.
+func (e *Engine) Constants() Constants { return e.consts }
+
+// Cycle runs one control-loop iteration: every fireable rule is executed
+// once, in priority order, against the given working memory. It returns
+// the executed activations. A nil effector discards fired operations.
+func (e *Engine) Cycle(memory []Bean, eff Effector) ([]*Activation, error) {
+	return e.CycleLimit(memory, eff, 0)
+}
+
+// CycleLimit is Cycle with an upper bound on the number of rules fired
+// (0 means no bound).
+func (e *Engine) CycleLimit(memory []Bean, eff Effector, maxFirings int) ([]*Activation, error) {
+	var fired []*Activation
+	for _, r := range e.rules {
+		if maxFirings > 0 && len(fired) >= maxFirings {
+			break
+		}
+		act, ok, err := e.match(r, memory)
+		if err != nil {
+			return fired, fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+		if !ok {
+			continue
+		}
+		if err := e.execute(act, eff); err != nil {
+			return fired, fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+		fired = append(fired, act)
+	}
+	return fired, nil
+}
+
+// Fireable reports, without executing actions, which rules would fire
+// against the given memory. The managers use it to detect the passive
+// state: no fireable "active" rules.
+func (e *Engine) Fireable(memory []Bean) ([]*Rule, error) {
+	var out []*Rule
+	for _, r := range e.rules {
+		_, ok, err := e.match(r, memory)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// match binds the rule's patterns against memory with backtracking and
+// returns the first complete activation.
+func (e *Engine) match(r *Rule, memory []Bean) (*Activation, bool, error) {
+	bindings := map[string]Bean{}
+	ok, err := e.matchFrom(r.Patterns, memory, bindings)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return &Activation{Rule: r, Bindings: bindings}, true, nil
+}
+
+func (e *Engine) matchFrom(pats []*Pattern, memory []Bean, bindings map[string]Bean) (bool, error) {
+	if len(pats) == 0 {
+		return true, nil
+	}
+	p := pats[0]
+	for _, b := range memory {
+		if b.BeanType() != p.Type {
+			continue
+		}
+		if alreadyBound(bindings, b) {
+			continue
+		}
+		if p.Cond != nil {
+			ev := &env{current: b, bindings: bindings, consts: e.consts}
+			v, err := p.Cond.eval(ev)
+			if err != nil {
+				return false, err
+			}
+			hold, err := v.AsBool()
+			if err != nil {
+				return false, fmt.Errorf("pattern %s: condition is not boolean", p.Type)
+			}
+			if !hold {
+				continue
+			}
+		}
+		if p.Var != "" {
+			bindings[p.Var] = b
+		}
+		ok, err := e.matchFrom(pats[1:], memory, bindings)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if p.Var != "" {
+			delete(bindings, p.Var)
+		}
+	}
+	return false, nil
+}
+
+func alreadyBound(bindings map[string]Bean, b Bean) bool {
+	for _, bound := range bindings {
+		if bound == b {
+			return true
+		}
+	}
+	return false
+}
+
+// execute runs the activation's actions in order.
+func (e *Engine) execute(act *Activation, eff Effector) error {
+	for _, a := range act.Rule.Actions {
+		ev := &env{bindings: act.Bindings, consts: e.consts, symbolic: true}
+		args := make([]Value, len(a.Args))
+		for i, arg := range a.Args {
+			v, err := arg.eval(ev)
+			if err != nil {
+				return fmt.Errorf("action %s: %w", a.Method, err)
+			}
+			args[i] = v
+		}
+		switch a.Method {
+		case "setData":
+			if len(args) != 1 {
+				return fmt.Errorf("setData takes exactly one argument, got %d", len(args))
+			}
+			act.Data = append(act.Data, args[0].AsStr())
+		case "fireOperation":
+			if len(args) != 1 {
+				return fmt.Errorf("fireOperation takes exactly one argument, got %d", len(args))
+			}
+			if eff != nil {
+				if err := eff.FireOperation(args[0].AsStr(), act); err != nil {
+					return err
+				}
+			}
+		case "log":
+			parts := make([]string, len(args))
+			for i, v := range args {
+				parts[i] = v.AsStr()
+			}
+			act.Logs = append(act.Logs, joinSpace(parts))
+		default:
+			return fmt.Errorf("unknown action method %q", a.Method)
+		}
+	}
+	return nil
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type firedOp struct {
+	op   string
+	data string
+}
+
+type recorder struct {
+	ops  []firedOp
+	fail error
+}
+
+func (r *recorder) FireOperation(op string, act *Activation) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.ops = append(r.ops, firedOp{op: op, data: act.LastData()})
+	return nil
+}
+
+func farmMemory(arrival, departure float64, workers int, variance float64) []Bean {
+	return []Bean{
+		NewBean(BeanArrivalRate, Num(arrival)),
+		NewBean(BeanDepartureRate, Num(departure)),
+		NewBean(BeanNumWorker, Num(float64(workers))),
+		NewBean(BeanQueueVariance, Num(variance)),
+	}
+}
+
+func farmEngine() *Engine {
+	return NewFarmEngine(FarmConstants(0.3, 0.7, 1, 16, 4.0))
+}
+
+func TestFarmRulesNotEnoughTasks(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	// Arrival below contract low bound: the farm must raise a violation,
+	// not add workers (Fig. 4, first phase).
+	acts, err := e.Cycle(farmMemory(0.1, 0.1, 2, 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || acts[0].Rule.Name != "CheckInterArrivalRateLow" {
+		t.Fatalf("fired %v", ruleNames(acts))
+	}
+	if len(rec.ops) != 1 || rec.ops[0] != (firedOp{OpRaiseViolation, TagNotEnoughTasks}) {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestFarmRulesAddWorkers(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	// Enough input pressure, low departure rate: add executors
+	// (Fig. 4, second phase).
+	acts, err := e.Cycle(farmMemory(0.5, 0.2, 2, 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ruleNames(acts); len(got) != 1 || got[0] != "CheckRateLow" {
+		t.Fatalf("fired %v", got)
+	}
+	wantOps := []firedOp{
+		{OpAddExecutor, TagAddWorkers},
+		{OpBalanceLoad, TagAddWorkers},
+	}
+	if len(rec.ops) != 2 || rec.ops[0] != wantOps[0] || rec.ops[1] != wantOps[1] {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestFarmRulesTooMuchTasks(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	// Arrival above the contract: warn the parent (decRate follows).
+	acts, err := e.Cycle(farmMemory(1.2, 0.5, 4, 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ruleNames(acts); len(got) != 1 || got[0] != "CheckInterArrivalRateHigh" {
+		t.Fatalf("fired %v", got)
+	}
+	if rec.ops[0] != (firedOp{OpRaiseViolation, TagTooMuchTasks}) {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestFarmRulesRemoveWorker(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	acts, err := e.Cycle(farmMemory(0.5, 0.9, 4, 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ruleNames(acts); len(got) != 1 || got[0] != "CheckRateHigh" {
+		t.Fatalf("fired %v", got)
+	}
+	if rec.ops[0].op != OpRemoveExecutor || rec.ops[1].op != OpBalanceLoad {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestFarmRulesRemoveWorkerRespectsMin(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	// departure high but already at the minimum parallelism degree
+	acts, err := e.Cycle(farmMemory(0.5, 0.9, 1, 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 0 {
+		t.Fatalf("fired %v, want nothing", ruleNames(acts))
+	}
+}
+
+func TestFarmRulesRebalance(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	acts, err := e.Cycle(farmMemory(0.5, 0.5, 4, 9.0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ruleNames(acts); len(got) != 1 || got[0] != "CheckLoadBalance" {
+		t.Fatalf("fired %v", got)
+	}
+	if rec.ops[0].op != OpBalanceLoad {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestFarmRulesQuiescent(t *testing.T) {
+	e := farmEngine()
+	acts, err := e.Cycle(farmMemory(0.5, 0.5, 4, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 0 {
+		t.Fatalf("fired %v in steady state", ruleNames(acts))
+	}
+}
+
+func TestFireableDoesNotExecute(t *testing.T) {
+	e := farmEngine()
+	rec := &recorder{}
+	rules, err := e.Fireable(farmMemory(0.1, 0.1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Name != "CheckInterArrivalRateLow" {
+		t.Fatalf("fireable = %v", rules)
+	}
+	if len(rec.ops) != 0 {
+		t.Fatal("Fireable executed actions")
+	}
+}
+
+func TestSaliencePriority(t *testing.T) {
+	rs := MustParse(`
+rule "Low" when S() then log("low"); end
+rule "High" salience 100 when S() then log("high"); end`)
+	e := New(rs, nil)
+	acts, err := e.Cycle([]Bean{NewBean("S", Num(1))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 || acts[0].Rule.Name != "High" || acts[1].Rule.Name != "Low" {
+		t.Fatalf("order = %v", ruleNames(acts))
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	rs := MustParse(`
+rule "A" when S() then log("a"); end
+rule "B" when S() then log("b"); end`)
+	e := New(rs, nil)
+	acts, err := e.CycleLimit([]Bean{NewBean("S", Num(1))}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 {
+		t.Fatalf("fired %d rules, want 1", len(acts))
+	}
+}
+
+func TestDistinctBeansPerPattern(t *testing.T) {
+	// Two patterns of the same type must bind two different beans.
+	rs := MustParse(`
+rule "Pair"
+  when
+    $a : S( value > 0 )
+    $b : S( value > $a.value )
+  then
+    log("pair");
+end`)
+	e := New(rs, nil)
+	// Single bean: cannot bind both patterns.
+	acts, err := e.Cycle([]Bean{NewBean("S", Num(1))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 0 {
+		t.Fatal("one bean matched two patterns")
+	}
+	// Two beans in unfavourable order: backtracking must still match.
+	acts, err = e.Cycle([]Bean{NewBean("S", Num(5)), NewBean("S", Num(1))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 {
+		t.Fatal("backtracking failed to find the valid binding")
+	}
+	if v, _ := acts[0].Bound("a").Field("value"); v.AsStr() != "1" {
+		t.Fatalf("$a bound to %v, want 1", v)
+	}
+}
+
+func TestEffectorErrorPropagates(t *testing.T) {
+	e := farmEngine()
+	boom := errors.New("boom")
+	_, err := e.Cycle(farmMemory(0.1, 0.1, 2, 0), &recorder{fail: boom})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownIdentifierInConditionFails(t *testing.T) {
+	rs := MustParse(`rule "A" when S( value < NO_SUCH_CONST ) then log("x"); end`)
+	e := New(rs, nil)
+	_, err := e.Cycle([]Bean{NewBean("S", Num(1))}, nil)
+	if err == nil || !strings.Contains(err.Error(), "NO_SUCH_CONST") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSymbolicActionArguments(t *testing.T) {
+	// Unknown constants in action args degrade to their last segment.
+	rs := MustParse(`rule "A" when $s : S() then $s.setData(Other.SOME_TAG); $s.fireOperation(Ops.DO_IT); end`)
+	e := New(rs, nil)
+	rec := &recorder{}
+	if _, err := e.Cycle([]Bean{NewBean("S", Num(1))}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ops[0] != (firedOp{"DO_IT", "SOME_TAG"}) {
+		t.Fatalf("ops = %v", rec.ops)
+	}
+}
+
+func TestLogAction(t *testing.T) {
+	rs := MustParse(`rule "A" when S() then log("hello", 42); end`)
+	e := New(rs, nil)
+	acts, err := e.Cycle([]Bean{NewBean("S", Num(1))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts[0].Logs) != 1 || acts[0].Logs[0] != "hello 42" {
+		t.Fatalf("logs = %v", acts[0].Logs)
+	}
+}
+
+func TestSetDataArity(t *testing.T) {
+	rs := MustParse(`rule "A" when $s : S() then $s.setData(1, 2); end`)
+	if _, err := New(rs, nil).Cycle([]Bean{NewBean("S", Num(1))}, nil); err == nil {
+		t.Fatal("setData with two args must fail")
+	}
+}
+
+func TestUnknownActionMethod(t *testing.T) {
+	rs := MustParse(`rule "A" when $s : S() then $s.explode(); end`)
+	if _, err := New(rs, nil).Cycle([]Bean{NewBean("S", Num(1))}, nil); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	rs := MustParse(`rule "A" when S( value / 0 > 1 ) then log("x"); end`)
+	if _, err := New(rs, nil).Cycle([]Bean{NewBean("S", Num(1))}, nil); err == nil {
+		t.Fatal("division by zero must fail")
+	}
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	rs := MustParse(`rule "A" when S( (value * 2 + 1 == 7) && !(value < 0) || false ) then log("x"); end`)
+	e := New(rs, nil)
+	acts, err := e.Cycle([]Bean{NewBean("S", Num(3))}, nil)
+	if err != nil || len(acts) != 1 {
+		t.Fatalf("acts=%v err=%v", acts, err)
+	}
+	acts, err = e.Cycle([]Bean{NewBean("S", Num(4))}, nil)
+	if err != nil || len(acts) != 0 {
+		t.Fatalf("acts=%v err=%v", acts, err)
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	rs := MustParse(`rule "A" when S( name == "farm" ) then log("x"); end`)
+	e := New(rs, nil)
+	b := NewBean("S", Num(0)).Set("name", Str("farm"))
+	acts, err := e.Cycle([]Bean{b}, nil)
+	if err != nil || len(acts) != 1 {
+		t.Fatalf("acts=%v err=%v", acts, err)
+	}
+}
+
+func TestConstantsLookup(t *testing.T) {
+	c := Constants{"A.B.C": Num(1), "D": Num(2)}
+	if v, ok := c.Lookup("A.B.C"); !ok || v.AsStr() != "1" {
+		t.Fatalf("qualified lookup failed: %v %v", v, ok)
+	}
+	if v, ok := c.Lookup("X.Y.D"); !ok || v.AsStr() != "2" {
+		t.Fatalf("suffix lookup failed: %v %v", v, ok)
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Fatal("missing constant found")
+	}
+}
+
+func TestFarmConstantsValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lo>hi":   func() { FarmConstants(2, 1, 1, 4, 0) },
+		"neg lo":  func() { FarmConstants(-1, 1, 1, 4, 0) },
+		"min<1":   func() { FarmConstants(0, 1, 0, 4, 0) },
+		"max<min": func() { FarmConstants(0, 1, 4, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the farm rule set never fires both ADD_EXECUTOR and
+// REMOVE_EXECUTOR in the same cycle, for any sensor reading.
+func TestFarmRulesNeverAddAndRemoveTogether(t *testing.T) {
+	e := farmEngine()
+	f := func(arr, dep uint8, workers uint8, varc uint8) bool {
+		rec := &recorder{}
+		mem := farmMemory(float64(arr)/100, float64(dep)/100, int(workers%20)+1, float64(varc)/10)
+		if _, err := e.Cycle(mem, rec); err != nil {
+			return false
+		}
+		add, rem := false, false
+		for _, op := range rec.ops {
+			switch op.op {
+			case OpAddExecutor:
+				add = true
+			case OpRemoveExecutor:
+				rem = true
+			}
+		}
+		return !(add && rem)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if n, err := Bool(true).AsNum(); err != nil || n != 1 {
+		t.Fatalf("Bool->Num = %v, %v", n, err)
+	}
+	if _, err := Str("x").AsNum(); err == nil {
+		t.Fatal("Str->Num must fail")
+	}
+	if b, err := Num(2).AsBool(); err != nil || !b {
+		t.Fatalf("Num->Bool = %v, %v", b, err)
+	}
+	if _, err := Str("x").AsBool(); err == nil {
+		t.Fatal("Str->Bool must fail")
+	}
+	if Num(1).String() != "1" || Str("s").String() != "s" || Bool(false).String() != "false" {
+		t.Fatal("String renderings wrong")
+	}
+	if !Num(1).Equal(Bool(true)) {
+		t.Fatal("Num(1) must equal Bool(true)")
+	}
+	if Str("a").Equal(Num(0)) {
+		t.Fatal("Str must not equal Num")
+	}
+}
+
+func ruleNames(acts []*Activation) []string {
+	out := make([]string, len(acts))
+	for i, a := range acts {
+		out[i] = a.Rule.Name
+	}
+	return out
+}

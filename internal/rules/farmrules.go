@@ -1,0 +1,104 @@
+package rules
+
+import "fmt"
+
+// Operation names fired by the standard rule files. The ABC actuators
+// implement them (see internal/abc).
+const (
+	OpRaiseViolation = "RAISE_VIOLATION"
+	OpAddExecutor    = "ADD_EXECUTOR"
+	OpRemoveExecutor = "REMOVE_EXECUTOR"
+	OpBalanceLoad    = "BALANCE_LOAD"
+)
+
+// Violation tags set through setData by the standard rule files; the parent
+// manager dispatches on them (Fig. 4's notEnough / tooMuch events).
+const (
+	TagNotEnoughTasks = "notEnoughTasks_VIOL"
+	TagTooMuchTasks   = "tooMuchTasks_VIOL"
+	TagAddWorkers     = "FARM_ADD_WORKERS"
+)
+
+// Bean type names published by the ABC monitor each control cycle.
+const (
+	BeanArrivalRate   = "ArrivalRateBean"
+	BeanDepartureRate = "DepartureRateBean"
+	BeanNumWorker     = "NumWorkerBean"
+	BeanQueueVariance = "QueueVarianceBean" // the paper's Fig. 5 spells it "QuequeVarianceBean"
+)
+
+// FarmRuleSource is the AM_F rule file of Fig. 5, reproduced in this
+// engine's DRL dialect (the only edits: the QueueVarianceBean spelling and
+// the constant-table prefixes, which resolve identically).
+const FarmRuleSource = `
+rule "CheckInterArrivalRateLow"
+  when
+    $arrivalBean : ArrivalRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+  then
+    $arrivalBean.setData(ManagersConstants.notEnoughTasks_VIOL);
+    $arrivalBean.fireOperation(ManagerOperation.RAISE_VIOLATION);
+end
+
+rule "CheckInterArrivalRateHigh"
+  when
+    $arrivalBean : ArrivalRateBean( value > ManagersConstants.FARM_HIGH_PERF_LEVEL )
+  then
+    $arrivalBean.setData(ManagersConstants.tooMuchTasks_VIOL);
+    $arrivalBean.fireOperation(ManagerOperation.RAISE_VIOLATION);
+end
+
+rule "CheckRateLow"
+  when
+    $departureBean : DepartureRateBean( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $arrivalBean : ArrivalRateBean( value >= ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $parDegree : NumWorkerBean( value <= ManagersConstants.FARM_MAX_NUM_WORKERS )
+  then
+    $departureBean.setData(ManagersConstants.FARM_ADD_WORKERS);
+    $departureBean.fireOperation(ManagerOperation.ADD_EXECUTOR);
+    $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+
+rule "CheckRateHigh"
+  when
+    $departureBean : DepartureRateBean( value > ManagersConstants.FARM_HIGH_PERF_LEVEL )
+    $parDegree : NumWorkerBean( value > ManagersConstants.FARM_MIN_NUM_WORKERS )
+  then
+    $departureBean.fireOperation(ManagerOperation.REMOVE_EXECUTOR);
+    $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+
+rule "CheckLoadBalance"
+  when
+    $VarianceBean : QueueVarianceBean ( value > ManagersConstants.FARM_MAX_UNBALANCE )
+  then
+    $VarianceBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+`
+
+// FarmConstants builds the ManagersConstants table parameterizing the farm
+// rule file from the farm's throughput contract [lo, hi] and its structural
+// limits.
+func FarmConstants(lo, hi float64, minWorkers, maxWorkers int, maxUnbalance float64) Constants {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("rules: bad contract bounds [%v,%v]", lo, hi))
+	}
+	if minWorkers < 1 || maxWorkers < minWorkers {
+		panic(fmt.Sprintf("rules: bad worker bounds [%d,%d]", minWorkers, maxWorkers))
+	}
+	return Constants{
+		"FARM_LOW_PERF_LEVEL":  Num(lo),
+		"FARM_HIGH_PERF_LEVEL": Num(hi),
+		"FARM_MIN_NUM_WORKERS": Num(float64(minWorkers)),
+		"FARM_MAX_NUM_WORKERS": Num(float64(maxWorkers)),
+		"FARM_MAX_UNBALANCE":   Num(maxUnbalance),
+		"notEnoughTasks_VIOL":  Str(TagNotEnoughTasks),
+		"tooMuchTasks_VIOL":    Str(TagTooMuchTasks),
+		"FARM_ADD_WORKERS":     Str(TagAddWorkers),
+	}
+}
+
+// NewFarmEngine parses FarmRuleSource with the given constants. It panics
+// only if the embedded source is broken, which the tests rule out.
+func NewFarmEngine(consts Constants) *Engine {
+	return New(MustParse(FarmRuleSource), consts)
+}

@@ -1,0 +1,145 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueKind(t *testing.T) {
+	if Num(1).Kind() != KindNum || Str("s").Kind() != KindStr || Bool(true).Kind() != KindBool {
+		t.Fatal("kinds wrong")
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	rs := MustParse(`rule "A" when S( -(value) == -3 && !(value != 3) ) then log("x"); end`)
+	e := New(rs, nil)
+	acts, err := e.Cycle([]Bean{NewBean("S", Num(3))}, nil)
+	if err != nil || len(acts) != 1 {
+		t.Fatalf("acts=%v err=%v", acts, err)
+	}
+	// Unary on non-numeric / non-boolean must error.
+	bad := MustParse(`rule "B" when S( -(name) == 1 ) then log("x"); end`)
+	b := NewBean("S", Num(0)).Set("name", Str("x"))
+	if _, err := New(bad, nil).Cycle([]Bean{b}, nil); err == nil {
+		t.Fatal("negating a string accepted")
+	}
+	bad2 := MustParse(`rule "C" when S( !name ) then log("x"); end`)
+	if _, err := New(bad2, nil).Cycle([]Bean{b}, nil); err == nil {
+		t.Fatal("notting a string accepted")
+	}
+}
+
+func TestVarRefErrors(t *testing.T) {
+	// Reference to a field the bound bean lacks.
+	rs := MustParse(`
+rule "A"
+  when
+    $a : A( value > 0 )
+    $b : B( value > $a.missing )
+  then
+    log("x");
+end`)
+	mem := []Bean{NewBean("A", Num(1)), NewBean("B", Num(2))}
+	if _, err := New(rs, nil).Cycle(mem, nil); err == nil {
+		t.Fatal("missing field accepted")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	consts := Constants{"X": Num(1)}
+	e := New(MustParse(`rule "A" when S() then log("x"); end`), consts)
+	if len(e.Rules()) != 1 || e.Rules()[0].Name != "A" {
+		t.Fatalf("Rules = %v", e.Rules())
+	}
+	if v, ok := e.Constants().Lookup("X"); !ok || v.AsStr() != "1" {
+		t.Fatalf("Constants = %v %v", v, ok)
+	}
+}
+
+func TestEffectorFunc(t *testing.T) {
+	called := ""
+	eff := EffectorFunc(func(op string, act *Activation) error {
+		called = op
+		return nil
+	})
+	e := New(MustParse(`rule "A" when $s : S() then $s.fireOperation(GO); end`), nil)
+	if _, err := e.Cycle([]Bean{NewBean("S", Num(1))}, eff); err != nil {
+		t.Fatal(err)
+	}
+	if called != "GO" {
+		t.Fatalf("called = %q", called)
+	}
+}
+
+func TestConditionCoercion(t *testing.T) {
+	// Numbers coerce to booleans (non-zero is true)...
+	rs := MustParse(`rule "A" when S( value + 1 ) then log("x"); end`)
+	acts, err := New(rs, nil).Cycle([]Bean{NewBean("S", Num(1))}, nil)
+	if err != nil || len(acts) != 1 {
+		t.Fatalf("numeric condition: acts=%v err=%v", acts, err)
+	}
+	// ...but strings do not.
+	bad := MustParse(`rule "B" when S( name ) then log("x"); end`)
+	b := NewBean("S", Num(0)).Set("name", Str("farm"))
+	if _, err := New(bad, nil).Cycle([]Bean{b}, nil); err == nil {
+		t.Fatal("string condition accepted")
+	}
+}
+
+func TestPipeEngineFiring(t *testing.T) {
+	e := NewPipeEngine()
+	fired := []string{}
+	eff := EffectorFunc(func(op string, act *Activation) error {
+		fired = append(fired, op)
+		return nil
+	})
+	mkViol := func(tag string, done float64) Bean {
+		return NewBean(BeanViolation, Num(0)).
+			Set("tag", Str(tag)).
+			Set("arrival", Num(0.2)).
+			Set("done", Num(done))
+	}
+	if _, err := e.Cycle([]Bean{mkViol(TagNotEnoughTasks, 0)}, eff); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != OpIncRate {
+		t.Fatalf("fired = %v", fired)
+	}
+	fired = nil
+	if _, err := e.Cycle([]Bean{mkViol(TagTooMuchTasks, 0)}, eff); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != OpDecRate {
+		t.Fatalf("fired = %v", fired)
+	}
+	fired = nil
+	// End-of-stream outranks the plain notEnough reaction on the same
+	// bean (salience).
+	if _, err := e.Cycle([]Bean{mkViol(TagNotEnoughTasks, 1)}, eff); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != OpEndStream {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	for _, k := range []tokKind{tokEOF, tokIdent, tokVar, tokNumber, tokString,
+		tokLParen, tokRParen, tokColon, tokSemi, tokComma, tokDot, tokOp} {
+		if k.String() == "?" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if (token{kind: tokEOF}).String() != "end of input" {
+		t.Fatal("EOF token string wrong")
+	}
+}
+
+func TestRuleStringWithSalienceAndEmptyPattern(t *testing.T) {
+	rs := MustParse(`rule "A" salience 5 when S() then log("x"); end`)
+	s := rs.Rules[0].String()
+	if !strings.Contains(s, "salience 5") || !strings.Contains(s, "S( )") {
+		t.Fatalf("rendered:\n%s", s)
+	}
+}

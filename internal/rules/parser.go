@@ -1,0 +1,390 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses rule source text into a RuleSet. The accepted grammar is the
+// subset of JBoss DRL used in Fig. 5 of the paper:
+//
+//	ruleset  := rule*
+//	rule     := "rule" STRING ["salience" NUMBER] "when" pattern* "then"
+//	            action* "end"
+//	pattern  := ["$" IDENT ":"] IDENT "(" [expr] ")"
+//	action   := ("$" IDENT "." IDENT | IDENT) "(" [expr ("," expr)*] ")" [";"]
+//	expr     := or-expression over <, <=, >, >=, ==, !=, &&, ||, !, + - * /,
+//	            numbers, strings, true/false, dotted identifiers and
+//	            $var.field references
+func Parse(src string) (*RuleSet, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	rs := &RuleSet{}
+	for !p.atEOF() {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		rs.Rules = append(rs.Rules, r)
+	}
+	if len(rs.Rules) == 0 {
+		return nil, &SyntaxError{Line: 1, Msg: "no rules in source"}
+	}
+	return rs, nil
+}
+
+// MustParse is Parse that panics on error, for statically known sources.
+func MustParse(src string) *RuleSet {
+	rs, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEOF() {
+		line := 1
+		if len(p.toks) > 0 {
+			line = p.toks[len(p.toks)-1].line
+		}
+		return token{kind: tokEOF, line: line}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{Line: t.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s, found %s", kind, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errf(t, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	start := p.peek()
+	if err := p.expectKeyword("rule"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Name: name.text, Line: start.line}
+	if p.peekKeyword("salience") {
+		p.next()
+		neg := false
+		if t := p.peek(); t.kind == tokOp && t.text == "-" {
+			neg = true
+			p.next()
+		}
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil {
+			return nil, p.errf(num, "salience must be an integer: %v", err)
+		}
+		if neg {
+			n = -n
+		}
+		r.Salience = n
+	}
+	if err := p.expectKeyword("when"); err != nil {
+		return nil, err
+	}
+	for !p.peekKeyword("then") {
+		if p.atEOF() {
+			return nil, p.errf(p.peek(), "rule %q: missing 'then'", r.Name)
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		r.Patterns = append(r.Patterns, pat)
+	}
+	p.next() // consume "then"
+	for !p.peekKeyword("end") {
+		if p.atEOF() {
+			return nil, p.errf(p.peek(), "rule %q: missing 'end'", r.Name)
+		}
+		act, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		r.Actions = append(r.Actions, act)
+	}
+	p.next() // consume "end"
+	if len(r.Actions) == 0 {
+		return nil, p.errf(start, "rule %q has no actions", r.Name)
+	}
+	return r, nil
+}
+
+func (p *parser) parsePattern() (*Pattern, error) {
+	pat := &Pattern{}
+	if p.peek().kind == tokVar {
+		pat.Var = p.next().text
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+	}
+	typ, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	pat.Type = typ.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		pat.Cond = cond
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+func (p *parser) parseAction() (*Action, error) {
+	act := &Action{Line: p.peek().line}
+	switch t := p.next(); t.kind {
+	case tokVar:
+		act.Var = t.text
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		m, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		act.Method = m.text
+	case tokIdent:
+		act.Method = t.text
+	default:
+		return nil, p.errf(t, "expected action, found %s", t)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			act.Args = append(act.Args, arg)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+	return act, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && p.peek().text == "&&" {
+		p.next()
+		r, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func isRelOp(s string) bool {
+	switch s {
+	case "<", "<=", ">", ">=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp && isRelOp(t.text) {
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return binary{op: t.text, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: t.text, l: l, r: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: t.text, l: l, r: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.kind == tokOp && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: t.text, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q: %v", t.text, err)
+		}
+		return numLit{v: v}, nil
+	case tokString:
+		return strLit{s: t.text}, nil
+	case tokVar:
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		f, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return varRef{name: t.text, field: f.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return boolLit{b: true}, nil
+		case "false":
+			return boolLit{b: false}, nil
+		}
+		path := []string{t.text}
+		for p.peek().kind == tokDot {
+			p.next()
+			seg, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			path = append(path, seg.text)
+		}
+		return identRef{path: path}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "expected expression, found %s", t)
+}

@@ -1,0 +1,171 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFig5RuleFile(t *testing.T) {
+	rs, err := Parse(FarmRuleSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rs.Rules))
+	}
+	names := []string{
+		"CheckInterArrivalRateLow", "CheckInterArrivalRateHigh",
+		"CheckRateLow", "CheckRateHigh", "CheckLoadBalance",
+	}
+	for i, want := range names {
+		if rs.Rules[i].Name != want {
+			t.Fatalf("rule %d = %q, want %q", i, rs.Rules[i].Name, want)
+		}
+	}
+	low := rs.Rules[2] // CheckRateLow
+	if len(low.Patterns) != 3 {
+		t.Fatalf("CheckRateLow has %d patterns, want 3", len(low.Patterns))
+	}
+	if low.Patterns[0].Var != "departureBean" || low.Patterns[0].Type != BeanDepartureRate {
+		t.Fatalf("pattern 0 = %+v", low.Patterns[0])
+	}
+	if len(low.Actions) != 3 {
+		t.Fatalf("CheckRateLow has %d actions, want 3", len(low.Actions))
+	}
+	if low.Actions[0].Method != "setData" || low.Actions[1].Method != "fireOperation" {
+		t.Fatalf("actions = %v %v", low.Actions[0].Method, low.Actions[1].Method)
+	}
+}
+
+func TestParseSalience(t *testing.T) {
+	rs, err := Parse(`
+rule "A" salience 10 when B() then log("x"); end
+rule "C" salience -5 when B() then log("y"); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rules[0].Salience != 10 || rs.Rules[1].Salience != -5 {
+		t.Fatalf("saliences = %d, %d", rs.Rules[0].Salience, rs.Rules[1].Salience)
+	}
+}
+
+func TestParsePatternWithoutBinding(t *testing.T) {
+	rs, err := Parse(`rule "A" when SensorBean( value > 1 ) then log("x"); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rs.Rules[0].Patterns[0]
+	if p.Var != "" || p.Type != "SensorBean" || p.Cond == nil {
+		t.Fatalf("pattern = %+v", p)
+	}
+}
+
+func TestParseEmptyCondition(t *testing.T) {
+	rs, err := Parse(`rule "A" when $b : B( ) then log("x") end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rules[0].Patterns[0].Cond != nil {
+		t.Fatal("empty parens must yield nil condition")
+	}
+}
+
+func TestParseSemicolonOptional(t *testing.T) {
+	if _, err := Parse(`rule "A" when B() then log("x") log("y"); end`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            ``,
+		"no name":          `rule when B() then log("x"); end`,
+		"no when":          `rule "A" B() then log("x"); end`,
+		"no then":          `rule "A" when B() log("x"); end`,
+		"no end":           `rule "A" when B() then log("x");`,
+		"no actions":       `rule "A" when B() then end`,
+		"bad pattern":      `rule "A" when $x B() then log("x"); end`,
+		"bad action":       `rule "A" when B() then 42(); end`,
+		"bad expr":         `rule "A" when B( value < ) then log("x"); end`,
+		"unclosed paren":   `rule "A" when B( (value < 1 ) then log("x"); end`,
+		"var without dot":  `rule "A" when B( $x ) then log("x"); end`,
+		"salience not num": `rule "A" salience x when B() then log("x"); end`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("not a rule file")
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	rs, err := Parse(`rule "A" when $b : B( value + 1 * 2 == 3 && value > 0 || false ) then log("x"); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Rules[0].Patterns[0].Cond.String()
+	want := "(((value + (1 * 2)) == 3) && (value > 0)) || false"
+	if got != "("+want+")" && got != want {
+		t.Fatalf("cond = %s", got)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	rs := MustParse(FarmRuleSource)
+	text := rs.String()
+	rs2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, text)
+	}
+	if len(rs2.Rules) != len(rs.Rules) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(rs2.Rules), len(rs.Rules))
+	}
+	for i := range rs.Rules {
+		if rs.Rules[i].Name != rs2.Rules[i].Name {
+			t.Fatalf("rule %d name changed: %q vs %q", i, rs.Rules[i].Name, rs2.Rules[i].Name)
+		}
+		if len(rs.Rules[i].Patterns) != len(rs2.Rules[i].Patterns) {
+			t.Fatalf("rule %d pattern count changed", i)
+		}
+		if len(rs.Rules[i].Actions) != len(rs2.Rules[i].Actions) {
+			t.Fatalf("rule %d action count changed", i)
+		}
+	}
+}
+
+func TestParseMultiArgAction(t *testing.T) {
+	rs, err := Parse(`rule "A" when B() then log("x", 42, true); end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rules[0].Actions[0].Args) != 3 {
+		t.Fatalf("args = %v", rs.Rules[0].Actions[0].Args)
+	}
+}
+
+func TestParseVarFieldInCondition(t *testing.T) {
+	src := `
+rule "Cross"
+  when
+    $a : A( value > 0 )
+    $b : B( value > $a.value )
+  then
+    log("ok");
+end`
+	rs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rs.Rules[0].Patterns[1].Cond.String(), "$a.value") {
+		t.Fatalf("cond = %s", rs.Rules[0].Patterns[1].Cond)
+	}
+}

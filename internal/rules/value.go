@@ -1,0 +1,172 @@
+// Package rules implements the precondition–action rule engine that drives
+// the autonomic control cycle of the behavioural-skeleton managers. It is a
+// from-scratch replacement for the JBoss rule engine used by the paper: a
+// small DRL-like language (lexer + recursive-descent parser, see Fig. 5 of
+// the paper for the concrete syntax it accepts), a working memory of typed
+// beans fed by the ABC sensors, salience-ordered fireable-rule selection,
+// and action dispatch onto an Effector implemented by the ABC actuators.
+package rules
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates Value variants.
+type Kind int
+
+// Value kinds.
+const (
+	KindNum Kind = iota
+	KindStr
+	KindBool
+)
+
+// Value is the dynamic value type flowing through rule expressions: a
+// number, a string or a boolean.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+	b    bool
+}
+
+// Num returns a numeric value.
+func Num(v float64) Value { return Value{kind: KindNum, num: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindStr, str: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind returns the variant of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsNum returns the numeric content; booleans convert to 0/1 and strings
+// fail.
+func (v Value) AsNum() (float64, error) {
+	switch v.kind {
+	case KindNum:
+		return v.num, nil
+	case KindBool:
+		if v.b {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("rules: value %v is not numeric", v)
+	}
+}
+
+// AsBool returns the boolean content; numbers are true iff non-zero and
+// strings fail.
+func (v Value) AsBool() (bool, error) {
+	switch v.kind {
+	case KindBool:
+		return v.b, nil
+	case KindNum:
+		return v.num != 0, nil
+	default:
+		return false, fmt.Errorf("rules: value %v is not boolean", v)
+	}
+}
+
+// AsStr returns the string content of a string value; other kinds render
+// via String.
+func (v Value) AsStr() string {
+	if v.kind == KindStr {
+		return v.str
+	}
+	return v.String()
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNum:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindStr:
+		return v.str
+	default:
+		return strconv.FormatBool(v.b)
+	}
+}
+
+// Equal reports deep value equality (numbers compare to booleans via 0/1).
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindStr || o.kind == KindStr {
+		return v.kind == o.kind && v.str == o.str
+	}
+	a, _ := v.AsNum()
+	b, _ := o.AsNum()
+	return a == b
+}
+
+// Bean is one fact in working memory. The ABC sensors publish beans like
+// ArrivalRateBean or DepartureRateBean every control-loop cycle.
+type Bean interface {
+	// BeanType is the type name matched by rule patterns, e.g.
+	// "ArrivalRateBean".
+	BeanType() string
+	// Field returns the named field's value. The conventional primary
+	// field is "value".
+	Field(name string) (Value, bool)
+}
+
+// SimpleBean is a map-backed Bean, convenient for sensors and tests.
+type SimpleBean struct {
+	Type   string
+	Fields map[string]Value
+}
+
+// NewBean returns a SimpleBean of the given type with a single "value"
+// field.
+func NewBean(typ string, value Value) *SimpleBean {
+	return &SimpleBean{Type: typ, Fields: map[string]Value{"value": value}}
+}
+
+// BeanType implements Bean.
+func (b *SimpleBean) BeanType() string { return b.Type }
+
+// Field implements Bean.
+func (b *SimpleBean) Field(name string) (Value, bool) {
+	v, ok := b.Fields[name]
+	return v, ok
+}
+
+// Set stores a field and returns the bean for chaining.
+func (b *SimpleBean) Set(name string, v Value) *SimpleBean {
+	if b.Fields == nil {
+		b.Fields = map[string]Value{}
+	}
+	b.Fields[name] = v
+	return b
+}
+
+// Constants resolves the symbolic names appearing in rule sources (the
+// paper's ManagersConstants.* and ManagerOperation.*). Lookup tries the
+// fully qualified name first, then the last path segment.
+type Constants map[string]Value
+
+// Lookup resolves name, returning the value and whether it was found.
+func (c Constants) Lookup(name string) (Value, bool) {
+	if v, ok := c[name]; ok {
+		return v, true
+	}
+	if i := lastDot(name); i >= 0 {
+		if v, ok := c[name[i+1:]]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,237 @@
+// Package security implements the transport-security substrate of the
+// paper's C_sec concern: a plaintext codec modelling plain TCP/IP sockets,
+// an AES-GCM codec modelling SSL (real encryption, so its CPU cost is
+// honest), a policy deciding when a binding must be secured (traffic
+// crossing a non-private link or reaching an untrusted domain), and an
+// auditor counting plaintext messages exposed on public links — the leak
+// metric of the EXT-SEC experiment.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/simclock"
+)
+
+// Codec transforms message payloads on their way through a binding.
+type Codec interface {
+	// Name identifies the codec ("plain", "aes-gcm").
+	Name() string
+	// Secure reports whether the codec protects confidentiality.
+	Secure() bool
+	// Encode transforms a plaintext payload for transmission.
+	Encode(plain []byte) ([]byte, error)
+	// Decode recovers the plaintext payload.
+	Decode(wire []byte) ([]byte, error)
+}
+
+// Plain is the pass-through codec modelling plain TCP/IP sockets.
+type Plain struct{}
+
+// Name implements Codec.
+func (Plain) Name() string { return "plain" }
+
+// Secure implements Codec.
+func (Plain) Secure() bool { return false }
+
+// Encode implements Codec by copying the payload.
+func (Plain) Encode(plain []byte) ([]byte, error) {
+	out := make([]byte, len(plain))
+	copy(out, plain)
+	return out, nil
+}
+
+// Decode implements Codec by copying the payload.
+func (Plain) Decode(wire []byte) ([]byte, error) {
+	out := make([]byte, len(wire))
+	copy(out, wire)
+	return out, nil
+}
+
+// AESGCM encrypts payloads with AES-256-GCM. It models the SSL transport of
+// the paper with a real cipher so that securing a binding has a measurable
+// CPU cost. An optional simulated handshake latency is paid once, on first
+// use, mirroring SSL session establishment.
+type AESGCM struct {
+	aead      cipher.AEAD
+	clock     simclock.Clock
+	handshake time.Duration
+	once      sync.Once
+}
+
+// NewAESGCM returns an AES-256-GCM codec with the given 32-byte key. If
+// clock is non-nil and handshake positive, the first Encode or Decode pays
+// the handshake latency.
+func NewAESGCM(key []byte, clock simclock.Clock, handshake time.Duration) (*AESGCM, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("security: AES-256 key must be 32 bytes, got %d", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &AESGCM{aead: aead, clock: clock, handshake: handshake}, nil
+}
+
+// MustAESGCM is NewAESGCM that panics on error, for static configuration.
+func MustAESGCM(key []byte, clock simclock.Clock, handshake time.Duration) *AESGCM {
+	c, err := NewAESGCM(key, clock, handshake)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewRandomKey returns a fresh 32-byte key.
+func NewRandomKey() []byte {
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		panic(fmt.Sprintf("security: cannot draw random key: %v", err))
+	}
+	return key
+}
+
+// Name implements Codec.
+func (*AESGCM) Name() string { return "aes-gcm" }
+
+// Secure implements Codec.
+func (*AESGCM) Secure() bool { return true }
+
+func (c *AESGCM) payHandshake() {
+	c.once.Do(func() {
+		if c.clock != nil && c.handshake > 0 {
+			c.clock.Sleep(c.handshake)
+		}
+	})
+}
+
+// Encode implements Codec: nonce || ciphertext.
+func (c *AESGCM) Encode(plain []byte) ([]byte, error) {
+	c.payHandshake()
+	nonce := make([]byte, c.aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	return c.aead.Seal(nonce, nonce, plain, nil), nil
+}
+
+// ErrCiphertext is returned when a wire message cannot be authenticated or
+// is structurally invalid.
+var ErrCiphertext = errors.New("security: invalid or tampered ciphertext")
+
+// Decode implements Codec.
+func (c *AESGCM) Decode(wire []byte) ([]byte, error) {
+	c.payHandshake()
+	ns := c.aead.NonceSize()
+	if len(wire) < ns {
+		return nil, ErrCiphertext
+	}
+	plain, err := c.aead.Open(nil, wire[:ns], wire[ns:], nil)
+	if err != nil {
+		return nil, ErrCiphertext
+	}
+	return plain, nil
+}
+
+// Policy decides whether a binding between two placements must be secured
+// under contract c_sec. This reproduces the metadata-driven strategy of the
+// paper's reference [20]: secure protocols only where strictly needed.
+type Policy struct {
+	Network *grid.Network
+}
+
+// RequireSecure reports whether traffic between nodes a and b must be
+// encrypted: yes iff either endpoint's domain is untrusted or the link
+// between the domains is not private. A nil endpoint stands for an unknown
+// placement: the verdict is then decided by the other endpoint's trust
+// alone (conservative for untrusted targets).
+func (p Policy) RequireSecure(a, b *grid.Node) bool {
+	if a == nil && b == nil {
+		return false
+	}
+	if a == nil {
+		return !b.Domain.Trusted
+	}
+	if b == nil {
+		return !a.Domain.Trusted
+	}
+	if !a.Domain.Trusted || !b.Domain.Trusted {
+		return true
+	}
+	if p.Network == nil {
+		return a.Domain.Name != b.Domain.Name
+	}
+	return !p.Network.LinkBetween(a.Domain.Name, b.Domain.Name).Private
+}
+
+// Auditor observes every message crossing bindings and counts plaintext
+// exposures on connections that the policy says must be secure. A correct
+// multi-concern protocol keeps Leaks() at zero; the naive protocol of the
+// EXT-SEC experiment does not.
+type Auditor struct {
+	mu       sync.Mutex
+	total    uint64
+	secured  uint64
+	leaks    uint64
+	byworker map[string]uint64
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor { return &Auditor{byworker: map[string]uint64{}} }
+
+// RecordSend registers one message sent to endpoint. mustSecure is the
+// policy verdict for the binding and wasSecure whether the message was
+// actually encrypted.
+func (a *Auditor) RecordSend(endpoint string, mustSecure, wasSecure bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total++
+	if wasSecure {
+		a.secured++
+	}
+	if mustSecure && !wasSecure {
+		a.leaks++
+		a.byworker[endpoint]++
+	}
+}
+
+// Total returns the number of messages observed.
+func (a *Auditor) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Secured returns the number of encrypted messages observed.
+func (a *Auditor) Secured() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.secured
+}
+
+// Leaks returns the number of plaintext messages that crossed links the
+// policy required to be secure.
+func (a *Auditor) Leaks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.leaks
+}
+
+// LeaksAt returns the number of leaks recorded towards a given endpoint.
+func (a *Auditor) LeaksAt(endpoint string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byworker[endpoint]
+}

@@ -1,0 +1,208 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2009, 5, 25, 0, 0, 0, 0, time.UTC) // IPDPS 2009 week
+
+func TestManualNow(t *testing.T) {
+	c := NewManual(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", c.Now(), epoch)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("Now after advance = %v", got)
+	}
+}
+
+func TestManualAfterFiresInOrder(t *testing.T) {
+	c := NewManual(epoch)
+	a := c.After(1 * time.Second)
+	b := c.After(2 * time.Second)
+	c.Advance(1500 * time.Millisecond)
+	select {
+	case at := <-a:
+		if !at.Equal(epoch.Add(1 * time.Second)) {
+			t.Fatalf("a fired at %v", at)
+		}
+	default:
+		t.Fatal("a did not fire")
+	}
+	select {
+	case <-b:
+		t.Fatal("b fired early")
+	default:
+	}
+	c.Advance(time.Second)
+	if bt := <-b; !bt.Equal(epoch.Add(2 * time.Second)) {
+		t.Fatalf("b fired at %v", bt)
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	c := NewManual(epoch)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(<0) should fire immediately")
+	}
+}
+
+func TestManualSleepWakes(t *testing.T) {
+	c := NewManual(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to park.
+	for c.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper was not woken")
+	}
+}
+
+func TestManualSleepZeroReturns(t *testing.T) {
+	c := NewManual(epoch)
+	c.Sleep(0) // must not block
+}
+
+func TestManualTicker(t *testing.T) {
+	c := NewManual(epoch)
+	tk := c.NewTicker(time.Second)
+	c.Advance(3500 * time.Millisecond)
+	// Capacity-1 channel: only one tick is buffered even though three
+	// periods elapsed; the buffered tick is the first undelivered one.
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1", n)
+	}
+	tk.Stop()
+	c.Advance(10 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestManualTickerDeliversSuccessiveTicks(t *testing.T) {
+	c := NewManual(epoch)
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		c.Advance(time.Second)
+		select {
+		case at := <-tk.C():
+			want := epoch.Add(time.Duration(i) * time.Second)
+			if !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+}
+
+func TestManualTickerNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManual(epoch).NewTicker(0)
+}
+
+func TestManualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManual(epoch).Advance(-time.Second)
+}
+
+func TestManualAdvanceToPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManual(epoch).AdvanceTo(epoch.Add(-time.Minute))
+}
+
+func TestManualAdvanceTo(t *testing.T) {
+	c := NewManual(epoch)
+	target := epoch.Add(42 * time.Second)
+	c.AdvanceTo(target)
+	if !c.Now().Equal(target) {
+		t.Fatalf("Now = %v, want %v", c.Now(), target)
+	}
+}
+
+func TestManualConcurrentSleepers(t *testing.T) {
+	c := NewManual(epoch)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Sleep(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	for c.PendingWaiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Second)
+	wg.Wait()
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now() far in the past: %v", got)
+	}
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("Real.Sleep returned too early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("Real ticker never fired")
+	}
+	tk.Stop()
+}

@@ -1,0 +1,722 @@
+package skel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/security"
+)
+
+// DispatchPolicy selects how the farm's dispatcher (the S component of
+// Fig. 2) routes tasks to workers.
+type DispatchPolicy int
+
+// Dispatch policies of the functional replication pattern.
+const (
+	// OnDemand sends each task to the worker with the shortest queue.
+	OnDemand DispatchPolicy = iota
+	// RoundRobin cycles through the workers.
+	RoundRobin
+	// Broadcast clones every task to every worker (the multicast stream
+	// variant of functional replication).
+	Broadcast
+)
+
+// Farm reconfiguration errors.
+var (
+	ErrLastWorker  = errors.New("skel: cannot remove the last worker")
+	ErrStreamEnded = errors.New("skel: input stream already ended")
+	ErrNoWorker    = errors.New("skel: no such worker")
+)
+
+// CollectPolicy selects how the farm's collector (the C component of
+// Fig. 2) assembles worker results into the output stream.
+type CollectPolicy int
+
+// Collect policies of the functional replication pattern.
+const (
+	// Gather forwards every result as it completes (the task-farm
+	// default; output order follows completion order).
+	Gather CollectPolicy = iota
+	// Reduce folds all results into a single output task emitted at end
+	// of stream, using FarmConfig.Reduce (which must be associative and
+	// commutative, since completion order is nondeterministic).
+	Reduce
+)
+
+// FarmConfig parameterizes a task farm.
+type FarmConfig struct {
+	Name string
+	Env  Env
+	// Fn is the worker function.
+	Fn Fn
+	// RM supplies worker placements; Recruit constrains them.
+	RM      *grid.ResourceManager
+	Recruit grid.Request
+	// InitialWorkers is the starting parallelism degree (default 1).
+	InitialWorkers int
+	// Dispatch selects the scheduling policy (default OnDemand).
+	Dispatch DispatchPolicy
+	// DispatchNode is where the dispatcher/collector run; it anchors the
+	// security policy's link checks. Optional.
+	DispatchNode *grid.Node
+	// Policy and Auditor hook the security substrate into the farm's
+	// bindings. Optional; with a nil Policy no send requires securing.
+	Policy  *security.Policy
+	Auditor *security.Auditor
+	// Collect selects the collector behaviour (default Gather). With
+	// Reduce, the Reduce function folds result payloads pairwise.
+	Collect CollectPolicy
+	Reduce  ReduceFn
+	// WorkOverride, when positive, makes every task cost this much in the
+	// farm regardless of the task's own Work.
+	WorkOverride time.Duration
+	// OutBuffer sizes the internal result channel (default 64).
+	OutBuffer int
+}
+
+// envelope is one message on a worker binding: the task plus its payload
+// as encoded by the codec the binding had at dispatch time.
+type envelope struct {
+	task  *Task
+	wire  []byte
+	codec security.Codec
+}
+
+// worker is one W component of the farm.
+type worker struct {
+	id    string
+	node  *grid.Node
+	queue *queue
+
+	mu    sync.Mutex
+	codec security.Codec
+
+	served metrics.Gauge
+	exited bool // guarded by Farm.mu
+	failed bool // guarded by Farm.mu: crashed, queue items stranded
+}
+
+func (w *worker) getCodec() security.Codec {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.codec
+}
+
+func (w *worker) setCodec(c security.Codec) {
+	w.mu.Lock()
+	w.codec = c
+	w.mu.Unlock()
+}
+
+// Farm is the task-farm skeleton: a dispatcher, a reconfigurable pool of
+// workers with private queues, and a collector. It implements Stage and
+// exposes the actuator surface used by the ABC: AddWorker, RemoveWorker,
+// Rebalance, SetCodec.
+type Farm struct {
+	cfg FarmConfig
+	env Env
+
+	mu            sync.Mutex
+	workers       []*worker
+	nextID        int
+	rrIndex       int
+	inputDone     bool
+	active        int // workers whose goroutine is still running
+	started       bool
+	resultsClosed bool
+
+	results chan *Task
+	wgOut   sync.WaitGroup // collector completion
+
+	arrival   *metrics.RateMeter
+	departure *metrics.RateMeter
+	errs      chan error
+}
+
+// NewFarm validates cfg and builds the farm (workers are recruited when
+// Run starts).
+func NewFarm(cfg FarmConfig) (*Farm, error) {
+	if cfg.Name == "" {
+		cfg.Name = "farm"
+	}
+	if cfg.RM == nil {
+		return nil, errors.New("skel: farm needs a resource manager")
+	}
+	if cfg.InitialWorkers <= 0 {
+		cfg.InitialWorkers = 1
+	}
+	if cfg.OutBuffer <= 0 {
+		cfg.OutBuffer = 64
+	}
+	if cfg.Collect == Reduce && cfg.Reduce == nil {
+		return nil, errors.New("skel: Reduce collection needs a Reduce function")
+	}
+	env := cfg.Env
+	return &Farm{
+		cfg:       cfg,
+		env:       env,
+		results:   make(chan *Task, cfg.OutBuffer),
+		arrival:   metrics.NewRateMeter(env.clock(), rateWindow(env)),
+		departure: metrics.NewRateMeter(env.clock(), rateWindow(env)),
+		errs:      make(chan error, 16),
+	}, nil
+}
+
+// Name implements Stage.
+func (f *Farm) Name() string { return f.cfg.Name }
+
+// Run implements Stage: it recruits the initial workers, dispatches the
+// input stream and blocks until every result has been collected.
+func (f *Farm) Run(in <-chan *Task, out chan<- *Task) {
+	f.mu.Lock()
+	f.started = true
+	f.mu.Unlock()
+	for i := 0; i < f.cfg.InitialWorkers; i++ {
+		if _, err := f.AddWorker(); err != nil {
+			f.reportErr(fmt.Errorf("skel: farm %s initial worker %d: %w", f.cfg.Name, i, err))
+			break
+		}
+	}
+	// Collector: forward (gather) or fold (reduce) results, metering
+	// departures either way.
+	f.wgOut.Add(1)
+	go func() {
+		defer f.wgOut.Done()
+		if f.cfg.Collect == Reduce {
+			var acc *Task
+			for t := range f.results {
+				f.departure.Mark()
+				if acc == nil {
+					acc = t
+				} else {
+					acc.Payload = f.cfg.Reduce(acc.Payload, t.Payload)
+				}
+			}
+			if out != nil {
+				if acc != nil {
+					out <- acc
+				}
+				close(out)
+			}
+			return
+		}
+		for t := range f.results {
+			f.departure.Mark()
+			if out != nil {
+				out <- t
+			}
+		}
+		if out != nil {
+			close(out)
+		}
+	}()
+	// Dispatcher.
+	for t := range in {
+		f.arrival.Mark()
+		f.dispatch(t)
+	}
+	f.endInput()
+	f.wgOut.Wait()
+}
+
+// dispatch routes one task according to the policy, considering only
+// workers that are neither crashed nor exited.
+func (f *Farm) dispatch(t *Task) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var avail []*worker
+	for _, w := range f.workers {
+		if !w.failed && !w.exited {
+			avail = append(avail, w)
+		}
+	}
+	if len(avail) == 0 {
+		// No worker available (initial recruitment failed or every
+		// worker crashed): drop with an error rather than deadlock.
+		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no workers", f.cfg.Name, t.ID))
+		return
+	}
+	if f.cfg.Dispatch == Broadcast {
+		for _, w := range avail {
+			f.sendLocked(w, t.Clone())
+		}
+		return
+	}
+	var target *worker
+	switch f.cfg.Dispatch {
+	case RoundRobin:
+		target = avail[f.rrIndex%len(avail)]
+		f.rrIndex++
+	default: // OnDemand
+		target = avail[0]
+		for _, w := range avail[1:] {
+			if w.queue.len() < target.queue.len() {
+				target = w
+			}
+		}
+	}
+	f.sendLocked(target, t)
+}
+
+// sendLocked pushes a task onto a worker binding, applying the binding's
+// codec and auditing the send. Callers hold f.mu.
+func (f *Farm) sendLocked(w *worker, t *Task) {
+	codec := w.getCodec()
+	wire, err := codec.Encode(t.Payload)
+	if err != nil {
+		f.reportErr(fmt.Errorf("skel: farm %s encode for %s: %w", f.cfg.Name, w.id, err))
+		return
+	}
+	if f.cfg.Auditor != nil {
+		must := false
+		if f.cfg.Policy != nil {
+			must = f.cfg.Policy.RequireSecure(f.cfg.DispatchNode, w.node)
+		}
+		f.cfg.Auditor.RecordSend(w.id, must, codec.Secure())
+	}
+	if !w.queue.push(&envelope{task: t, wire: wire, codec: codec}) {
+		// The worker disappeared concurrently; requeue elsewhere.
+		for _, other := range f.workers {
+			if other == w || other.failed || other.exited {
+				continue
+			}
+			if other.queue.push(&envelope{task: t, wire: wire, codec: codec}) {
+				return
+			}
+		}
+		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: all queues closed", f.cfg.Name, t.ID))
+	}
+}
+
+// endInput marks the stream exhausted and lets workers drain and exit.
+func (f *Farm) endInput() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inputDone = true
+	for _, w := range f.workers {
+		w.queue.close()
+	}
+	f.maybeCloseResultsLocked()
+}
+
+// maybeCloseResultsLocked closes the result stream once no worker is
+// running, the input is exhausted AND no crashed worker still strands
+// accepted tasks (those must be recovered, not dropped). Callers hold
+// f.mu.
+func (f *Farm) maybeCloseResultsLocked() {
+	if f.active != 0 || !f.inputDone || f.resultsClosed {
+		return
+	}
+	for _, w := range f.workers {
+		if w.failed && w.queue.len() > 0 {
+			return // stranded tasks: wait for RecoverWorker
+		}
+	}
+	f.resultsClosed = true
+	close(f.results)
+}
+
+// runWorker is one worker goroutine: pop, decode, compute, emit.
+func (f *Farm) runWorker(w *worker) {
+	for {
+		env, ok := w.queue.pop()
+		if !ok {
+			// The queue looked closed and empty, but a concurrent
+			// rebalance may have restored tasks into it; the check under
+			// f.mu is authoritative because restores hold f.mu. A failed
+			// worker always terminates, leaving its queue stranded.
+			f.mu.Lock()
+			if !w.failed && w.queue.len() > 0 {
+				f.mu.Unlock()
+				continue
+			}
+			w.exited = true
+			w.node.Release()
+			f.active--
+			f.maybeCloseResultsLocked()
+			f.mu.Unlock()
+			return
+		}
+		payload, err := env.codec.Decode(env.wire)
+		if err != nil {
+			f.reportErr(fmt.Errorf("skel: farm %s worker %s decode: %w", f.cfg.Name, w.id, err))
+			continue
+		}
+		t := env.task
+		t.Payload = payload
+		work := t.Work
+		if f.cfg.WorkOverride > 0 {
+			work = f.cfg.WorkOverride
+		}
+		f.env.SleepScaled(w.node.ServiceTime(work))
+		f.results <- applyFn(f.cfg.Fn, t)
+		w.served.Add(1)
+	}
+}
+
+// AddWorker recruits a node and adds a worker to the pool. It returns the
+// new worker's ID. It is the ADD_EXECUTOR actuator.
+func (f *Farm) AddWorker() (string, error) {
+	return f.AddWorkerWithPrepare(nil)
+}
+
+// PrepareFunc runs between recruitment and the instant a new worker becomes
+// dispatchable: it is the hook the two-phase multi-concern protocol of §3.2
+// uses to let the security manager secure the binding *before* any task can
+// reach the worker. setCodec installs the binding codec; returning an error
+// aborts the addition and releases the recruited node.
+type PrepareFunc func(id string, node *grid.Node, setCodec func(security.Codec)) error
+
+// AddWorkerWithPrepare is AddWorker with a preparation phase.
+func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
+	f.mu.Lock()
+	if f.inputDone {
+		f.mu.Unlock()
+		return "", ErrStreamEnded
+	}
+	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
+	if err != nil {
+		f.mu.Unlock()
+		return "", err
+	}
+	w := &worker{
+		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
+		node:  node,
+		queue: newQueue(),
+		codec: security.Plain{},
+	}
+	f.nextID++
+	f.mu.Unlock()
+
+	if prepare != nil {
+		// The worker is not yet visible to the dispatcher, so the prepare
+		// phase (e.g. an SSL handshake) cannot race with task sends.
+		if err := prepare(w.id, node, w.setCodec); err != nil {
+			node.Release()
+			return "", fmt.Errorf("skel: prepare for %s: %w", w.id, err)
+		}
+	}
+
+	f.mu.Lock()
+	if f.inputDone {
+		f.mu.Unlock()
+		node.Release()
+		return "", ErrStreamEnded
+	}
+	f.workers = append(f.workers, w)
+	f.active++
+	f.mu.Unlock()
+	go f.runWorker(w)
+	return w.id, nil
+}
+
+// AddRecoveryWorker recruits a worker even after the input stream has
+// ended, for the sole purpose of processing tasks stranded by a crash. Its
+// queue stays open until a subsequent RecoverWorker restores the stranded
+// tasks into it and (post-stream) closes it, so the worker drains the
+// recovered tasks and exits. It is the fault-tolerance manager's fallback
+// when a crash leaves no live worker behind.
+func (f *Farm) AddRecoveryWorker() (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
+	if err != nil {
+		return "", err
+	}
+	w := &worker{
+		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
+		node:  node,
+		queue: newQueue(),
+		codec: security.Plain{},
+	}
+	f.nextID++
+	f.workers = append(f.workers, w)
+	f.active++
+	go f.runWorker(w)
+	return w.id, nil
+}
+
+// RemoveWorker removes the most recently added worker, redistributing its
+// queued tasks. It is the REMOVE_EXECUTOR actuator.
+func (f *Farm) RemoveWorker() (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.workers) <= 1 {
+		return "", ErrLastWorker
+	}
+	w := f.workers[len(f.workers)-1]
+	if w.failed {
+		return "", fmt.Errorf("skel: worker %s crashed; use RecoverWorker", w.id)
+	}
+	live := 0
+	for _, other := range f.workers[:len(f.workers)-1] {
+		if !other.exited && !other.failed {
+			live++
+		}
+	}
+	if live == 0 {
+		return "", ErrLastWorker
+	}
+	f.workers = f.workers[:len(f.workers)-1]
+	orphans := w.queue.drain()
+	w.queue.close()
+	i := 0
+	for _, other := range f.workers {
+		if other.exited || other.failed {
+			continue
+		}
+		var share []*envelope
+		for j := i; j < len(orphans); j += live {
+			share = append(share, orphans[j])
+		}
+		other.queue.restore(share)
+		i++
+	}
+	return w.id, nil
+}
+
+// Rebalance redistributes every queued task evenly over the live workers.
+// It is the BALANCE_LOAD actuator and, unlike new input, it also works
+// after the stream has ended (the Fig. 4 rebalance at endStream).
+func (f *Farm) Rebalance() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var live []*worker
+	for _, w := range f.workers {
+		if !w.exited && !w.failed {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	var all []*envelope
+	for _, w := range live {
+		all = append(all, w.queue.drain()...)
+	}
+	for i, w := range live {
+		var share []*envelope
+		for j := i; j < len(all); j += len(live) {
+			share = append(share, all[j])
+		}
+		w.queue.restore(share)
+	}
+}
+
+// KillWorker injects a crash fault into the named worker: it stops
+// processing after its current task, its node is released, and its queued
+// tasks remain stranded until RecoverWorker redistributes them. While
+// stranded tasks exist the farm's output stream stays open, so a run with
+// an unrecovered fault does not terminate — detecting and repairing this
+// is the fault-tolerance manager's job.
+func (f *Farm) KillWorker(workerID string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.workers {
+		if w.id != workerID {
+			continue
+		}
+		if w.failed || w.exited {
+			return fmt.Errorf("skel: worker %s is already down", workerID)
+		}
+		w.failed = true
+		w.queue.fail()
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+}
+
+// RecoverWorker repairs a crashed worker: its stranded tasks are
+// redistributed over the live workers and the dead worker is removed from
+// the pool. It is the fault-tolerance RECOVER actuator; replacing the lost
+// capacity is a separate AddWorker decision.
+func (f *Farm) RecoverWorker(workerID string) (recovered int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := -1
+	var dead *worker
+	for i, w := range f.workers {
+		if w.id == workerID {
+			idx, dead = i, w
+			break
+		}
+	}
+	if dead == nil {
+		return 0, fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	if !dead.failed {
+		return 0, fmt.Errorf("skel: worker %s has not failed", workerID)
+	}
+	var live []*worker
+	for _, w := range f.workers {
+		if w != dead && !w.failed && !w.exited {
+			live = append(live, w)
+		}
+	}
+	orphans := dead.queue.drain()
+	if len(orphans) > 0 && len(live) == 0 {
+		// Nothing to recover onto: put the tasks back and refuse, so the
+		// caller can AddWorker first.
+		dead.queue.restore(orphans)
+		return 0, errors.New("skel: no live worker to recover onto")
+	}
+	for i, w := range live {
+		var share []*envelope
+		for j := i; j < len(orphans); j += len(live) {
+			share = append(share, orphans[j])
+		}
+		w.queue.restore(share)
+		if f.inputDone {
+			// Post-stream recovery targets (e.g. AddRecoveryWorker's)
+			// may still have open queues; close them so they drain the
+			// recovered tasks and exit.
+			w.queue.close()
+		}
+	}
+	f.workers = append(f.workers[:idx], f.workers[idx+1:]...)
+	f.maybeCloseResultsLocked()
+	return len(orphans), nil
+}
+
+// MigrateWorker moves a worker to a freshly recruited node satisfying req
+// (e.g. a faster or less loaded one): a replacement worker is created on
+// the new node with the same binding codec, the queued tasks move over,
+// and the old worker retires gracefully after its current task. It is the
+// MIGRATE actuator behind the paper's "migration of poorly performing
+// activities to faster execution resources" policy. It returns the new
+// worker's ID.
+func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := -1
+	var old *worker
+	for i, w := range f.workers {
+		if w.id == workerID {
+			idx, old = i, w
+			break
+		}
+	}
+	if old == nil {
+		return "", fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	if old.failed || old.exited {
+		return "", fmt.Errorf("skel: worker %s is down; use RecoverWorker", workerID)
+	}
+	node, err := f.cfg.RM.Recruit(req)
+	if err != nil {
+		return "", err
+	}
+	fresh := &worker{
+		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
+		node:  node,
+		queue: newQueue(),
+		codec: old.getCodec(),
+	}
+	f.nextID++
+	items := old.queue.drain()
+	old.queue.close() // the old worker finishes its current task and exits
+	fresh.queue.restore(items)
+	if f.inputDone {
+		fresh.queue.close()
+	}
+	f.workers[idx] = fresh
+	f.active++
+	go f.runWorker(fresh)
+	return fresh.id, nil
+}
+
+// SetCodec rebinds a worker connection onto a (secure) codec. Subsequent
+// sends to that worker use the new codec; in-flight envelopes keep the one
+// they were encoded with. It is the SECURE_BINDING actuator.
+func (f *Farm) SetCodec(workerID string, c security.Codec) error {
+	if c == nil {
+		return errors.New("skel: nil codec")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.workers {
+		if w.id == workerID {
+			w.setCodec(c)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+}
+
+// WorkerInfo describes one worker for monitoring and the security manager.
+type WorkerInfo struct {
+	ID       string
+	Node     *grid.Node
+	QueueLen int
+	Served   int
+	Secure   bool
+	Failed   bool
+}
+
+// Workers returns a snapshot of the current worker pool.
+func (f *Farm) Workers() []WorkerInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerInfo, len(f.workers))
+	for i, w := range f.workers {
+		out[i] = WorkerInfo{
+			ID:       w.id,
+			Node:     w.node,
+			QueueLen: w.queue.len(),
+			Served:   int(w.served.Value()),
+			Secure:   w.getCodec().Secure(),
+			Failed:   w.failed,
+		}
+	}
+	return out
+}
+
+// FarmStats is the sensor snapshot the ABC publishes as beans.
+type FarmStats struct {
+	Workers       int
+	QueueLens     []int
+	ArrivalRate   float64 // tasks per modelled second
+	DepartureRate float64 // tasks per modelled second
+	QueueVariance float64
+	InputDone     bool
+	Dispatched    uint64
+	Completed     uint64
+}
+
+// Stats returns the current sensor snapshot.
+func (f *Farm) Stats() FarmStats {
+	f.mu.Lock()
+	lens := make([]int, len(f.workers))
+	for i, w := range f.workers {
+		lens[i] = w.queue.len()
+	}
+	workers := len(f.workers)
+	done := f.inputDone
+	f.mu.Unlock()
+	return FarmStats{
+		Workers:       workers,
+		QueueLens:     lens,
+		ArrivalRate:   f.arrival.Rate() / f.env.scale(),
+		DepartureRate: f.departure.Rate() / f.env.scale(),
+		QueueVariance: metrics.QueueImbalance(lens),
+		InputDone:     done,
+		Dispatched:    f.arrival.Total(),
+		Completed:     f.departure.Total(),
+	}
+}
+
+// Errors exposes asynchronous runtime errors (codec failures, dropped
+// tasks). The channel is buffered; overflow is dropped.
+func (f *Farm) Errors() <-chan error { return f.errs }
+
+func (f *Farm) reportErr(err error) {
+	select {
+	case f.errs <- err:
+	default:
+	}
+}

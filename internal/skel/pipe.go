@@ -1,0 +1,63 @@
+package skel
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pipe composes stages into a pipeline: stage i runs concurrently with
+// stage i±1, connected by buffered channels.
+type Pipe struct {
+	name   string
+	stages []Stage
+	buffer int
+}
+
+// NewPipe builds a pipeline over the given stages (at least one).
+func NewPipe(name string, buffer int, stages ...Stage) (*Pipe, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("skel: pipeline needs at least one stage")
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	return &Pipe{name: name, stages: stages, buffer: buffer}, nil
+}
+
+// Name implements Stage.
+func (p *Pipe) Name() string { return p.name }
+
+// Stages returns the pipeline's stages in order.
+func (p *Pipe) Stages() []Stage {
+	out := make([]Stage, len(p.stages))
+	copy(out, p.stages)
+	return out
+}
+
+// Run implements Stage: it wires the stages with channels and blocks until
+// the last stage finishes.
+func (p *Pipe) Run(in <-chan *Task, out chan<- *Task) {
+	var wg sync.WaitGroup
+	cur := in
+	for i, st := range p.stages {
+		var next chan *Task
+		isLast := i == len(p.stages)-1
+		if !isLast {
+			next = make(chan *Task, p.buffer)
+		}
+		wg.Add(1)
+		go func(s Stage, sin <-chan *Task, sout chan<- *Task) {
+			defer wg.Done()
+			s.Run(sin, sout)
+		}(st, cur, pickOut(next, out, isLast))
+		cur = next
+	}
+	wg.Wait()
+}
+
+func pickOut(next chan *Task, out chan<- *Task, isLast bool) chan<- *Task {
+	if isLast {
+		return out
+	}
+	return next
+}

@@ -1,0 +1,97 @@
+package skel
+
+import "sync"
+
+// queue is the per-worker input queue of a farm. Unlike a channel it
+// supports the reconfiguration actuators: draining for rebalance, stealing
+// on worker removal, and length observation for the QueueVarianceBean.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*envelope
+	closed bool
+	failed bool // the owning worker crashed; items are stranded until recovery
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a task. Pushing to a closed queue reports false and leaves
+// the task with the caller (it must be re-dispatched elsewhere).
+func (q *queue) push(t *envelope) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, t)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a task is available, the queue is closed and empty, or
+// the queue has failed. On failure the remaining items stay stranded in
+// the queue for the fault-tolerance manager to recover.
+func (q *queue) pop() (*envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed && !q.failed {
+		q.cond.Wait()
+	}
+	if q.failed || len(q.items) == 0 {
+		return nil, false
+	}
+	t := q.items[0]
+	q.items = q.items[1:]
+	return t, true
+}
+
+// close marks the queue closed; pending items remain poppable.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// fail marks the owning worker crashed, waking it so it can terminate.
+func (q *queue) fail() {
+	q.mu.Lock()
+	q.failed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// restore re-inserts tasks that were already accepted into the farm (by
+// rebalance or worker removal). Unlike push it succeeds even on a closed
+// queue: closing only forbids *new* input, while redistributed tasks must
+// never be lost.
+func (q *queue) restore(items []*envelope) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.items = append(q.items, items...)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain removes and returns every queued task (the rebalance actuator
+// collects all queues and redistributes).
+func (q *queue) drain() []*envelope {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	return items
+}
+
+// len returns the current queue length.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

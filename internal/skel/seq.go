@@ -1,0 +1,253 @@
+package skel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+// Source is the stream generator — the Producer stage of the Fig. 4
+// pipeline. It emits Total tasks separated by a settable inter-emission
+// interval (modelled time). The SetInterval actuator is what the producer's
+// manager drives when the application manager sends incRate / decRate
+// contracts.
+type Source struct {
+	name  string
+	env   Env
+	total int
+	make  func(i int) *Task
+
+	mu       sync.Mutex
+	interval time.Duration
+
+	emitted *metrics.RateMeter
+	count   int
+	done    bool
+	doneMu  sync.Mutex
+}
+
+// NewSource builds a source emitting total tasks, one every interval of
+// modelled time, built by mk (nil mk yields empty tasks with zero work).
+func NewSource(name string, env Env, total int, interval time.Duration, mk func(i int) *Task) *Source {
+	if total < 0 {
+		panic("skel: negative task count")
+	}
+	if mk == nil {
+		mk = func(i int) *Task { return &Task{ID: NextTaskID()} }
+	}
+	return &Source{
+		name:     name,
+		env:      env,
+		total:    total,
+		make:     mk,
+		interval: interval,
+		emitted:  metrics.NewRateMeter(env.clock(), rateWindow(env)),
+	}
+}
+
+// rateWindow picks the sliding window for rate meters: 10 s of modelled
+// time, converted to clock time by the scale.
+func rateWindow(env Env) time.Duration {
+	return time.Duration(float64(10*time.Second) / env.scale())
+}
+
+// Name implements Stage.
+func (s *Source) Name() string { return s.name }
+
+// SetInterval changes the inter-emission interval (modelled time). It is
+// the producer's rate actuator. Non-positive intervals mean "as fast as
+// possible".
+func (s *Source) SetInterval(d time.Duration) {
+	s.mu.Lock()
+	s.interval = d
+	s.mu.Unlock()
+}
+
+// Interval returns the current inter-emission interval.
+func (s *Source) Interval() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interval
+}
+
+// Emitted returns how many tasks have been emitted so far.
+func (s *Source) Emitted() int {
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	return s.count
+}
+
+// Done reports whether the source has emitted all its tasks — the
+// endStream condition of Fig. 4.
+func (s *Source) Done() bool {
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	return s.done
+}
+
+// Rate returns the current emission rate in tasks per modelled second.
+func (s *Source) Rate() float64 {
+	return s.emitted.Rate() / s.env.scale()
+}
+
+// Run implements Stage. in is ignored (a source has no upstream) and may
+// be nil.
+//
+// Emission is paced against absolute deadlines rather than relative
+// sleeps: at high time scales the scaled intervals are small enough that
+// per-sleep overshoot would otherwise systematically deflate the emission
+// rate the manager contracts for.
+func (s *Source) Run(_ <-chan *Task, out chan<- *Task) {
+	clock := s.env.clock()
+	next := clock.Now()
+	for i := 0; i < s.total; i++ {
+		interval := time.Duration(float64(s.Interval()) / s.env.scale())
+		next = next.Add(interval)
+		now := clock.Now()
+		if d := next.Sub(now); d > 0 {
+			clock.Sleep(d)
+		} else if -d > interval {
+			// Far behind (e.g. the interval was just shortened): do not
+			// burst the whole backlog, resynchronize instead.
+			next = now
+		}
+		t := s.make(i)
+		if t.ID == 0 {
+			t.ID = NextTaskID()
+		}
+		t.Created = s.env.clock().Now()
+		out <- t
+		s.emitted.Mark()
+		s.doneMu.Lock()
+		s.count++
+		s.doneMu.Unlock()
+	}
+	s.doneMu.Lock()
+	s.done = true
+	s.doneMu.Unlock()
+	close(out)
+}
+
+// Seq is a sequential stage placed on a grid node: each task costs its
+// nominal Work converted through the node's current effective speed, then
+// flows through the stage function.
+type Seq struct {
+	name string
+	env  Env
+	fn   Fn
+	node *grid.Node
+	work time.Duration // per-task override; 0 means use Task.Work
+
+	served *metrics.RateMeter
+}
+
+// NewSeq builds a sequential stage on the given node (which must be
+// non-nil; the stage allocates one core slot for the duration of Run).
+func NewSeq(name string, env Env, node *grid.Node, fn Fn) *Seq {
+	if node == nil {
+		panic(fmt.Sprintf("skel: stage %s needs a node", name))
+	}
+	return &Seq{
+		name:   name,
+		env:    env,
+		fn:     fn,
+		node:   node,
+		served: metrics.NewRateMeter(env.clock(), rateWindow(env)),
+	}
+}
+
+// Name implements Stage.
+func (s *Seq) Name() string { return s.name }
+
+// Node returns the stage's placement.
+func (s *Seq) Node() *grid.Node { return s.node }
+
+// WithWork makes every task cost d in this stage regardless of the task's
+// own Work (multi-stage pipelines give each stage its own cost this way).
+// It returns s for chaining and must be called before Run.
+func (s *Seq) WithWork(d time.Duration) *Seq {
+	s.work = d
+	return s
+}
+
+// Rate returns the stage's service rate in tasks per modelled second.
+func (s *Seq) Rate() float64 {
+	return s.served.Rate() / s.env.scale()
+}
+
+// Served returns the number of tasks completed by the stage.
+func (s *Seq) Served() uint64 { return s.served.Total() }
+
+// Run implements Stage.
+func (s *Seq) Run(in <-chan *Task, out chan<- *Task) {
+	s.node.Allocate()
+	defer s.node.Release()
+	for t := range in {
+		work := t.Work
+		if s.work > 0 {
+			work = s.work
+		}
+		s.env.SleepScaled(s.node.ServiceTime(work))
+		out <- applyFn(s.fn, t)
+		s.served.Mark()
+	}
+	close(out)
+}
+
+// Sink is the terminal stage — the Consumer of Fig. 4. It drains its input
+// (optionally through fn for display-like work) and measures the completed
+// throughput the application manager checks against the contract.
+type Sink struct {
+	name string
+	env  Env
+	fn   Fn
+
+	rate  *metrics.RateMeter
+	count metrics.Gauge
+	done  chan struct{}
+}
+
+// NewSink builds a sink.
+func NewSink(name string, env Env, fn Fn) *Sink {
+	return &Sink{
+		name: name,
+		env:  env,
+		fn:   fn,
+		rate: metrics.NewRateMeter(env.clock(), rateWindow(env)),
+		done: make(chan struct{}),
+	}
+}
+
+// Name implements Stage.
+func (s *Sink) Name() string { return s.name }
+
+// Rate returns the completed-task rate in tasks per modelled second.
+func (s *Sink) Rate() float64 {
+	return s.rate.Rate() / s.env.scale()
+}
+
+// Consumed returns how many tasks reached the sink.
+func (s *Sink) Consumed() int { return int(s.count.Value()) }
+
+// Done is closed once the whole stream has been consumed.
+func (s *Sink) Done() <-chan struct{} { return s.done }
+
+// Run implements Stage. out may be nil; results are forwarded when it is
+// not.
+func (s *Sink) Run(in <-chan *Task, out chan<- *Task) {
+	for t := range in {
+		t = applyFn(s.fn, t)
+		s.rate.Mark()
+		s.count.Add(1)
+		if out != nil {
+			out <- t
+		}
+	}
+	if out != nil {
+		close(out)
+	}
+	close(s.done)
+}

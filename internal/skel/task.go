@@ -1,0 +1,92 @@
+// Package skel implements the algorithmic-skeleton runtime underneath the
+// behavioural skeletons: stream sources and sinks, sequential stages,
+// pipelines and task farms (the paper's functional replication pattern)
+// built on goroutines and channels, with the dynamic reconfiguration
+// mechanisms — add/remove worker, rebalance queues, throttle emission,
+// switch a worker binding onto a secure codec — that the Autonomic
+// Behaviour Controller exposes as actuators.
+package skel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Task is one stream element. Work is the nominal service time the task
+// costs on a reference-speed core; the node a worker is placed on converts
+// it into actual wall time. Payload is the data the functional code — and
+// the security codecs — operate on.
+type Task struct {
+	ID      uint64
+	Payload []byte
+	Work    time.Duration
+	Created time.Time
+}
+
+// Clone returns a deep copy of the task (used by broadcast dispatch).
+func (t *Task) Clone() *Task {
+	cp := *t
+	cp.Payload = append([]byte(nil), t.Payload...)
+	return &cp
+}
+
+// Fn is the functional code of a stage: it transforms a task into its
+// result. The runtime accounts for Work separately, so Fn should contain
+// only the logical transformation. A nil Fn is the identity.
+type Fn func(*Task) *Task
+
+func applyFn(fn Fn, t *Task) *Task {
+	if fn == nil {
+		return t
+	}
+	return fn(t)
+}
+
+// Env carries the execution-environment knobs shared by all skeleton
+// components of one application.
+type Env struct {
+	Clock simclock.Clock
+	// TimeScale divides every modelled duration: 10 means the experiment
+	// runs 10x faster than the paper's wall-clock narrative while keeping
+	// all rate ratios intact. Zero or negative means 1.
+	TimeScale float64
+}
+
+// scale returns the effective time scale.
+func (e Env) scale() float64 {
+	if e.TimeScale <= 0 {
+		return 1
+	}
+	return e.TimeScale
+}
+
+// clock returns the effective clock.
+func (e Env) clock() simclock.Clock {
+	if e.Clock == nil {
+		return simclock.NewReal()
+	}
+	return e.Clock
+}
+
+// SleepScaled sleeps d of modelled time, i.e. d/TimeScale of clock time.
+func (e Env) SleepScaled(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.clock().Sleep(time.Duration(float64(d) / e.scale()))
+}
+
+// taskIDs hands out process-wide unique task IDs.
+var taskIDs atomic.Uint64
+
+// NextTaskID returns a fresh task ID.
+func NextTaskID() uint64 { return taskIDs.Add(1) }
+
+// Stage is one stream-processing element: it consumes in, produces out and
+// must close out when in is exhausted. Run blocks until done.
+type Stage interface {
+	Name() string
+	Run(in <-chan *Task, out chan<- *Task)
+}

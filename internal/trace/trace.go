@@ -1,0 +1,379 @@
+// Package trace records the autonomic events that the paper plots in its
+// evaluation figures (contrLow, notEnough, raiseViol, incRate, decRate,
+// addWorker, rebalance, endStream, ...) and renders event timelines and
+// value series as ASCII charts comparable, in shape, with Figs. 3 and 4.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Kind identifies a class of autonomic event. The names follow the labels
+// used in Fig. 4 of the paper.
+type Kind string
+
+// Event kinds observed by the managers of the paper's experiments.
+const (
+	ContrLow    Kind = "contrLow"    // measured throughput below contract
+	ContrHigh   Kind = "contrHigh"   // measured throughput above contract
+	NotEnough   Kind = "notEnough"   // input pressure insufficient to feed workers
+	TooMuch     Kind = "tooMuch"     // input pressure above what the contract needs
+	RaiseViol   Kind = "raiseViol"   // violation reported to the parent manager
+	IncRate     Kind = "incRate"     // new contract: increase producer output rate
+	DecRate     Kind = "decRate"     // new contract: decrease producer output rate
+	AddWorker   Kind = "addWorker"   // farm parallelism degree increased
+	RemWorker   Kind = "remWorker"   // farm parallelism degree decreased
+	Rebalance   Kind = "rebalance"   // queued input redistributed among workers
+	EndStream   Kind = "endStream"   // input stream exhausted
+	NewContr    Kind = "newContract" // a (sub-)contract was installed
+	EnterPass   Kind = "enterPassive"
+	EnterActive Kind = "enterActive"
+	Intent      Kind = "intent"   // two-phase protocol: intention declared
+	Prepared    Kind = "prepared" // two-phase protocol: co-manager prepared
+	Committed   Kind = "committed"
+	Aborted     Kind = "aborted"
+	Secured     Kind = "secured"    // binding switched to the secure codec
+	WorkerFail  Kind = "workerFail" // a worker crash was detected
+	Recovered   Kind = "recovered"  // stranded tasks redistributed after a crash
+	Migrated    Kind = "migrated"   // worker moved to a faster/less loaded node
+)
+
+// Event is one timestamped autonomic event emitted by a manager.
+type Event struct {
+	T      time.Time
+	Source string // manager name, e.g. "AM_F"
+	Kind   Kind
+	Detail string // free-form detail, e.g. "workers 3->5"
+}
+
+// String renders the event as "mm:ss source kind detail".
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %-6s %-12s", fmtClock(e.T), e.Source, e.Kind)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return strings.TrimRight(s, " ")
+}
+
+// Log is an append-only, concurrency-safe event log shared by a hierarchy
+// of managers.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	subs   []chan Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Add appends an event.
+func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	subs := l.subs
+	l.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- e:
+		default: // slow subscribers drop events rather than stall managers
+		}
+	}
+}
+
+// Record is a convenience wrapper building the Event in place.
+func (l *Log) Record(t time.Time, source string, kind Kind, detail string) {
+	l.Add(Event{T: t, Source: source, Kind: kind, Detail: detail})
+}
+
+// Events returns a copy of all recorded events in append order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Subscribe returns a channel receiving future events. Subscribers that do
+// not keep up lose events (the managers must never block on tracing).
+func (l *Log) Subscribe(buf int) <-chan Event {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	l.mu.Lock()
+	l.subs = append(l.subs, ch)
+	l.mu.Unlock()
+	return ch
+}
+
+// BySource returns the events emitted by the named source, in order.
+func (l *Log) BySource(source string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Source == source {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns the events of the given kind, in order.
+func (l *Log) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the given kind were emitted by source
+// (empty source matches all sources).
+func (l *Log) Count(source string, kind Kind) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == kind && (source == "" || e.Source == source) {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstOf returns the first event of the given kind from source and true,
+// or a zero event and false.
+func (l *Log) FirstOf(source string, kind Kind) (Event, bool) {
+	for _, e := range l.Events() {
+		if e.Kind == kind && (source == "" || e.Source == source) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// KindSequence returns the ordered kinds of all events from source,
+// collapsing immediate repetitions (aaabbbca -> abca). It is the tool used
+// by the experiment assertions to compare against the Fig. 4 narrative.
+func (l *Log) KindSequence(source string) []Kind {
+	var out []Kind
+	for _, e := range l.Events() {
+		if source != "" && e.Source != source {
+			continue
+		}
+		if n := len(out); n == 0 || out[n-1] != e.Kind {
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+// fmtClock renders t as mm:ss within its hour, like the x axes of Fig. 4.
+func fmtClock(t time.Time) string {
+	return fmt.Sprintf("%02d:%02d", t.Minute(), t.Second())
+}
+
+// Timeline renders the log as one line per event, ordered by time.
+func (l *Log) Timeline() string {
+	evs := l.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T.Before(evs[j].T) })
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EventStrip renders, for one source, a compact strip with one row per
+// event kind and one column per time bucket — the ASCII analogue of the
+// event graphs in Fig. 4.
+func (l *Log) EventStrip(source string, start time.Time, width int, bucket time.Duration) string {
+	if width <= 0 || bucket <= 0 {
+		return ""
+	}
+	evs := l.BySource(source)
+	rows := map[Kind][]bool{}
+	var kinds []Kind
+	for _, e := range evs {
+		if _, ok := rows[e.Kind]; !ok {
+			rows[e.Kind] = make([]bool, width)
+			kinds = append(kinds, e.Kind)
+		}
+		col := int(e.T.Sub(start) / bucket)
+		if col >= 0 && col < width {
+			rows[e.Kind][col] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "events of %s (one column = %v)\n", source, bucket)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%12s |", k)
+		for _, hit := range rows[k] {
+			if hit {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV emits the series in long form — one "series,seconds,value"
+// row per sample, seconds measured from the earliest sample across all
+// series — so runs can be re-plotted with external tooling. scale converts
+// clock time back into modelled seconds (pass 1 for wall-clock units).
+func WriteSeriesCSV(w io.Writer, scale float64, series ...*metrics.Series) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	var t0 time.Time
+	have := false
+	for _, s := range series {
+		for _, p := range s.Points() {
+			if !have || p.T.Before(t0) {
+				t0, have = p.T, true
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(w, "series,seconds,value"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points() {
+			secs := p.T.Sub(t0).Seconds() * scale
+			if _, err := fmt.Fprintf(w, "%s,%.3f,%g\n", s.Name(), secs, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PlotOptions configures RenderSeries.
+type PlotOptions struct {
+	Width  int     // plot columns (default 72)
+	Height int     // plot rows (default 12)
+	YMin   float64 // lower bound; if YMin==YMax bounds are auto-scaled
+	YMax   float64
+	Bands  []float64 // horizontal guide lines (e.g. contract bounds)
+}
+
+// RenderSeries draws one or more series on a shared ASCII canvas. Each
+// series is drawn with its own glyph ('*', '+', 'o', ...). It is used by
+// the experiment binaries to print Fig. 3/4-shaped charts.
+func RenderSeries(opts PlotOptions, series ...*metrics.Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 12
+	}
+	var (
+		tMin, tMax time.Time
+		yMin, yMax = opts.YMin, opts.YMax
+		havePoint  bool
+	)
+	for _, s := range series {
+		for _, p := range s.Points() {
+			if !havePoint {
+				tMin, tMax, havePoint = p.T, p.T, true
+			}
+			if p.T.Before(tMin) {
+				tMin = p.T
+			}
+			if p.T.After(tMax) {
+				tMax = p.T
+			}
+			if opts.YMin == opts.YMax {
+				if p.V < yMin || !havePoint {
+					yMin = p.V
+				}
+				if p.V > yMax {
+					yMax = p.V
+				}
+			}
+		}
+	}
+	if !havePoint {
+		return "(no samples)\n"
+	}
+	if opts.YMin == opts.YMax {
+		for _, band := range opts.Bands {
+			if band < yMin {
+				yMin = band
+			}
+			if band > yMax {
+				yMax = band
+			}
+		}
+		if yMin == yMax {
+			yMax = yMin + 1
+		}
+		pad := (yMax - yMin) * 0.05
+		yMin, yMax = yMin-pad, yMax+pad
+	}
+	span := tMax.Sub(tMin)
+	if span <= 0 {
+		span = time.Second
+	}
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", w))
+	}
+	row := func(v float64) int {
+		r := int((yMax - v) / (yMax - yMin) * float64(h-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for _, band := range opts.Bands {
+		r := row(band)
+		for c := 0; c < w; c++ {
+			canvas[r][c] = '-'
+		}
+	}
+	glyphs := []byte{'*', '+', 'o', '#', '@', '%'}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points() {
+			c := int(float64(p.T.Sub(tMin)) / float64(span) * float64(w-1))
+			canvas[row(p.V)][c] = g
+		}
+	}
+	var b strings.Builder
+	for i, line := range canvas {
+		v := yMax - (yMax-yMin)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", v, line)
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", w-5, fmtClock(tMin), fmtClock(tMax))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", glyphs[si%len(glyphs)], s.Name())
+	}
+	return b.String()
+}
