@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ const benchScale = 500
 // task farm to a 0.6 task/s contract.
 func BenchmarkFig3SingleManagerFarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(experiments.Options{Scale: benchScale, Tasks: 120})
+		res, err := experiments.Fig3(context.Background(), experiments.Options{Scale: benchScale, Tasks: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func BenchmarkFig3SingleManagerFarm(b *testing.B) {
 // hierarchy on the three-stage pipeline under the 0.3-0.7 contract.
 func BenchmarkFig4HierarchicalPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(experiments.Options{Scale: benchScale, Tasks: 120})
+		res, err := experiments.Fig4(context.Background(), experiments.Options{Scale: benchScale, Tasks: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkFig4HierarchicalPipeline(b *testing.B) {
 // BenchmarkExtLoadAdaptation regenerates the §4.2 external-load narrative.
 func BenchmarkExtLoadAdaptation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ExtLoad(experiments.Options{Scale: benchScale, Tasks: 150})
+		res, err := experiments.ExtLoad(context.Background(), experiments.Options{Scale: benchScale, Tasks: 150})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkExtLoadAdaptation(b *testing.B) {
 // throughput under two-phase, reactive and unmanaged coordination.
 func BenchmarkMultiConcernTwoPhase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.MultiConcern(experiments.Options{Scale: benchScale, Tasks: 120})
+		res, err := experiments.MultiConcern(context.Background(), experiments.Options{Scale: benchScale, Tasks: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkMultiConcernTwoPhase(b *testing.B) {
 // injection, stranded-task recovery and worker replacement under contract.
 func BenchmarkFaultRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.FaultTolerance(experiments.Options{Scale: benchScale, Tasks: 120})
+		res, err := experiments.FaultTolerance(context.Background(), experiments.Options{Scale: benchScale, Tasks: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFaultRecovery(b *testing.B) {
 // outlook: pipeline stage transformed into a farm).
 func BenchmarkFarmizeStage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Farmize(experiments.Options{Scale: benchScale, Tasks: 100})
+		res, err := experiments.Farmize(context.Background(), experiments.Options{Scale: benchScale, Tasks: 100})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFarmizeStage(b *testing.B) {
 // policy vs. pool growth under external load).
 func BenchmarkMigrationVsAdd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Migration(experiments.Options{Scale: benchScale, Tasks: 150})
+		res, err := experiments.Migration(context.Background(), experiments.Options{Scale: benchScale, Tasks: 150})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkMigrationVsAdd(b *testing.B) {
 // initial parallelism degree vs. reactive ramp-up).
 func BenchmarkInitialDegree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.InitialDegree(experiments.Options{Scale: benchScale, Tasks: 100})
+		res, err := experiments.InitialDegree(context.Background(), experiments.Options{Scale: benchScale, Tasks: 100})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkInitialDegree(b *testing.B) {
 // (CheckRateHigh shedding an overprovisioned farm).
 func BenchmarkShedOverprovision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Shed(experiments.Options{Scale: benchScale, Tasks: 120})
+		res, err := experiments.Shed(context.Background(), experiments.Options{Scale: benchScale, Tasks: 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func BenchmarkFarmDispatch(b *testing.B) {
 	}
 	in := make(chan *skel.Task, 1024)
 	out := make(chan *skel.Task, 1024)
-	go f.Run(in, out)
+	go f.Run(context.Background(), in, out)
 	drained := make(chan struct{})
 	go func() {
 		for range out {

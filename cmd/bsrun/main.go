@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -36,7 +37,11 @@ func main() {
 	work := flag.Duration("work", 5*time.Second, "per-task nominal service time (modelled)")
 	interval := flag.Duration("interval", time.Second, "task inter-arrival period (modelled)")
 	timeline := flag.Bool("timeline", false, "dump the autonomic event timeline")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
 
 	c, err := contract.Parse(*contractSpec)
 	if err != nil {
@@ -65,7 +70,7 @@ func main() {
 	}
 	fmt.Printf("running %s under contract %q (scale %gx, %d tasks)\n",
 		*expr, c.Describe(), *scale, *tasks)
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		fail(err)
 	}

@@ -6,14 +6,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	if _, err := experiments.ContractSplit(experiments.Options{Out: os.Stdout}); err != nil {
+	timeout := flags.RegisterTimeout()
+	flag.Parse()
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	if _, err := experiments.ContractSplit(ctx, experiments.Options{Out: os.Stdout}); err != nil {
 		fmt.Fprintln(os.Stderr, "contractsplit:", err)
 		os.Exit(1)
 	}

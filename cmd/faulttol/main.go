@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 )
 
@@ -21,9 +22,13 @@ func main() {
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	tasks := flag.Int("tasks", 200, "stream length")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
 
-	res, err := experiments.FaultTolerance(experiments.Options{
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	res, err := experiments.FaultTolerance(ctx, experiments.Options{
 		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
 	})
 	if err != nil {

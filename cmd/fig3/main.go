@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
@@ -21,9 +22,13 @@ func main() {
 	tasks := flag.Int("tasks", 200, "stream length")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
 
-	res, err := experiments.Fig3(experiments.Options{
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	res, err := experiments.Fig3(ctx, experiments.Options{
 		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
 	})
 	if err != nil {

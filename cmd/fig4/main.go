@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 	"repro/internal/rules"
 	"repro/internal/trace"
@@ -28,7 +29,11 @@ func main() {
 	showRules := flag.Bool("rules", false, "print the Fig. 5 AM_F rule file and exit")
 	rulesDriven := flag.Bool("rules-driven", false, "store AM_A's reaction policy as DRL rules too")
 	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
 
 	if *showRules {
 		rs, err := rules.Parse(rules.FarmRuleSource)
@@ -41,7 +46,7 @@ func main() {
 		return
 	}
 
-	res, err := experiments.Fig4(experiments.Options{
+	res, err := experiments.Fig4(ctx, experiments.Options{
 		Scale: *scale, Tasks: *tasks, Out: os.Stdout, RulesDriven: *rulesDriven,
 	})
 	if err != nil {

@@ -1,0 +1,38 @@
+// Package flags holds the command-line conventions shared by every binary
+// under cmd/: the -timeout flag and the derivation of the run context it
+// bounds. All binaries shut down gracefully on SIGINT/SIGTERM — the
+// application stops its intake and drains the tasks already accepted —
+// and -timeout applies the same cancelation after a wall-clock limit.
+package flags
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RegisterTimeout registers the shared -timeout flag on the default
+// FlagSet and returns its destination. Call it before flag.Parse. The
+// zero default means no wall-clock limit.
+func RegisterTimeout() *time.Duration {
+	return flag.Duration("timeout", 0,
+		"wall-clock run limit triggering graceful shutdown; 0 means none")
+}
+
+// Context derives the binary's run context: canceled on SIGINT/SIGTERM
+// and, when timeout > 0, once the wall-clock limit expires. The caller
+// must invoke the returned cancel on exit to release the signal handler.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -15,15 +15,20 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 )
 
 func main() {
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	tasks := flag.Int("tasks", 240, "stream length")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
 
-	if _, err := experiments.Migration(experiments.Options{
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	if _, err := experiments.Migration(ctx, experiments.Options{
 		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "migrate:", err)

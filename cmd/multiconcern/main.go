@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/experiments"
 )
 
@@ -22,9 +23,13 @@ func main() {
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	tasks := flag.Int("tasks", 200, "stream length")
 	timeline := flag.String("timeline", "", "dump the event timeline of one scheme (two-phase, reactive, unmanaged)")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
 
-	res, err := experiments.MultiConcern(experiments.Options{
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	res, err := experiments.MultiConcern(ctx, experiments.Options{
 		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
 	})
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 
+	"repro/cmd/internal/flags"
 	"repro/internal/rules"
 )
 
@@ -36,7 +37,17 @@ func main() {
 	minW := flag.Int("min", 1, "FARM_MIN_NUM_WORKERS")
 	maxW := flag.Int("max", 16, "FARM_MAX_NUM_WORKERS")
 	unb := flag.Float64("unbalance", 4, "FARM_MAX_UNBALANCE")
+	timeout := flags.RegisterTimeout()
 	flag.Parse()
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+	go func() {
+		// Watchdog: reading stdin can block indefinitely; honor -timeout
+		// and SIGINT/SIGTERM like every other cmd binary.
+		<-ctx.Done()
+		fail(ctx.Err())
+	}()
 
 	src, name, err := readSource(*builtin)
 	if err != nil {

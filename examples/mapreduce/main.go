@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -81,7 +82,7 @@ func main() {
 	out := make(chan *skel.Task, *blocks)
 
 	start := time.Now()
-	go m.Run(in, out)
+	go m.Run(context.Background(), in, out)
 	done := 0
 	var last []byte
 	for t := range out {

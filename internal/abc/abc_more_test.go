@@ -1,6 +1,7 @@
 package abc
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -67,7 +68,7 @@ func TestFarmABCExecuteErrors(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 1 {
 		if time.Now().After(deadline) {

@@ -1,6 +1,7 @@
 package abc
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func newRunningFarm(t *testing.T, cores, workers int) (*skel.Farm, chan *skel.Ta
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < workers {
 		if time.Now().After(deadline) {
@@ -177,7 +178,7 @@ func TestSourceABCExecute(t *testing.T) {
 func TestSourceABCBeans(t *testing.T) {
 	src := skel.NewSource("prod", fastEnv(), 0, 0, nil)
 	out := make(chan *skel.Task, 1)
-	src.Run(nil, out)
+	src.Run(context.Background(), nil, out)
 	a := NewSourceABC(src)
 	beans := a.Beans()
 	if len(beans) != 2 {
@@ -217,7 +218,7 @@ func TestPipeABCSnapshot(t *testing.T) {
 		in <- &skel.Task{ID: uint64(i + 1)}
 	}
 	close(in)
-	sink.Run(in, nil)
+	sink.Run(context.Background(), in, nil)
 	p := NewPipeABC(NewSourceABC(src), NewSinkABC(sink))
 	s := p.Snapshot()
 	if s.Throughput <= 0 {

@@ -1,0 +1,48 @@
+package abc
+
+// WakeSource is implemented by controllers whose underlying skeleton can
+// report lifecycle edges — worker crashes, end of stream — as they happen.
+// A manager subscribed to the edge wakes its MAPE loop immediately instead
+// of waiting for the next control-period tick, cutting reaction latency
+// from O(period) to O(ms). The periodic tick stays in place as a heartbeat
+// fallback, so a lost edge degrades to poll latency rather than a hang.
+//
+// Edges are deliberately sparse: skeletons fire them on *external* events
+// (a crash, the stream draining) and never on reconfigurations the manager
+// itself commanded, which would echo every actuation back into the analyse
+// phase.
+type WakeSource interface {
+	// OnEdge registers fn to run on every edge. fn must be non-blocking
+	// and safe to call from the skeleton's goroutines. The returned cancel
+	// removes the subscription.
+	OnEdge(fn func()) (cancel func())
+}
+
+// OnEdge implements WakeSource: the farm's edges are worker crashes and
+// end of input.
+func (a *FarmABC) OnEdge(fn func()) (cancel func()) { return a.farm.OnEvent(fn) }
+
+// OnEdge implements WakeSource: the source's edge is end of emission.
+func (a *SourceABC) OnEdge(fn func()) (cancel func()) { return a.src.OnEvent(fn) }
+
+// OnEdge implements WakeSource: the sink's edge is stream completion.
+func (a *SinkABC) OnEdge(fn func()) (cancel func()) { return a.sink.OnEvent(fn) }
+
+// OnEdge implements WakeSource by subscribing to whichever of the
+// pipeline's end monitors expose edges; the combined cancel removes both.
+func (a *PipeABC) OnEdge(fn func()) (cancel func()) {
+	var cancels []func()
+	if ws, ok := a.head.(WakeSource); ok {
+		cancels = append(cancels, ws.OnEdge(fn))
+	}
+	if a.tail != a.head {
+		if ws, ok := a.tail.(WakeSource); ok {
+			cancels = append(cancels, ws.OnEdge(fn))
+		}
+	}
+	return func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+}

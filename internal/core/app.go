@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"errors"
-
 	"time"
 
 	"repro/internal/abc"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/skel"
 	"repro/internal/trace"
@@ -100,10 +101,27 @@ func (a *App) ComponentTree() component.Component {
 }
 
 // Run executes the application to stream completion and returns the
-// collected result. It is synchronous and may be called once.
+// collected result. It is synchronous and may be called once. It is
+// RunContext under a background context.
 func (a *App) Run() (*Result, error) {
+	return a.RunContext(context.Background())
+}
+
+// RunContext executes the application under ctx. The manager hierarchy,
+// the concern managers and the result sampler all run as members of one
+// supervised runtime.Group, so the whole management tree starts and tears
+// down together and the first manager failure cancels its siblings.
+//
+// Canceling ctx triggers a graceful shutdown with drain-on-cancel
+// semantics: the source stops emitting, the stages drain every task
+// already accepted, and the managers keep supervising until the drain
+// completes — the partial Result is returned, not discarded.
+func (a *App) RunContext(ctx context.Context) (*Result, error) {
 	if len(a.stages) == 0 || a.Sink == nil {
 		return nil, errors.New("core: application is not assembled")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	sample := a.SamplePeriod
 	if sample <= 0 {
@@ -122,34 +140,36 @@ func (a *App) Run() (*Result, error) {
 		Workers:    metrics.NewSeries("workers"),
 	}
 
+	// The management plane: one supervised group for the manager
+	// hierarchy, the concern managers and the sampler. It outlives the
+	// stream (for the Grace window) and is canceled as one tree.
+	mgmt, _ := runtime.NewGroup(context.Background())
+	defer func() {
+		mgmt.Cancel()
+		_ = mgmt.Wait()
+	}()
 	if a.RootManager != nil {
-		a.RootManager.StartTree()
-		defer a.RootManager.StopTree()
+		mgmt.Go(a.RootManager.RunTree)
 	}
-	if a.Security != nil && a.startSecurity {
-		a.Security.Start()
-		defer a.Security.Stop()
+	switch {
+	case a.GM != nil:
+		mgmt.Go(a.GM.Run)
+	case a.Security != nil && a.startSecurity:
+		mgmt.Go(a.Security.Run)
 	}
 	if a.Fault != nil {
-		a.Fault.Start()
-		defer a.Fault.Stop()
+		mgmt.Go(a.Fault.Run)
 	}
 	if a.Migration != nil {
-		a.Migration.Start()
-		defer a.Migration.Stop()
+		mgmt.Go(a.Migration.Run)
 	}
-
-	// Sampler.
-	stopSample := make(chan struct{})
-	sampleDone := make(chan struct{})
-	go func() {
-		defer close(sampleDone)
+	mgmt.Go(func(ctx context.Context) error { // sampler
 		ticker := clock.NewTicker(sample)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-stopSample:
-				return
+			case <-ctx.Done():
+				return nil
 			case now := <-ticker.C():
 				res.Throughput.Append(now, a.Sink.Rate())
 				if a.FarmABC != nil {
@@ -162,21 +182,36 @@ func (a *App) Run() (*Result, error) {
 				}
 			}
 		}
-	}()
+	})
 
 	pipe, err := skel.NewPipe(a.Name, 16, a.stages...)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	pipe.Run(nil, nil)
+	pipeDone := make(chan struct{})
+	go func() {
+		defer close(pipeDone)
+		pipe.Run(ctx, nil, nil)
+	}()
+	// The sink finishes either at natural stream completion or after a
+	// cancelation drain (the source closes its output on cancel and the
+	// stages drain what was accepted).
 	<-a.Sink.Done()
-	if a.Grace > 0 {
-		clock.Sleep(a.Grace)
+	<-pipeDone
+	if a.Grace > 0 && ctx.Err() == nil {
+		// Keep managers running briefly so end-of-stream events
+		// (rebalance, endStream) surface; skipped when canceled.
+		select {
+		case <-ctx.Done():
+		case <-clock.After(a.Grace):
+		}
 	}
 	res.Elapsed = time.Since(start)
-	close(stopSample)
-	<-sampleDone
+	mgmt.Cancel()
+	if err := mgmt.Wait(); err != nil {
+		return res, err
+	}
 
 	res.Completed = a.Sink.Consumed()
 	if a.FarmABC != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/grid"
 	"repro/internal/manager"
+	"repro/internal/runtime/leaktest"
 	"repro/internal/simclock"
 	"repro/internal/skel"
 	"repro/internal/trace"
@@ -83,6 +85,7 @@ func TestPatternKindString(t *testing.T) {
 // with a single AM and a minimum-throughput contract; the manager must add
 // workers until the measured throughput crosses the contract.
 func TestFarmAppReachesContract(t *testing.T) {
+	defer leaktest.Check(t)()
 	env := fastEnv(400)
 	app, err := NewFarmApp(FarmAppConfig{
 		Name:           "fig3mini",
@@ -459,5 +462,79 @@ func TestMultiConcernReactiveLeaks(t *testing.T) {
 	// Eventually the security manager secures everything.
 	if app.Security.Secured() == 0 {
 		t.Fatal("security manager never acted")
+	}
+}
+
+// TestRunContextCancelDrains exercises the graceful-shutdown path: midway
+// through the stream the run context is canceled; the source must stop
+// emitting, the stages must drain every accepted task (no loss, no hang),
+// the managers must tear down, and the partial result must be returned.
+func TestRunContextCancelDrains(t *testing.T) {
+	defer leaktest.Check(t)()
+	env := fastEnv(400)
+	app, err := NewFarmApp(FarmAppConfig{
+		Name:           "cancel",
+		Env:            env,
+		Platform:       grid.NewSMP(8),
+		Tasks:          100000, // far more than can complete before cancel
+		TaskWork:       time.Second,
+		SourceInterval: 100 * time.Millisecond,
+		InitialWorkers: 2,
+		Contract:       contract.MinThroughput(0.1),
+		Limits:         manager.FarmLimits{MaxWorkers: 4},
+		Period:         time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for app.Sink.Consumed() < 10 {
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	res, err := app.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("canceled run completed nothing")
+	}
+	if res.Completed >= 100000 {
+		t.Fatal("cancel did not stop the intake")
+	}
+	// Drain-on-cancel: everything emitted was consumed, nothing dropped.
+	if got, want := res.Completed, app.Source.Emitted(); got != want {
+		t.Fatalf("completed %d of %d emitted: accepted tasks were dropped", got, want)
+	}
+}
+
+// TestRunContextPreCanceled checks that an already-canceled context still
+// yields a well-formed (empty) result rather than a hang or a nil deref.
+func TestRunContextPreCanceled(t *testing.T) {
+	defer leaktest.Check(t)()
+	env := fastEnv(400)
+	app, err := NewFarmApp(FarmAppConfig{
+		Name: "precancel", Env: env, Platform: grid.NewSMP(4), Tasks: 50,
+		TaskWork: time.Second, SourceInterval: 100 * time.Millisecond,
+		InitialWorkers: 1, Contract: contract.MinThroughput(0.1),
+		Period: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := app.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("pre-canceled run completed %d tasks", res.Completed)
 	}
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -54,7 +55,7 @@ func (o Options) env() skel.Env {
 // Paper-faithful parameters: images cost 6.4 s on one core (so a single
 // worker delivers ~0.16 img/s and the contract needs ~4 workers), images
 // arrive at 1 img/s, and the farm starts with one worker.
-func Fig3(opts Options) (*core.Result, error) {
+func Fig3(ctx context.Context, opts Options) (*core.Result, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 200
@@ -76,7 +77,7 @@ func Fig3(opts Options) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +96,7 @@ func Fig3(opts Options) (*core.Result, error) {
 // phase of the paper's narrative — notEnough -> raiseViol -> incRate —
 // plays out, followed by addWorker reconfigurations, the decRate warning
 // and the endStream tail with its rebalance.
-func Fig4(opts Options) (*core.Result, error) {
+func Fig4(ctx context.Context, opts Options) (*core.Result, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 150
@@ -123,7 +124,7 @@ func Fig4(opts Options) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +148,7 @@ type ExtLoadResult struct {
 // on the cores running farm workers mid-run; overloaded workers deliver
 // fewer results and the manager reacts by adding workers until the
 // contract is restored.
-func ExtLoad(opts Options) (*ExtLoadResult, error) {
+func ExtLoad(ctx context.Context, opts Options) (*ExtLoadResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 240
@@ -188,6 +189,9 @@ func ExtLoad(opts Options) (*ExtLoadResult, error) {
 	// quarter of its speed), dropping the farm below the contract.
 	go func() {
 		for app.Sink.Consumed() < tasks/3 {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			env.Clock.Sleep(time.Millisecond)
 		}
 		workers := app.FarmABC.Workers()
@@ -201,7 +205,7 @@ func ExtLoad(opts Options) (*ExtLoadResult, error) {
 			fmt.Sprintf("75%% external load on %d worker nodes", len(workers)))
 	}()
 
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +248,7 @@ type MultiConcernResult struct {
 // The paper's claims to verify: two-phase leaks exactly 0; the naive
 // (reactive) scheme leaks > 0; securing costs some throughput vs. the
 // insecure baseline.
-func MultiConcern(opts Options) (*MultiConcernResult, error) {
+func MultiConcern(ctx context.Context, opts Options) (*MultiConcernResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 200
@@ -282,7 +286,7 @@ func MultiConcern(opts Options) (*MultiConcernResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := app.Run()
+		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +330,7 @@ type FaultResult struct {
 // stream flows; the manager must detect each crash, redistribute the
 // stranded tasks and replace the worker, so that every task completes
 // exactly once and the contract is eventually restored.
-func FaultTolerance(opts Options) (*FaultResult, error) {
+func FaultTolerance(ctx context.Context, opts Options) (*FaultResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 200
@@ -358,6 +362,9 @@ func FaultTolerance(opts Options) (*FaultResult, error) {
 		for _, frac := range []int{4, 2} {
 			target := tasks / frac
 			for app.Sink.Consumed() < target {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				env.Clock.Sleep(time.Millisecond)
 			}
 			for _, w := range app.FarmABC.Workers() {
@@ -372,7 +379,7 @@ func FaultTolerance(opts Options) (*FaultResult, error) {
 		}
 	}()
 
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +402,7 @@ type SplitRow struct {
 // ContractSplit exercises the P_spl heuristics on the paper's example
 // structures and returns the derived sub-contracts (the EXT-SPLIT
 // artefact).
-func ContractSplit(opts Options) ([]SplitRow, error) {
+func ContractSplit(ctx context.Context, opts Options) ([]SplitRow, error) {
 	pipeTR := contract.ThroughputRange{Lo: 0.3, Hi: 0.7}
 	pipePD := contract.ParDegree{Min: 3, Max: 12}
 	secConj := contract.Conjunction{contract.SecureComms{}, pipeTR}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 
 func TestFig3Harness(t *testing.T) {
 	var buf strings.Builder
-	res, err := Fig3(Options{Scale: 500, Tasks: 120, Out: &buf})
+	res, err := Fig3(context.Background(), Options{Scale: 500, Tasks: 120, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFig3Harness(t *testing.T) {
 
 func TestFig4Harness(t *testing.T) {
 	var buf strings.Builder
-	res, err := Fig4(Options{Scale: 500, Tasks: 120, Out: &buf})
+	res, err := Fig4(context.Background(), Options{Scale: 500, Tasks: 120, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFig4Harness(t *testing.T) {
 
 func TestExtLoadHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := ExtLoad(Options{Scale: 500, Tasks: 150, Out: &buf})
+	res, err := ExtLoad(context.Background(), Options{Scale: 500, Tasks: 150, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestExtLoadHarness(t *testing.T) {
 
 func TestMultiConcernHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := MultiConcern(Options{Scale: 500, Tasks: 150, Out: &buf})
+	res, err := MultiConcern(context.Background(), Options{Scale: 500, Tasks: 150, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestMultiConcernHarness(t *testing.T) {
 
 func TestFaultToleranceHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := FaultTolerance(Options{Scale: 500, Tasks: 150, Out: &buf})
+	res, err := FaultTolerance(context.Background(), Options{Scale: 500, Tasks: 150, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFaultToleranceHarness(t *testing.T) {
 
 func TestFarmizeHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := Farmize(Options{Scale: 500, Tasks: 120, Out: &buf})
+	res, err := Farmize(context.Background(), Options{Scale: 500, Tasks: 120, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestFarmizeHarness(t *testing.T) {
 
 func TestMigrationHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := Migration(Options{Scale: 500, Tasks: 180, Out: &buf})
+	res, err := Migration(context.Background(), Options{Scale: 500, Tasks: 180, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestMigrationHarness(t *testing.T) {
 
 func TestInitialDegreeHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := InitialDegree(Options{Scale: 500, Tasks: 120, Out: &buf})
+	res, err := InitialDegree(context.Background(), Options{Scale: 500, Tasks: 120, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestInitialDegreeHarness(t *testing.T) {
 
 func TestShedHarness(t *testing.T) {
 	var buf strings.Builder
-	res, err := Shed(Options{Scale: 500, Tasks: 150, Out: &buf})
+	res, err := Shed(context.Background(), Options{Scale: 500, Tasks: 150, Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestShedHarness(t *testing.T) {
 
 func TestContractSplitHarness(t *testing.T) {
 	var buf strings.Builder
-	rows, err := ContractSplit(Options{Out: &buf})
+	rows, err := ContractSplit(context.Background(), Options{Out: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}

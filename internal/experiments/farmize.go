@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,7 +37,7 @@ type FarmizeResult struct {
 // recruits. Farmizing the consumer stage — same functional code, now
 // replicated — removes the bottleneck and lets the hierarchy satisfy the
 // contract.
-func Farmize(opts Options) (*FarmizeResult, error) {
+func Farmize(ctx context.Context, opts Options) (*FarmizeResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 150
@@ -85,7 +86,7 @@ func Farmize(opts Options) (*FarmizeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := app.Run()
+		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}

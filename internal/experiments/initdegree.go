@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,7 +37,7 @@ type InitResult struct {
 // task-farm performance model derives from the contract
 // (internal/planner). The model-based start should reach the contract
 // almost immediately and need (nearly) no reactive addWorker actions.
-func InitialDegree(opts Options) (*InitResult, error) {
+func InitialDegree(ctx context.Context, opts Options) (*InitResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 150
@@ -66,7 +67,7 @@ func InitialDegree(opts Options) (*InitResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := app.Run()
+		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}

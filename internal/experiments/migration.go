@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -34,7 +35,7 @@ type MigrationResult struct {
 // to free nodes ("migration of poorly performing activities to faster
 // execution resources"). Both restore the contract; migration does so
 // while holding fewer cores.
-func Migration(opts Options) (*MigrationResult, error) {
+func Migration(ctx context.Context, opts Options) (*MigrationResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 240
@@ -81,6 +82,9 @@ func Migration(opts Options) (*MigrationResult, error) {
 		// three workers; plenty of unloaded nodes remain for migration.
 		go func() {
 			for app.Sink.Consumed() < tasks/3 {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				env.Clock.Sleep(time.Millisecond)
 			}
 			workers := app.FarmABC.Workers()
@@ -94,7 +98,7 @@ func Migration(opts Options) (*MigrationResult, error) {
 				"75% external load on 3 worker nodes")
 		}()
 
-		res, err := app.Run()
+		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}

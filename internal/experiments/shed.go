@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -31,7 +32,7 @@ type ShedResult struct {
 // its bounded contract, so the measured throughput exceeds the upper bound
 // and the Fig. 5 CheckRateHigh rule sheds workers until the farm fits the
 // contracted range, releasing the excess resources.
-func Shed(opts Options) (*ShedResult, error) {
+func Shed(ctx context.Context, opts Options) (*ShedResult, error) {
 	tasks := opts.Tasks
 	if tasks <= 0 {
 		tasks = 200
@@ -59,7 +60,7 @@ func Shed(opts Options) (*ShedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := app.Run()
+	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,14 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abc"
+	"repro/internal/runtime"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
@@ -36,6 +39,9 @@ type FaultConfig struct {
 	// are detected). Like any timeout detector it can false-positive on
 	// genuinely slow tasks; pick it well above the expected service time.
 	SuspectAfter time.Duration
+	// PollOnly disables the crash-edge wake-up, leaving only the periodic
+	// detection tick (the wake-up latency benchmark's baseline).
+	PollOnly bool
 }
 
 // FaultManager is the AM of the fault-tolerance concern.
@@ -52,8 +58,8 @@ type FaultManager struct {
 	suspected int
 	progress  map[string]progressEntry
 
-	stop chan struct{}
-	done chan struct{}
+	running atomic.Bool
+	life    runtime.Lifecycle
 }
 
 // progressEntry tracks a worker's last observed progress for the timeout
@@ -211,41 +217,48 @@ func (m *FaultManager) suspectStalled(fa *abc.FarmABC) {
 	}
 }
 
-// Start launches the detection loop.
-func (m *FaultManager) Start() {
-	m.mu.Lock()
-	if m.stop != nil {
-		m.mu.Unlock()
-		return
+// Run executes the detection loop until ctx is canceled, then returns nil.
+// Besides the periodic tick, every farm watched at the time Run starts
+// contributes its crash edge as a wake-up (unless PollOnly), so an
+// injected fault is detected in milliseconds rather than after up to one
+// detection period. Run returns an error immediately if the loop is
+// already running.
+func (m *FaultManager) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	m.stop, m.done = stop, done
-	m.mu.Unlock()
-	ticker := m.clock.NewTicker(m.cfg.Period)
-	go func() {
-		defer close(done)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C():
-				m.RunOnce()
-			}
+	if !m.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("manager %s: detection loop already running", m.cfg.Name)
+	}
+	defer m.running.Store(false)
+
+	var wake runtime.Notifier
+	if !m.cfg.PollOnly {
+		m.mu.Lock()
+		farms := make([]*abc.FarmABC, len(m.farms))
+		copy(farms, m.farms)
+		m.mu.Unlock()
+		for _, fa := range farms {
+			defer fa.OnEdge(wake.Notify)()
 		}
-	}()
+	}
+	ticker := m.clock.NewTicker(m.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C():
+		case <-wake.C():
+		}
+		m.RunOnce()
+	}
 }
 
-// Stop terminates the detection loop.
-func (m *FaultManager) Stop() {
-	m.mu.Lock()
-	stop, done := m.stop, m.done
-	m.stop, m.done = nil, nil
-	m.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
-}
+// Start launches the detection loop on a background goroutine. A second
+// Start while running is a no-op.
+func (m *FaultManager) Start() { m.life.Start(m.Run) }
+
+// Stop terminates the detection loop and waits for it to exit. It is
+// idempotent.
+func (m *FaultManager) Stop() { _ = m.life.Stop() }

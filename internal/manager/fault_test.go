@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 	"repro/internal/trace"
 )
 
-func newRunningFarmForFT(t *testing.T) (*skel.Farm, *abc.FarmABC, chan *skel.Task, chan int, func()) {
+func newRunningFarmForFT(t testing.TB) (*skel.Farm, *abc.FarmABC, chan *skel.Task, chan int, func()) {
 	t.Helper()
 	f, err := skel.NewFarm(skel.FarmConfig{
 		Name: "ft", Env: skel.Env{TimeScale: 200}, RM: grid.NewSMP(8).RM, InitialWorkers: 2,
@@ -29,7 +30,7 @@ func newRunningFarmForFT(t *testing.T) (*skel.Farm, *abc.FarmABC, chan *skel.Tas
 		count <- n
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 2 {
 		if time.Now().After(deadline) {
@@ -162,7 +163,7 @@ func TestFaultManagerSuspectsStalledWorker(t *testing.T) {
 		count <- n
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 2 {
 		if time.Now().After(deadline) {

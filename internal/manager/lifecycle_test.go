@@ -1,0 +1,183 @@
+package manager
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/contract"
+	"repro/internal/grid"
+	"repro/internal/runtime/leaktest"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// lifecycler is the Start/Stop/Run surface shared by every manager kind.
+type lifecycler interface {
+	Start()
+	Stop()
+	Run(ctx context.Context) error
+}
+
+func newLifecycleManagers(t *testing.T) map[string]lifecycler {
+	t.Helper()
+	log := trace.NewLog()
+	farm, err := skel.NewFarm(skel.FarmConfig{
+		Name: "lc", Env: skel.Env{TimeScale: 200}, RM: grid.NewSMP(4).RM, InitialWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := abc.NewFarmABC(farm, nil)
+	am, err := New(Config{Name: "AM_lc", Controller: fa, Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := NewFaultManager(FaultConfig{Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := NewMigrationManager(MigrationConfig{Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := NewSecurityManager(SecurityConfig{Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := NewGeneralManager("GM_lc", sec, log, nil, Reactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]lifecycler{
+		"manager":   am,
+		"fault":     ft,
+		"migration": mig,
+		"security":  sec,
+		"general":   gm,
+	}
+}
+
+// isRunning reports whether the manager's loop goroutine is live.
+func isRunning(m lifecycler) bool {
+	switch v := m.(type) {
+	case *Manager:
+		return v.running.Load()
+	case *FaultManager:
+		return v.running.Load()
+	case *MigrationManager:
+		return v.running.Load()
+	case *SecurityManager:
+		return v.running.Load()
+	case *GeneralManager:
+		return v.running.Load()
+	}
+	return false
+}
+
+func waitRunning(t *testing.T, m lifecycler) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !isRunning(m) {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestManagerLifecycleIdempotence drives every manager kind through
+// double-Start, double-Stop and restart, checking that the lifecycle is
+// idempotent, that a second concurrent Run is refused, and that no
+// goroutine outlives Stop.
+func TestManagerLifecycleIdempotence(t *testing.T) {
+	for name, m := range newLifecycleManagers(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			defer leaktest.Check(t)()
+			m.Start()
+			m.Start() // second Start: no-op, no second loop
+			waitRunning(t, m)
+			if err := m.Run(context.Background()); err == nil {
+				t.Fatal("concurrent Run while started: want error, got nil")
+			}
+			m.Stop()
+			m.Stop() // second Stop: no-op
+			// Restart after Stop must work.
+			m.Start()
+			m.Stop()
+		})
+	}
+}
+
+// TestManagerLifecycleStartStopCycles hammers Start/Stop to catch leaked
+// loop goroutines or lost wake subscriptions across restarts.
+func TestManagerLifecycleStartStopCycles(t *testing.T) {
+	for name, m := range newLifecycleManagers(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			defer leaktest.Check(t)()
+			for i := 0; i < 10; i++ {
+				m.Start()
+				m.Stop()
+			}
+		})
+	}
+}
+
+// TestManagerRunTreeSupervises checks RunTree: all loops in the hierarchy
+// run under one group and cancelation tears the whole tree down.
+func TestManagerRunTreeSupervises(t *testing.T) {
+	defer leaktest.Check(t)()
+	log := trace.NewLog()
+	newAM := func(name string) *Manager {
+		farm, err := skel.NewFarm(skel.FarmConfig{
+			Name: name, Env: skel.Env{TimeScale: 200}, RM: grid.NewSMP(4).RM, InitialWorkers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{Name: name, Controller: abc.NewFarmABC(farm, nil), Log: log, Period: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	root := newAM("AM_root")
+	child := newAM("AM_child")
+	root.AttachChild(child)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- root.RunTree(ctx) }()
+
+	// Both loops must come up under the one group.
+	deadline := time.Now().Add(5 * time.Second)
+	for !root.running.Load() || !child.running.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("tree loops never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second direct Run on a supervised loop is refused.
+	if err := root.Run(context.Background()); err == nil {
+		t.Fatal("concurrent Run on supervised manager: want error, got nil")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunTree = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunTree did not return after cancel")
+	}
+
+	// Contract checks still work after shutdown (nothing torn down that
+	// shouldn't be).
+	if err := root.AssignContract(contract.MinThroughput(0.1)); err != nil {
+		t.Fatal(err)
+	}
+}

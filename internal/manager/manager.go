@@ -15,13 +15,16 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abc"
 	"repro/internal/contract"
 	"repro/internal/rules"
+	"repro/internal/runtime"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
@@ -93,6 +96,10 @@ type Config struct {
 	// manager chase measurement transients. Monitoring and verdict
 	// logging stay on throughout.
 	WarmUp time.Duration
+	// PollOnly disables the event-driven wake-up even when the Controller
+	// implements abc.WakeSource, leaving only the periodic tick. It exists
+	// as the baseline for the wake-up latency benchmark.
+	PollOnly bool
 }
 
 // Manager is one autonomic manager.
@@ -115,8 +122,8 @@ type Manager struct {
 	cycleLocalAction bool
 	cycleViolation   bool
 
-	stop chan struct{}
-	done chan struct{}
+	running atomic.Bool
+	life    runtime.Lifecycle
 }
 
 // New validates cfg and builds a manager (initially active, with a
@@ -399,48 +406,66 @@ drained:
 	return nil
 }
 
-// Start launches the control loop at the configured period. Stop it with
-// Stop; Start again after Stop is allowed.
-func (m *Manager) Start() {
-	m.mu.Lock()
-	if m.stop != nil {
-		m.mu.Unlock()
-		return
+// Run executes the MAPE control loop until ctx is canceled, then returns
+// nil (clean shutdown). Iterations are triggered by the periodic tick and
+// — when the controller implements abc.WakeSource and PollOnly is unset —
+// by skeleton edges (worker crash, end of stream), which wake the loop
+// immediately instead of after up to one full period. RunOnce errors are
+// logged and the loop continues: a bad rule cycle must not kill
+// supervision. Run returns an error immediately if the loop is already
+// running.
+func (m *Manager) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	m.stop, m.done = stop, done
-	m.mu.Unlock()
+	if !m.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("manager %s: control loop already running", m.cfg.Name)
+	}
+	defer m.running.Store(false)
 
+	var wake runtime.Notifier
+	if ws, ok := m.cfg.Controller.(abc.WakeSource); ok && !m.cfg.PollOnly {
+		defer ws.OnEdge(wake.Notify)()
+	}
 	ticker := m.clock.NewTicker(m.cfg.Period)
-	go func() {
-		defer close(done)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C():
-				if err := m.RunOnce(); err != nil {
-					m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind("error"), err.Error())
-				}
-			}
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C():
+		case <-wake.C():
 		}
-	}()
+		if err := m.RunOnce(); err != nil {
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind("error"), err.Error())
+		}
+	}
 }
 
-// Stop terminates the control loop and waits for it to exit.
-func (m *Manager) Stop() {
-	m.mu.Lock()
-	stop, done := m.stop, m.done
-	m.stop, m.done = nil, nil
-	m.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
+// RunTree runs the control loops of m and all its descendants as one
+// supervised group under ctx: the first loop to fail cancels its siblings,
+// and RunTree returns once all loops have exited.
+func (m *Manager) RunTree(ctx context.Context) error {
+	g, _ := runtime.NewGroup(ctx)
+	m.treeGo(g)
+	return g.Wait()
 }
+
+func (m *Manager) treeGo(g *runtime.Group) {
+	g.Go(m.Run)
+	for _, c := range m.Children() {
+		c.treeGo(g)
+	}
+}
+
+// Start launches the control loop on a background goroutine. Stop it with
+// Stop; Start again after Stop is allowed. A second Start while running is
+// a no-op.
+func (m *Manager) Start() { m.life.Start(m.Run) }
+
+// Stop terminates the control loop and waits for it to exit. It is
+// idempotent.
+func (m *Manager) Stop() { _ = m.life.Stop() }
 
 // StartTree starts the control loops of m and all its descendants.
 func (m *Manager) StartTree() {

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -447,7 +448,7 @@ func TestSecurityManagerReactiveLoop(t *testing.T) {
 		for range out {
 		}
 	}()
-	go f.Run(in, out)
+	go f.Run(context.Background(), in, out)
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 2 {
 		if time.Now().After(deadline) {
@@ -521,7 +522,7 @@ func TestGeneralManagerTwoPhaseCoordinate(t *testing.T) {
 		for range out {
 		}
 	}()
-	go f.Run(in, out)
+	go f.Run(context.Background(), in, out)
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 1 {
 		if time.Now().After(deadline) {

@@ -1,12 +1,15 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abc"
 	"repro/internal/grid"
+	"repro/internal/runtime"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
@@ -26,8 +29,8 @@ type MigrationManager struct {
 	farms    []*abc.FarmABC
 	migrated int
 
-	stop chan struct{}
-	done chan struct{}
+	running atomic.Bool
+	life    runtime.Lifecycle
 }
 
 // MigrationConfig parameterizes a MigrationManager.
@@ -119,41 +122,35 @@ func (m *MigrationManager) RunOnce() int {
 	return moved
 }
 
-// Start launches the observation loop.
-func (m *MigrationManager) Start() {
-	m.mu.Lock()
-	if m.stop != nil {
-		m.mu.Unlock()
-		return
+// Run executes the observation loop until ctx is canceled, then returns
+// nil. External load changes have no skeleton edge — load is sampled, not
+// evented — so migration stays purely periodic. Run returns an error
+// immediately if the loop is already running.
+func (m *MigrationManager) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	m.stop, m.done = stop, done
-	m.mu.Unlock()
+	if !m.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("manager %s: observation loop already running", m.cfg.Name)
+	}
+	defer m.running.Store(false)
+
 	ticker := m.clock.NewTicker(m.cfg.Period)
-	go func() {
-		defer close(done)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C():
-				m.RunOnce()
-			}
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C():
+			m.RunOnce()
 		}
-	}()
+	}
 }
 
-// Stop terminates the observation loop.
-func (m *MigrationManager) Stop() {
-	m.mu.Lock()
-	stop, done := m.stop, m.done
-	m.stop, m.done = nil, nil
-	m.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
-}
+// Start launches the observation loop on a background goroutine. A second
+// Start while running is a no-op.
+func (m *MigrationManager) Start() { m.life.Start(m.Run) }
+
+// Stop terminates the observation loop and waits for it to exit. It is
+// idempotent.
+func (m *MigrationManager) Stop() { _ = m.life.Stop() }

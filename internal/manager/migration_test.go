@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -52,7 +53,7 @@ func TestMigrationManagerMovesLoadedWorkers(t *testing.T) {
 		count <- n
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 2 {
 		if time.Now().After(deadline) {
@@ -122,7 +123,7 @@ func TestMigrationManagerSkipsWhenNoDestination(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(f.Workers()) < 2 {
 		if time.Now().After(deadline) {

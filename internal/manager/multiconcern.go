@@ -1,12 +1,15 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abc"
 	"repro/internal/grid"
+	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -80,8 +83,8 @@ type SecurityManager struct {
 	farms   []*abc.FarmABC
 	secured int
 
-	stop chan struct{}
-	done chan struct{}
+	running atomic.Bool
+	life    runtime.Lifecycle
 }
 
 // NewSecurityManager validates cfg and builds the manager.
@@ -180,44 +183,40 @@ func (s *SecurityManager) RunOnce() int {
 	return n
 }
 
-// Start launches the reactive control loop.
-func (s *SecurityManager) Start() {
-	s.mu.Lock()
-	if s.stop != nil {
-		s.mu.Unlock()
-		return
+// Run executes the reactive control loop until ctx is canceled, then
+// returns nil. The loop is deliberately tick-only: farms fire no edge on
+// worker *addition*, so a reactively managed binding stays exposed until
+// the next security cycle — exactly the §3.2 hazard window the
+// MultiConcern experiment measures. Run returns an error immediately if
+// the loop is already running.
+func (s *SecurityManager) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	s.stop, s.done = stop, done
-	s.mu.Unlock()
+	if !s.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("manager %s: reactive loop already running", s.cfg.Name)
+	}
+	defer s.running.Store(false)
+
 	ticker := s.clock.NewTicker(s.cfg.Period)
-	go func() {
-		defer close(done)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C():
-				s.RunOnce()
-			}
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C():
+			s.RunOnce()
 		}
-	}()
+	}
 }
 
-// Stop terminates the reactive loop.
-func (s *SecurityManager) Stop() {
-	s.mu.Lock()
-	stop, done := s.stop, s.done
-	s.stop, s.done = nil, nil
-	s.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
-}
+// Start launches the reactive control loop on a background goroutine. A
+// second Start while running is a no-op.
+func (s *SecurityManager) Start() { s.life.Start(s.Run) }
+
+// Stop terminates the reactive loop and waits for it to exit. It is
+// idempotent.
+func (s *SecurityManager) Stop() { _ = s.life.Stop() }
 
 // GeneralManager is the GM of §3.2: it owns the per-concern managers and
 // wires the cross-concern coordination protocol into the farms' actuator
@@ -228,6 +227,9 @@ type GeneralManager struct {
 	log   *trace.Log
 	sec   *SecurityManager
 	mode  CoordinationMode
+
+	running atomic.Bool
+	life    runtime.Lifecycle
 }
 
 // NewGeneralManager builds a GM over the given security manager.
@@ -276,3 +278,35 @@ func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 		// baseline: no security enforcement at all
 	}
 }
+
+// Run supervises the GM's concern managers until ctx is canceled, then
+// returns nil. Only Reactive mode owns a loop (the security manager's
+// scanning cycle); TwoPhase coordination acts synchronously inside the
+// actuator path and Unmanaged has nothing to run, so in those modes Run
+// just blocks until cancelation. Run returns an error immediately if the
+// GM is already running.
+func (g *GeneralManager) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !g.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("manager %s: already running", g.name)
+	}
+	defer g.running.Store(false)
+
+	if g.mode == Reactive && g.sec != nil {
+		grp, _ := runtime.NewGroup(ctx)
+		grp.Run(g.sec)
+		return grp.Wait()
+	}
+	<-ctx.Done()
+	return nil
+}
+
+// Start launches the GM's supervision on a background goroutine. A second
+// Start while running is a no-op.
+func (g *GeneralManager) Start() { g.life.Start(g.Run) }
+
+// Stop terminates the supervision and waits for it to exit. It is
+// idempotent.
+func (g *GeneralManager) Stop() { _ = g.life.Stop() }

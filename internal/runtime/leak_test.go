@@ -1,0 +1,43 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/runtime/leaktest"
+)
+
+// The leak checks below prove the supervision primitives themselves leave
+// nothing behind; manager, core and skel apply the same helper to their
+// lifecycle tests.
+
+func TestGroupLeavesNoGoroutines(t *testing.T) {
+	defer leaktest.Check(t)()
+	for i := 0; i < 20; i++ {
+		g, _ := NewGroup(context.Background())
+		for j := 0; j < 4; j++ {
+			g.Go(func(ctx context.Context) error {
+				<-ctx.Done()
+				return nil
+			})
+		}
+		g.Cancel()
+		if err := g.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLifecycleLeavesNoGoroutines(t *testing.T) {
+	defer leaktest.Check(t)()
+	var l Lifecycle
+	for i := 0; i < 20; i++ {
+		l.Start(func(ctx context.Context) error {
+			<-ctx.Done()
+			return nil
+		})
+		if err := l.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

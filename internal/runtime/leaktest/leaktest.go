@@ -1,0 +1,54 @@
+// Package leaktest verifies that a test leaves no goroutines behind: the
+// supervised-runtime refactor's contract is that every control loop,
+// sampler and worker exits on cancel/Stop, and these checks are how the
+// lifecycle tests of manager, core and skel prove it.
+package leaktest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function to
+// defer: it fails the test if, after a settling window, more goroutines
+// are running than at the snapshot. Background goroutines need a moment
+// to observe cancelation, so the check polls before declaring a leak.
+//
+//	defer leaktest.Check(t)()
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, interesting())
+	}
+}
+
+// interesting dumps the stacks of goroutines likely to be the leak,
+// filtering the test runner's own machinery.
+func interesting() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.goexit") && strings.Count(g, "\n") <= 2 {
+			continue
+		}
+		out = append(out, g)
+	}
+	return strings.Join(out, "\n\n")
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+)
+
+// Lifecycle adapts a Runnable to the Start/Stop call sites that predate
+// context propagation, with double-Start/double-Stop idempotence
+// guaranteed centrally instead of per manager. Start derives a fresh
+// context, runs the Runnable on its own goroutine and returns; Stop
+// cancels that context and waits for Run to exit. Start after Stop is
+// allowed.
+//
+// The zero value is ready to use.
+type Lifecycle struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// Start launches run under a fresh context. It reports false (and does
+// nothing) when the lifecycle is already running.
+func (l *Lifecycle) Start(run func(ctx context.Context) error) bool {
+	l.mu.Lock()
+	if l.cancel != nil {
+		l.mu.Unlock()
+		return false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	l.cancel, l.done = cancel, done
+	l.mu.Unlock()
+
+	go func() {
+		err := run(ctx)
+		l.mu.Lock()
+		l.err = err
+		l.mu.Unlock()
+		close(done)
+	}()
+	return true
+}
+
+// Stop cancels the running context and waits for Run to exit, returning
+// Run's error. Stopping an idle lifecycle is a no-op returning nil.
+func (l *Lifecycle) Stop() error {
+	l.mu.Lock()
+	cancel, done := l.cancel, l.done
+	l.cancel, l.done = nil, nil
+	l.mu.Unlock()
+	if cancel == nil {
+		return nil
+	}
+	cancel()
+	<-done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Running reports whether a Start is active.
+func (l *Lifecycle) Running() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cancel != nil
+}

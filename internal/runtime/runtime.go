@@ -1,0 +1,127 @@
+// Package runtime is the supervised-lifecycle layer underneath the
+// autonomic managers and the skeleton applications. The paper's managers
+// form hierarchies that must start, reconfigure and tear down as one tree
+// (§3.1); this package provides the three primitives every layer of the
+// repository builds that tree from:
+//
+//   - Runnable, the unit of supervision: anything with a context-driven
+//     Run method (every MAPE loop, sampler and harness implements it);
+//   - Group, an errgroup-style supervisor: members run concurrently, the
+//     first failure cancels the siblings, Wait collects the errors;
+//   - Notifier, an edge-triggered wake-up channel letting MAPE loops
+//     react to contract-violation edges (worker crash, end of stream)
+//     immediately instead of waiting out a full poll period.
+//
+// Lifecycle (lifecycle.go) adapts Runnable to the legacy Start/Stop call
+// sites with idempotence guaranteed centrally. The package is stdlib-only.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Runnable is the unit of supervision: Run blocks until the work is done
+// or ctx is canceled. A clean shutdown (return caused by ctx cancelation)
+// must return nil, not ctx.Err(), so that supervised teardown of a whole
+// tree is not reported as a failure.
+type Runnable interface {
+	Run(ctx context.Context) error
+}
+
+// Func adapts a plain function to Runnable.
+type Func func(ctx context.Context) error
+
+// Run implements Runnable.
+func (f Func) Run(ctx context.Context) error { return f(ctx) }
+
+// Group supervises a set of concurrently running members: the first
+// member returning a non-nil error cancels every sibling, and Wait blocks
+// until all members have exited, returning the joined errors. A Group is
+// the runtime counterpart of one manager (sub)tree.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewGroup builds a Group whose members run under a context derived from
+// parent: canceling parent cancels the group. The returned context is the
+// group's own (it is what members receive); it is also canceled by the
+// first member failure and by Cancel.
+func NewGroup(parent context.Context) (*Group, context.Context) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Go launches fn as a group member. A non-nil return that is not the
+// group's own cancelation error is recorded and cancels the siblings.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(g.ctx); err != nil && !errors.Is(err, context.Canceled) {
+			g.mu.Lock()
+			g.errs = append(g.errs, err)
+			g.mu.Unlock()
+			g.cancel()
+		}
+	}()
+}
+
+// Run launches r as a group member.
+func (g *Group) Run(r Runnable) { g.Go(r.Run) }
+
+// Cancel asks every member to shut down. Wait still must be called to
+// observe completion.
+func (g *Group) Cancel() { g.cancel() }
+
+// Wait blocks until every member has exited and returns the joined member
+// errors (nil when all returned nil or context.Canceled).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel() // release the derived context even on clean exit
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return errors.Join(g.errs...)
+}
+
+// Notifier is an edge-triggered wake-up: Notify marks the edge (never
+// blocking, coalescing bursts into one pending wake) and C delivers it.
+// A MAPE loop selects on C alongside its heartbeat ticker so that a
+// violation edge wakes it immediately instead of after up to one full
+// poll period.
+type Notifier struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// NewNotifier returns a ready Notifier. The zero value is also usable.
+func NewNotifier() *Notifier { return &Notifier{} }
+
+func (n *Notifier) init() {
+	n.once.Do(func() { n.ch = make(chan struct{}, 1) })
+}
+
+// Notify marks the edge. It never blocks: while a wake-up is already
+// pending, further edges coalesce into it.
+func (n *Notifier) Notify() {
+	n.init()
+	select {
+	case n.ch <- struct{}{}:
+	default:
+	}
+}
+
+// C returns the wake-up channel. Receiving consumes the pending edge.
+func (n *Notifier) C() <-chan struct{} {
+	n.init()
+	return n.ch
+}

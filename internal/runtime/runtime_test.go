@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupFirstErrorCancelsSiblings(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	boom := errors.New("boom")
+	var siblingCanceled atomic.Bool
+	g.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		siblingCanceled.Store(true)
+		return nil
+	})
+	g.Go(func(ctx context.Context) error { return boom })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if !siblingCanceled.Load() {
+		t.Fatal("sibling not canceled by first error")
+	}
+}
+
+func TestGroupCollectsAllErrors(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	e1, e2 := errors.New("one"), errors.New("two")
+	g.Go(func(ctx context.Context) error { return e1 })
+	g.Go(func(ctx context.Context) error { return e2 })
+	err := g.Wait()
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("Wait = %v, want both member errors joined", err)
+	}
+}
+
+func TestGroupCleanShutdownIsNil(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	g.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err() // members returning the cancelation error are not failures
+	})
+	g.Cancel()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait after Cancel = %v, want nil", err)
+	}
+}
+
+func TestGroupParentCancelPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	g, _ := NewGroup(parent)
+	ran := make(chan struct{})
+	g.Go(func(ctx context.Context) error {
+		close(ran)
+		<-ctx.Done()
+		return nil
+	})
+	<-ran
+	cancel()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+func TestNotifierCoalescesAndWakes(t *testing.T) {
+	n := NewNotifier()
+	for i := 0; i < 10; i++ {
+		n.Notify() // must never block
+	}
+	select {
+	case <-n.C():
+	default:
+		t.Fatal("no wake-up pending after Notify")
+	}
+	select {
+	case <-n.C():
+		t.Fatal("burst must coalesce into a single wake-up")
+	default:
+	}
+	n.Notify()
+	select {
+	case <-n.C():
+	case <-time.After(time.Second):
+		t.Fatal("edge after drain not delivered")
+	}
+}
+
+func TestNotifierZeroValue(t *testing.T) {
+	var n Notifier
+	n.Notify()
+	select {
+	case <-n.C():
+	default:
+		t.Fatal("zero-value Notifier lost the edge")
+	}
+}
+
+func TestLifecycleStartStopIdempotent(t *testing.T) {
+	var l Lifecycle
+	var runs atomic.Int32
+	run := func(ctx context.Context) error {
+		runs.Add(1)
+		<-ctx.Done()
+		return nil
+	}
+	if !l.Start(run) {
+		t.Fatal("first Start refused")
+	}
+	if l.Start(run) {
+		t.Fatal("second Start must be refused while running")
+	}
+	if !l.Running() {
+		t.Fatal("Running() = false while started")
+	}
+	if err := l.Stop(); err != nil {
+		t.Fatalf("Stop = %v", err)
+	}
+	if err := l.Stop(); err != nil {
+		t.Fatalf("double Stop = %v", err)
+	}
+	if l.Running() {
+		t.Fatal("Running() = true after Stop")
+	}
+	if !l.Start(run) || l.Stop() != nil {
+		t.Fatal("restart after Stop failed")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("run invoked %d times, want 2", got)
+	}
+}
+
+func TestLifecycleStopReturnsRunError(t *testing.T) {
+	var l Lifecycle
+	boom := errors.New("boom")
+	l.Start(func(ctx context.Context) error {
+		<-ctx.Done()
+		return boom
+	})
+	if err := l.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop = %v, want %v", err, boom)
+	}
+}

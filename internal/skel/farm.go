@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -136,6 +137,7 @@ type Farm struct {
 	arrival   *metrics.RateMeter
 	departure *metrics.RateMeter
 	errs      chan error
+	hooks     hooks
 }
 
 // NewFarm validates cfg and builds the farm (workers are recruited when
@@ -170,9 +172,18 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 // Name implements Stage.
 func (f *Farm) Name() string { return f.cfg.Name }
 
+// OnEvent registers fn to be called on the farm's violation-relevant
+// edges — a worker crash and the end of the input stream. It returns the
+// unsubscribe function. fn must not block; it may be invoked from any
+// farm goroutine. Reconfiguration echoes (addWorker, rebalance, recover)
+// deliberately do not fire: see the hooks type.
+func (f *Farm) OnEvent(fn func()) (cancel func()) { return f.hooks.subscribe(fn) }
+
 // Run implements Stage: it recruits the initial workers, dispatches the
-// input stream and blocks until every result has been collected.
-func (f *Farm) Run(in <-chan *Task, out chan<- *Task) {
+// input stream and blocks until every result has been collected. The farm
+// drains on cancel: it dispatches until its input closes, then lets the
+// workers finish their queues.
+func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 	f.mu.Lock()
 	f.started = true
 	f.mu.Unlock()
@@ -296,12 +307,13 @@ func (f *Farm) sendLocked(w *worker, t *Task) {
 // endInput marks the stream exhausted and lets workers drain and exit.
 func (f *Farm) endInput() {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.inputDone = true
 	for _, w := range f.workers {
 		w.queue.close()
 	}
 	f.maybeCloseResultsLocked()
+	f.mu.Unlock()
+	f.hooks.fire() // endStream edge: wake the managers immediately
 }
 
 // maybeCloseResultsLocked closes the result stream once no worker is
@@ -516,18 +528,21 @@ func (f *Farm) Rebalance() {
 // is the fault-tolerance manager's job.
 func (f *Farm) KillWorker(workerID string) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, w := range f.workers {
 		if w.id != workerID {
 			continue
 		}
 		if w.failed || w.exited {
+			f.mu.Unlock()
 			return fmt.Errorf("skel: worker %s is already down", workerID)
 		}
 		w.failed = true
 		w.queue.fail()
+		f.mu.Unlock()
+		f.hooks.fire() // crash edge: wake the fault manager immediately
 		return nil
 	}
+	f.mu.Unlock()
 	return fmt.Errorf("%w: %s", ErrNoWorker, workerID)
 }
 

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -69,7 +70,7 @@ func TestKillWorkerStrandsTasksUntilRecovered(t *testing.T) {
 		got <- n
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 
 	// Build a backlog on both workers with slow tasks.
@@ -126,7 +127,7 @@ func TestRecoverWorkerErrors(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 	if _, err := f.RecoverWorker("nope"); err == nil {
 		t.Fatal("recover of unknown worker accepted")
@@ -148,7 +149,7 @@ func TestRemoveWorkerRefusesCrashed(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 	last := f.Workers()[1].ID
 	if err := f.KillWorker(last); err != nil {
@@ -189,7 +190,7 @@ func TestFarmConservationUnderChaos(t *testing.T) {
 			seen <- m
 		}()
 		done := make(chan struct{})
-		go func() { f.Run(in, out); close(done) }()
+		go func() { f.Run(context.Background(), in, out); close(done) }()
 
 		ids := map[uint64]bool{}
 		for i := 0; i < total; i++ {

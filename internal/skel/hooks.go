@@ -1,0 +1,50 @@
+package skel
+
+import "sync"
+
+// hooks is a tiny multi-subscriber event registry: skeleton stages fire
+// it on violation-relevant edges (worker crash, end of stream) and the
+// ABC layer forwards those edges to the managers' wake-up notifiers, so
+// a MAPE loop can react within milliseconds instead of waiting out a
+// poll period. Deliberately *not* fired on reconfiguration echoes
+// (addWorker, rebalance): waking a manager on its own actuations would
+// turn the control loop into a feedback screech, and waking the reactive
+// security manager on worker addition would erase the §3.2 hazard window
+// the multi-concern experiment measures.
+type hooks struct {
+	mu   sync.Mutex
+	next int
+	fns  map[int]func()
+}
+
+// subscribe registers fn and returns its cancel function. fn must not
+// block: subscribers are expected to be edge-coalescing notifiers.
+func (h *hooks) subscribe(fn func()) (cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fns == nil {
+		h.fns = map[int]func(){}
+	}
+	id := h.next
+	h.next++
+	h.fns[id] = fn
+	return func() {
+		h.mu.Lock()
+		delete(h.fns, id)
+		h.mu.Unlock()
+	}
+}
+
+// fire invokes every subscriber. Callers must not hold stage locks: a
+// subscriber may observe the stage synchronously.
+func (h *hooks) fire() {
+	h.mu.Lock()
+	fns := make([]func(), 0, len(h.fns))
+	for _, fn := range h.fns {
+		fns = append(fns, fn)
+	}
+	h.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}

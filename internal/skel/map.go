@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,8 +59,9 @@ func NewMap(name string, cfg MapConfig) (*Map, error) {
 // Name implements Stage.
 func (m *Map) Name() string { return m.name }
 
-// Run implements Stage.
-func (m *Map) Run(in <-chan *Task, out chan<- *Task) {
+// Run implements Stage. A map stage drains on cancel: it keeps applying
+// until its input closes.
+func (m *Map) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 	for t := range in {
 		res, err := m.Apply(t)
 		if err != nil {

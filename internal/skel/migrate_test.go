@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestMigrateWorkerMovesQueueAndCompletes(t *testing.T) {
 		count <- n
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 1 })
 
 	for i := 0; i < 12; i++ {
@@ -68,7 +69,7 @@ func TestMigrateWorkerMovesQueueAndCompletes(t *testing.T) {
 		count2 <- n
 	}()
 	done2 := make(chan struct{})
-	go func() { f2.Run(in2, out2); close(done2) }()
+	go func() { f2.Run(context.Background(), in2, out2); close(done2) }()
 	waitFor(t, func() bool { return len(f2.Workers()) == 1 })
 	if f2.Workers()[0].Node.ID != "slow" {
 		t.Fatalf("initial worker on %s, want slow", f2.Workers()[0].Node.ID)
@@ -115,7 +116,7 @@ func TestMigrateWorkerErrors(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 	if _, err := f.MigrateWorker("nope", grid.Request{}); err == nil {
 		t.Fatal("migration of unknown worker accepted")
@@ -143,7 +144,7 @@ func TestMigrateWorkerKeepsCodec(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 1 })
 	old := f.Workers()[0]
 	key := make([]byte, 32)

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -35,8 +36,12 @@ func (p *Pipe) Stages() []Stage {
 }
 
 // Run implements Stage: it wires the stages with channels and blocks until
-// the last stage finishes.
-func (p *Pipe) Run(in <-chan *Task, out chan<- *Task) {
+// the last stage finishes. ctx flows into every stage; canceling it stops
+// the pipeline's intake while the downstream stages drain (see Stage).
+func (p *Pipe) Run(ctx context.Context, in <-chan *Task, out chan<- *Task) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var wg sync.WaitGroup
 	cur := in
 	for i, st := range p.stages {
@@ -48,7 +53,7 @@ func (p *Pipe) Run(in <-chan *Task, out chan<- *Task) {
 		wg.Add(1)
 		go func(s Stage, sin <-chan *Task, sout chan<- *Task) {
 			defer wg.Done()
-			s.Run(sin, sout)
+			s.Run(ctx, sin, sout)
 		}(st, cur, pickOut(next, out, isLast))
 		cur = next
 	}

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ type Source struct {
 	count   int
 	done    bool
 	doneMu  sync.Mutex
+	hooks   hooks
 }
 
 // NewSource builds a source emitting total tasks, one every interval of
@@ -93,22 +95,36 @@ func (s *Source) Rate() float64 {
 	return s.emitted.Rate() / s.env.scale()
 }
 
+// OnEvent registers fn to be called on the source's end-of-stream edge
+// (natural exhaustion or cancelation). It returns the unsubscribe
+// function. fn must not block.
+func (s *Source) OnEvent(fn func()) (cancel func()) { return s.hooks.subscribe(fn) }
+
 // Run implements Stage. in is ignored (a source has no upstream) and may
-// be nil.
+// be nil. Canceling ctx stops the intake: emission ends early, the output
+// closes, and the downstream stages drain what was already emitted.
 //
 // Emission is paced against absolute deadlines rather than relative
 // sleeps: at high time scales the scaled intervals are small enough that
 // per-sleep overshoot would otherwise systematically deflate the emission
 // rate the manager contracts for.
-func (s *Source) Run(_ <-chan *Task, out chan<- *Task) {
+func (s *Source) Run(ctx context.Context, _ <-chan *Task, out chan<- *Task) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	clock := s.env.clock()
 	next := clock.Now()
+emit:
 	for i := 0; i < s.total; i++ {
 		interval := time.Duration(float64(s.Interval()) / s.env.scale())
 		next = next.Add(interval)
 		now := clock.Now()
 		if d := next.Sub(now); d > 0 {
-			clock.Sleep(d)
+			select {
+			case <-ctx.Done():
+				break emit
+			case <-clock.After(d):
+			}
 		} else if -d > interval {
 			// Far behind (e.g. the interval was just shortened): do not
 			// burst the whole backlog, resynchronize instead.
@@ -119,7 +135,11 @@ func (s *Source) Run(_ <-chan *Task, out chan<- *Task) {
 			t.ID = NextTaskID()
 		}
 		t.Created = s.env.clock().Now()
-		out <- t
+		select {
+		case <-ctx.Done():
+			break emit
+		case out <- t:
+		}
 		s.emitted.Mark()
 		s.doneMu.Lock()
 		s.count++
@@ -129,6 +149,7 @@ func (s *Source) Run(_ <-chan *Task, out chan<- *Task) {
 	s.done = true
 	s.doneMu.Unlock()
 	close(out)
+	s.hooks.fire()
 }
 
 // Seq is a sequential stage placed on a grid node: each task costs its
@@ -181,8 +202,10 @@ func (s *Seq) Rate() float64 {
 // Served returns the number of tasks completed by the stage.
 func (s *Seq) Served() uint64 { return s.served.Total() }
 
-// Run implements Stage.
-func (s *Seq) Run(in <-chan *Task, out chan<- *Task) {
+// Run implements Stage. A sequential stage drains on cancel: it keeps
+// serving until its input closes (the Source upstream stops intake when
+// ctx is canceled), so no accepted task is lost to a graceful shutdown.
+func (s *Seq) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 	s.node.Allocate()
 	defer s.node.Release()
 	for t := range in {
@@ -208,6 +231,7 @@ type Sink struct {
 	rate  *metrics.RateMeter
 	count metrics.Gauge
 	done  chan struct{}
+	hooks hooks
 }
 
 // NewSink builds a sink.
@@ -235,9 +259,13 @@ func (s *Sink) Consumed() int { return int(s.count.Value()) }
 // Done is closed once the whole stream has been consumed.
 func (s *Sink) Done() <-chan struct{} { return s.done }
 
+// OnEvent registers fn to be called on the sink's stream-complete edge.
+// It returns the unsubscribe function. fn must not block.
+func (s *Sink) OnEvent(fn func()) (cancel func()) { return s.hooks.subscribe(fn) }
+
 // Run implements Stage. out may be nil; results are forwarded when it is
-// not.
-func (s *Sink) Run(in <-chan *Task, out chan<- *Task) {
+// not. The sink drains on cancel: it consumes until its input closes.
+func (s *Sink) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 	for t := range in {
 		t = applyFn(s.fn, t)
 		s.rate.Mark()
@@ -250,4 +278,5 @@ func (s *Sink) Run(in <-chan *Task, out chan<- *Task) {
 		close(out)
 	}
 	close(s.done)
+	s.hooks.fire()
 }

@@ -2,10 +2,12 @@ package skel
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/runtime/leaktest"
 	"repro/internal/security"
 )
 
@@ -33,7 +35,7 @@ func runStage(t *testing.T, s Stage, tasks []*Task) []*Task {
 		}
 		close(done)
 	}()
-	s.Run(in, out)
+	s.Run(context.Background(), in, out)
 	<-done
 	return results
 }
@@ -49,7 +51,7 @@ func mkTasks(n int, work time.Duration) []*Task {
 func TestSourceEmitsAll(t *testing.T) {
 	src := NewSource("prod", fastEnv(), 25, 10*time.Millisecond, nil)
 	out := make(chan *Task, 25)
-	src.Run(nil, out)
+	src.Run(context.Background(), nil, out)
 	if src.Emitted() != 25 || !src.Done() {
 		t.Fatalf("emitted=%d done=%v", src.Emitted(), src.Done())
 	}
@@ -70,7 +72,7 @@ func TestSourceSetInterval(t *testing.T) {
 	}
 	start := time.Now()
 	out := make(chan *Task, 1)
-	src.Run(nil, out)
+	src.Run(context.Background(), nil, out)
 	if time.Since(start) > 500*time.Millisecond {
 		t.Fatal("SetInterval did not take effect before Run")
 	}
@@ -81,7 +83,7 @@ func TestSourceCustomMaker(t *testing.T) {
 		return &Task{Payload: []byte{byte(i * 2)}, Work: time.Second}
 	})
 	out := make(chan *Task, 3)
-	src.Run(nil, out)
+	src.Run(context.Background(), nil, out)
 	first := <-out
 	if first.ID == 0 {
 		t.Fatal("source must assign IDs to maker tasks without one")
@@ -142,7 +144,7 @@ func TestSinkCountsAndSignals(t *testing.T) {
 		in <- task
 	}
 	close(in)
-	sink.Run(in, nil)
+	sink.Run(context.Background(), in, nil)
 	select {
 	case <-sink.Done():
 	default:
@@ -162,6 +164,7 @@ func TestSinkForwards(t *testing.T) {
 }
 
 func TestFarmProcessesStream(t *testing.T) {
+	defer leaktest.Check(t)()
 	f, err := NewFarm(FarmConfig{
 		Name: "farm", Env: fastEnv(), RM: smpRM(8), InitialWorkers: 4,
 		Fn: func(t *Task) *Task { t.Payload = append(t.Payload, 'f'); return t },
@@ -209,7 +212,7 @@ func TestFarmAddRemoveWorker(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 
 	id, err := f.AddWorker()
@@ -247,7 +250,7 @@ func TestFarmAddWorkerResourceExhaustion(t *testing.T) {
 	f, _ := NewFarm(FarmConfig{Name: "f", Env: fastEnv(), RM: smpRM(1), InitialWorkers: 1})
 	in := make(chan *Task)
 	out := make(chan *Task)
-	go f.Run(in, out)
+	go f.Run(context.Background(), in, out)
 	waitFor(t, func() bool { return len(f.Workers()) == 1 })
 	if _, err := f.AddWorker(); err == nil {
 		t.Fatal("recruit beyond capacity succeeded")
@@ -266,7 +269,7 @@ func TestFarmRebalance(t *testing.T) {
 		}
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 	// Flood with slow tasks so queues build up.
 	for i := 0; i < 40; i++ {
@@ -346,7 +349,7 @@ func TestFarmSecureCodecRoundTrip(t *testing.T) {
 		collected <- rs
 	}()
 	done := make(chan struct{})
-	go func() { f.Run(in, out); close(done) }()
+	go func() { f.Run(context.Background(), in, out); close(done) }()
 	waitFor(t, func() bool { return len(f.Workers()) == 2 })
 
 	// Send one task unsecured: the auditor must record a leak (workers are
@@ -576,5 +579,76 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never satisfied")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipeCancelDrains verifies the drain-on-cancel contract of Stage at
+// the skeleton level: canceling the pipeline's context stops the source's
+// intake while every stage keeps consuming until its input closes, so all
+// emitted tasks still reach the sink and every stage goroutine exits.
+func TestPipeCancelDrains(t *testing.T) {
+	defer leaktest.Check(t)()
+	env := fastEnv()
+	src := NewSource("prod", env, 100000, 2*time.Millisecond, nil)
+	farm, err := NewFarm(FarmConfig{Name: "w", Env: env, RM: smpRM(4), InitialWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink("cons", env, nil)
+	pipe, err := NewPipe("app", 8, src, farm, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		pipe.Run(ctx, nil, nil)
+		close(done)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sink.Consumed() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline did not drain after cancel")
+	}
+	<-sink.Done()
+	if got, want := sink.Consumed(), src.Emitted(); got != want {
+		t.Fatalf("consumed %d of %d emitted: accepted tasks were dropped", got, want)
+	}
+	if src.Emitted() >= 100000 {
+		t.Fatal("cancel did not stop the source")
+	}
+}
+
+// TestSourceEdgeFiresOnCancel checks the end-of-stream edge hook: it must
+// fire exactly once whether the stream ends naturally or by cancelation.
+func TestSourceEdgeFiresOnCancel(t *testing.T) {
+	defer leaktest.Check(t)()
+	src := NewSource("prod", fastEnv(), 100000, time.Millisecond, nil)
+	fired := make(chan struct{}, 2)
+	cancelHook := src.OnEvent(func() { fired <- struct{}{} })
+	defer cancelHook()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan *Task, 16)
+	go func() {
+		for range out {
+		}
+	}()
+	go cancel()
+	src.Run(ctx, nil, out)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("end-of-stream edge never fired")
+	}
+	if !src.Done() {
+		t.Fatal("source not marked done after cancel")
 	}
 }

@@ -8,6 +8,7 @@
 package skel
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -86,7 +87,12 @@ func NextTaskID() uint64 { return taskIDs.Add(1) }
 
 // Stage is one stream-processing element: it consumes in, produces out and
 // must close out when in is exhausted. Run blocks until done.
+//
+// Cancellation follows drain-on-cancel semantics: ctx reaching a Stage
+// stops *intake* (the Source stops emitting and closes its output), while
+// downstream stages keep draining the tasks already accepted until their
+// input closes — no accepted task is dropped by a graceful shutdown.
 type Stage interface {
 	Name() string
-	Run(in <-chan *Task, out chan<- *Task)
+	Run(ctx context.Context, in <-chan *Task, out chan<- *Task)
 }

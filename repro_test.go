@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -80,14 +81,14 @@ func TestFacadeCoordinationModes(t *testing.T) {
 
 func TestFacadeExperimentFunctions(t *testing.T) {
 	// Smoke: the exported harness variables are callable with tiny runs.
-	res, err := Fig3(ExperimentOptions{Scale: 1000, Tasks: 30})
+	res, err := Fig3(context.Background(), ExperimentOptions{Scale: 1000, Tasks: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Completed != 30 {
 		t.Fatalf("Fig3 completed %d/30", res.Completed)
 	}
-	rows, err := ContractSplit(ExperimentOptions{})
+	rows, err := ContractSplit(context.Background(), ExperimentOptions{})
 	if err != nil || len(rows) == 0 {
 		t.Fatalf("ContractSplit = %v, %v", rows, err)
 	}
