@@ -249,16 +249,121 @@ func BenchmarkFarmDispatch(b *testing.B) {
 	<-drained
 }
 
-// BenchmarkRateMeter measures the sensor hot path (Mark + Rate).
+// BenchmarkRateMeter measures the sensor hot path. Mark must be O(1) and
+// allocation-free in steady state (run with -benchmem): every dispatched
+// and every completed task crosses it, so it bounds farm throughput.
 func BenchmarkRateMeter(b *testing.B) {
-	m := metrics.NewRateMeter(simclock.NewReal(), time.Second)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Mark()
-		if i%16 == 0 {
-			_ = m.Rate()
+	b.Run("mark", func(b *testing.B) {
+		m := metrics.NewRateMeter(simclock.NewReal(), time.Second)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Mark()
+		}
+	})
+	b.Run("mark+rate", func(b *testing.B) {
+		m := metrics.NewRateMeter(simclock.NewReal(), time.Second)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Mark()
+			if i%16 == 0 {
+				_ = m.Rate()
+			}
+		}
+	})
+}
+
+// benchFarm starts a farm with nWorkers zero-work workers, a drained output
+// and (optionally) AES-GCM codecs on every binding. It returns the input
+// channel and a cleanup that ends the stream and waits for the drain.
+func benchFarm(b *testing.B, nWorkers int, secure bool) (*skel.Farm, chan *skel.Task, func()) {
+	b.Helper()
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "bench", Env: skel.Env{TimeScale: 1}, RM: grid.NewSMP(2 * nWorkers).RM,
+		InitialWorkers: nWorkers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make(chan *skel.Task, 1024)
+	out := make(chan *skel.Task, 1024)
+	go f.Run(context.Background(), in, out)
+	drained := make(chan struct{})
+	go func() {
+		for range out {
+		}
+		close(drained)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.Workers()) < nWorkers {
+		if time.Now().After(deadline) {
+			b.Fatal("workers never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if secure {
+		key := security.NewRandomKey()
+		for _, w := range f.Workers() {
+			if err := f.SetCodec(w.ID, security.MustAESGCM(key, nil, 0)); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	return f, in, func() {
+		close(in)
+		<-drained
+	}
+}
+
+// BenchmarkFarmDispatchCodec measures dispatcher throughput with 4 KiB
+// payloads through plain vs AES-GCM binding codecs — the hot path whose
+// encode cost must not serialize sensors and actuators on Farm.mu.
+func BenchmarkFarmDispatchCodec(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		secure bool
+	}{{"plain", false}, {"aes-gcm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, in, cleanup := benchFarm(b, 4, mode.secure)
+			payload := make([]byte, 4096)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in <- &skel.Task{ID: uint64(i + 1), Payload: payload}
+			}
+			b.StopTimer()
+			cleanup()
+		})
+	}
+}
+
+// BenchmarkFarmStatsUnderLoad measures Stats() latency while the dispatcher
+// is pumping AES-GCM-encoded 4 KiB tasks: the MAPE monitor phase reads this
+// sensor mid-stream, so it must not queue behind payload encryption.
+func BenchmarkFarmStatsUnderLoad(b *testing.B) {
+	f, in, cleanup := benchFarm(b, 4, true)
+	stop := make(chan struct{})
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		payload := make([]byte, 4096)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			case in <- &skel.Task{ID: i, Payload: payload}:
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Stats()
+	}
+	b.StopTimer()
+	close(stop)
+	<-fed
+	cleanup()
 }
 
 // BenchmarkEventLog measures trace recording (managers log on the control

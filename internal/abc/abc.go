@@ -80,6 +80,7 @@ func (a *FarmABC) Snapshot() contract.Snapshot {
 		ArrivalRate:   st.ArrivalRate,
 		ParDegree:     st.Workers,
 		QueueVariance: st.QueueVariance,
+		ErrorsDropped: st.ErrorsDropped,
 		StreamDone:    st.InputDone,
 	}
 	if a.auditor != nil {

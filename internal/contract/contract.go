@@ -22,6 +22,7 @@ type Snapshot struct {
 	ParDegree      int     // current number of parallel executors
 	QueueVariance  float64 // imbalance across worker queues
 	UnsecuredSends uint64  // plaintext messages on links requiring security
+	ErrorsDropped  uint64  // runtime errors lost to a full error buffer
 	StreamDone     bool    // the input stream is exhausted (endStream)
 }
 

@@ -121,6 +121,7 @@ type Manager struct {
 	// per-RunOnce scratch (single goroutine)
 	cycleLocalAction bool
 	cycleViolation   bool
+	seenErrsDropped  uint64 // high-water mark of Snapshot.ErrorsDropped
 
 	running atomic.Bool
 	life    runtime.Lifecycle
@@ -365,6 +366,13 @@ drained:
 
 	// Monitor + analyse: verdict logging (the contrLow events of Fig. 4).
 	snap := m.cfg.Controller.Snapshot()
+	if snap.ErrorsDropped > m.seenErrsDropped {
+		// Runtime errors overflowed the skeleton's error buffer since the
+		// last cycle: make the loss visible in the trace instead of silent.
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ErrsDropped,
+			fmt.Sprintf("+%d (total %d)", snap.ErrorsDropped-m.seenErrsDropped, snap.ErrorsDropped))
+		m.seenErrsDropped = snap.ErrorsDropped
+	}
 	switch m.Contract().Check(snap) {
 	case contract.ViolatedLow:
 		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrLow,

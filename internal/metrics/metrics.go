@@ -13,29 +13,62 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simclock"
 )
 
+// rateBuckets is the fixed resolution of a RateMeter's ring: the window is
+// split into this many slots, so expiry quantization error is bounded by
+// window/rateBuckets regardless of event volume.
+const rateBuckets = 64
+
 // RateMeter measures an event rate (events per second) over a sliding
 // window, as needed by the ArrivalRateBean / DepartureRateBean sensors of
 // the farm manager.
+//
+// Events are accumulated into a fixed ring of rateBuckets counters, one per
+// window/rateBuckets slice of time, so Mark and MarkN are O(1) and
+// allocation-free at any throughput and the meter's memory is constant —
+// the per-event timestamp slice this replaces grew with the event rate and
+// paid an O(n) expiry scan on the dispatch hot path.
+//
+// Before one full window has elapsed since the first event, Rate divides by
+// the elapsed time rather than the window: dividing a young meter's count
+// by the full window underreports the true rate and made the perf manager
+// over-provision workers during the first control periods.
 type RateMeter struct {
-	mu     sync.Mutex
-	clock  simclock.Clock
-	window time.Duration
-	stamps []time.Time // ring of event times within the window, oldest first
-	total  uint64
+	mu      sync.Mutex
+	clock   simclock.Clock
+	window  time.Duration // span covered by the ring (width * rateBuckets)
+	width   time.Duration // time covered by one bucket
+	start   time.Time     // ring epoch (creation time)
+	cur     int64         // absolute index of the newest bucket
+	buckets [rateBuckets]uint64
+	inWin   uint64    // sum over live buckets
+	first   time.Time // first-ever event, for warm-up correction
+	hasEvt  bool
+	total   uint64
 }
 
 // NewRateMeter returns a meter with the given sliding window. The window
-// must be positive.
+// must be positive. Windows shorter than rateBuckets nanoseconds are
+// rounded up to the ring resolution.
 func NewRateMeter(clock simclock.Clock, window time.Duration) *RateMeter {
 	if window <= 0 {
 		panic("metrics: non-positive rate window")
 	}
-	return &RateMeter{clock: clock, window: window}
+	width := window / rateBuckets
+	if width <= 0 {
+		width = 1
+	}
+	return &RateMeter{
+		clock:  clock,
+		window: width * rateBuckets,
+		width:  width,
+		start:  clock.Now(),
+	}
 }
 
 // Mark records one event at the current time.
@@ -48,21 +81,33 @@ func (r *RateMeter) MarkN(n int) {
 	}
 	now := r.clock.Now()
 	r.mu.Lock()
-	for i := 0; i < n; i++ {
-		r.stamps = append(r.stamps, now)
-	}
+	r.advanceLocked(now)
+	r.buckets[int(r.cur%rateBuckets)] += uint64(n)
+	r.inWin += uint64(n)
 	r.total += uint64(n)
-	r.expireLocked(now)
+	if !r.hasEvt {
+		r.first, r.hasEvt = now, true
+	}
 	r.mu.Unlock()
 }
 
-// Rate returns the current event rate in events/second over the window.
+// Rate returns the current event rate in events/second. The averaging span
+// is the sliding window or, while the meter is warming up, the time elapsed
+// since the first event — whichever is shorter — so young meters report the
+// true rate instead of a count diluted over a mostly empty window.
 func (r *RateMeter) Rate() float64 {
 	now := r.clock.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expireLocked(now)
-	return float64(len(r.stamps)) / r.window.Seconds()
+	r.advanceLocked(now)
+	if r.inWin == 0 {
+		return 0
+	}
+	span := r.window
+	if elapsed := now.Sub(r.first); elapsed > 0 && elapsed < span {
+		span = elapsed
+	}
+	return float64(r.inWin) / span.Seconds()
 }
 
 // Total returns the number of events recorded since creation.
@@ -75,15 +120,26 @@ func (r *RateMeter) Total() uint64 {
 // Window returns the sliding-window width of the meter.
 func (r *RateMeter) Window() time.Duration { return r.window }
 
-func (r *RateMeter) expireLocked(now time.Time) {
-	cut := now.Add(-r.window)
-	i := 0
-	for i < len(r.stamps) && !r.stamps[i].After(cut) {
-		i++
+// advanceLocked rotates the ring up to the bucket containing now, zeroing
+// every bucket that fell out of the window. The work is bounded by
+// rateBuckets, independent of how many events were recorded.
+func (r *RateMeter) advanceLocked(now time.Time) {
+	idx := int64(now.Sub(r.start) / r.width)
+	if idx <= r.cur {
+		return
 	}
-	if i > 0 {
-		r.stamps = append(r.stamps[:0], r.stamps[i:]...)
+	if idx-r.cur >= rateBuckets {
+		r.buckets = [rateBuckets]uint64{}
+		r.inWin = 0
+		r.cur = idx
+		return
 	}
+	for i := r.cur + 1; i <= idx; i++ {
+		slot := int(i % rateBuckets)
+		r.inWin -= r.buckets[slot]
+		r.buckets[slot] = 0
+	}
+	r.cur = idx
 }
 
 // EWMA is an exponentially weighted moving average with configurable
@@ -274,31 +330,32 @@ func (t *Timer) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
-// Gauge is a concurrency-safe instantaneous value.
+// Gauge is a concurrency-safe instantaneous value. It is lock-free — the
+// value lives in a single atomic word — so sensors can read it while hot
+// paths write it without either side queueing. The zero value reads 0.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64 // math.Float64bits of the current value
 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add increments the gauge by d (d may be negative).
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Series is an append-only time series of (instant, value) samples, used by

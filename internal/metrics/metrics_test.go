@@ -19,12 +19,80 @@ func TestRateMeterBasic(t *testing.T) {
 		m.Mark()
 		c.Advance(time.Second)
 	}
-	// Six events in the last 10 s window.
-	if got := m.Rate(); math.Abs(got-0.6) > 1e-9 {
-		t.Fatalf("Rate = %v, want 0.6", got)
+	// Six events in six elapsed seconds: the warm-up-corrected rate is
+	// 1/s, not the 6/10 = 0.6/s a full-window division would report.
+	if got := m.Rate(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Rate = %v, want 1.0", got)
 	}
 	if m.Total() != 6 {
 		t.Fatalf("Total = %d, want 6", m.Total())
+	}
+}
+
+// TestRateMeterWarmup is the regression test for the warm-up bias: a young
+// meter must divide by the elapsed time since its first event, not by the
+// full window, or throughput is underreported during the first control
+// periods and the perf manager over-provisions workers at startup.
+func TestRateMeterWarmup(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, 10*time.Second)
+	// Four events over two seconds: the true rate is 2/s. The biased
+	// implementation reported 4/10 = 0.4/s.
+	for i := 0; i < 4; i++ {
+		m.Mark()
+		c.Advance(500 * time.Millisecond)
+	}
+	if got := m.Rate(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("warm-up Rate = %v, want 2.0 (elapsed-based)", got)
+	}
+	// Once a full window has passed since the first event, the divisor is
+	// the window again: 4 events still inside a 10 s window -> 0.4/s.
+	c.Advance(7 * time.Second) // now 9 s after the first event
+	if got := m.Rate(); math.Abs(got-4.0/9.0) > 1e-9 {
+		t.Fatalf("late warm-up Rate = %v, want %v", got, 4.0/9.0)
+	}
+	c.Advance(time.Second) // exactly one window after the first event
+	// The events from the first ~1.5 s have started to expire by now; the
+	// rate must never exceed the remaining count over the window.
+	if got := m.Rate(); got > 0.4+1e-9 {
+		t.Fatalf("post-warm-up Rate = %v, want <= 0.4", got)
+	}
+}
+
+// TestRateMeterSteadyState pins the bucketed ring against the behaviour of
+// the exact per-timestamp implementation it replaced: one event per second
+// with mark-then-advance leaves 9 events inside a 10 s window at t=30 s.
+func TestRateMeterSteadyState(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, 10*time.Second)
+	for i := 0; i < 30; i++ {
+		m.Mark()
+		c.Advance(time.Second)
+	}
+	if got := m.Rate(); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("steady-state Rate = %v, want 0.9", got)
+	}
+	if m.Total() != 30 {
+		t.Fatalf("Total = %d, want 30", m.Total())
+	}
+}
+
+// TestRateMeterLongIdleGap checks ring rotation across a gap much longer
+// than the window (every bucket must be expired, not recycled).
+func TestRateMeterLongIdleGap(t *testing.T) {
+	c := simclock.NewManual(epoch)
+	m := NewRateMeter(c, time.Second)
+	m.MarkN(100)
+	c.Advance(time.Hour)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after long idle = %v, want 0", got)
+	}
+	m.Mark()
+	c.Advance(500 * time.Millisecond)
+	// One event still inside the 1 s window; warm-up long over, so the
+	// divisor is the full window.
+	if got := m.Rate(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Rate after restart = %v, want 1.0", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
@@ -94,25 +95,18 @@ type worker struct {
 	node  *grid.Node
 	queue *queue
 
-	mu    sync.Mutex
-	codec security.Codec
+	// codec is the binding codec, swapped atomically by the SECURE_BINDING
+	// actuator so the dispatcher can snapshot it without any lock.
+	codec atomic.Pointer[security.Codec]
 
-	served metrics.Gauge
+	served atomic.Uint64
 	exited bool // guarded by Farm.mu
 	failed bool // guarded by Farm.mu: crashed, queue items stranded
 }
 
-func (w *worker) getCodec() security.Codec {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.codec
-}
+func (w *worker) getCodec() security.Codec { return *w.codec.Load() }
 
-func (w *worker) setCodec(c security.Codec) {
-	w.mu.Lock()
-	w.codec = c
-	w.mu.Unlock()
-}
+func (w *worker) setCodec(c security.Codec) { w.codec.Store(&c) }
 
 // Farm is the task-farm skeleton: a dispatcher, a reconfigurable pool of
 // workers with private queues, and a collector. It implements Stage and
@@ -125,19 +119,25 @@ type Farm struct {
 	mu            sync.Mutex
 	workers       []*worker
 	nextID        int
-	rrIndex       int
 	inputDone     bool
 	active        int // workers whose goroutine is still running
 	started       bool
 	resultsClosed bool
 
+	// rrIndex and scratch belong to the dispatcher goroutine alone; scratch
+	// is the reusable snapshot of dispatchable workers, refilled under f.mu
+	// each task so steady-state dispatch allocates nothing.
+	rrIndex int
+	scratch []*worker
+
 	results chan *Task
 	wgOut   sync.WaitGroup // collector completion
 
-	arrival   *metrics.RateMeter
-	departure *metrics.RateMeter
-	errs      chan error
-	hooks     hooks
+	arrival     *metrics.RateMeter
+	departure   *metrics.RateMeter
+	errs        chan error
+	errsDropped atomic.Uint64 // reportErr overflow, surfaced via Stats
+	hooks       hooks
 }
 
 // NewFarm validates cfg and builds the farm (workers are recruited when
@@ -236,34 +236,37 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 }
 
 // dispatch routes one task according to the policy, considering only
-// workers that are neither crashed nor exited.
+// workers that are neither crashed nor exited. Farm.mu is held just long
+// enough to snapshot the dispatchable workers; target selection, payload
+// encoding and the queue push all run off-lock, so the sensors (Stats,
+// Workers) and the actuators never queue behind encryption.
 func (f *Farm) dispatch(t *Task) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	var avail []*worker
+	f.scratch = f.scratch[:0]
 	for _, w := range f.workers {
 		if !w.failed && !w.exited {
-			avail = append(avail, w)
+			f.scratch = append(f.scratch, w)
 		}
 	}
+	f.mu.Unlock()
+	avail := f.scratch
 	if len(avail) == 0 {
 		// No worker available (initial recruitment failed or every
 		// worker crashed): drop with an error rather than deadlock.
 		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no workers", f.cfg.Name, t.ID))
 		return
 	}
-	if f.cfg.Dispatch == Broadcast {
-		for _, w := range avail {
-			f.sendLocked(w, t.Clone())
-		}
-		return
-	}
 	var target *worker
 	switch f.cfg.Dispatch {
+	case Broadcast:
+		for _, w := range avail {
+			f.send(w, t.Clone())
+		}
+		return
 	case RoundRobin:
 		target = avail[f.rrIndex%len(avail)]
 		f.rrIndex++
-	default: // OnDemand
+	default: // OnDemand: shortest queue, by the lock-free length mirrors
 		target = avail[0]
 		for _, w := range avail[1:] {
 			if w.queue.len() < target.queue.len() {
@@ -271,12 +274,17 @@ func (f *Farm) dispatch(t *Task) {
 			}
 		}
 	}
-	f.sendLocked(target, t)
+	f.send(target, t)
 }
 
-// sendLocked pushes a task onto a worker binding, applying the binding's
-// codec and auditing the send. Callers hold f.mu.
-func (f *Farm) sendLocked(w *worker, t *Task) {
+// send encodes the task with the binding's current codec, audits it and
+// pushes it onto the worker queue — all without holding f.mu. The codec is
+// snapshotted per send; a concurrent SetCodec therefore takes effect on the
+// next send, and an envelope always carries the codec it was encoded with.
+// If the worker disappeared between selection and push (removed, migrated
+// or crashed-and-recovered — its queue refuses the push either way), the
+// already-encoded envelope is requeued under f.mu.
+func (f *Farm) send(w *worker, t *Task) {
 	codec := w.getCodec()
 	wire, err := codec.Encode(t.Payload)
 	if err != nil {
@@ -290,18 +298,27 @@ func (f *Farm) sendLocked(w *worker, t *Task) {
 		}
 		f.cfg.Auditor.RecordSend(w.id, must, codec.Secure())
 	}
-	if !w.queue.push(&envelope{task: t, wire: wire, codec: codec}) {
-		// The worker disappeared concurrently; requeue elsewhere.
-		for _, other := range f.workers {
-			if other == w || other.failed || other.exited {
-				continue
-			}
-			if other.queue.push(&envelope{task: t, wire: wire, codec: codec}) {
-				return
-			}
-		}
-		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: all queues closed", f.cfg.Name, t.ID))
+	env := &envelope{task: t, wire: wire, codec: codec}
+	if !w.queue.push(env) {
+		f.requeue(w, env)
 	}
+}
+
+// requeue places an envelope whose target vanished onto any other live
+// worker. It is the slow path of send and the only part of it that takes
+// f.mu.
+func (f *Farm) requeue(skip *worker, env *envelope) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, other := range f.workers {
+		if other == skip || other.failed || other.exited {
+			continue
+		}
+		if other.queue.push(env) {
+			return
+		}
+	}
+	f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: all queues closed", f.cfg.Name, env.task.ID))
 }
 
 // endInput marks the stream exhausted and lets workers drain and exit.
@@ -371,6 +388,19 @@ func (f *Farm) runWorker(w *worker) {
 	}
 }
 
+// newWorkerLocked builds a worker on the given node with the given binding
+// codec. Callers hold f.mu (nextID is guarded by it).
+func (f *Farm) newWorkerLocked(node *grid.Node, codec security.Codec) *worker {
+	w := &worker{
+		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
+		node:  node,
+		queue: newQueue(),
+	}
+	w.setCodec(codec)
+	f.nextID++
+	return w
+}
+
 // AddWorker recruits a node and adds a worker to the pool. It returns the
 // new worker's ID. It is the ADD_EXECUTOR actuator.
 func (f *Farm) AddWorker() (string, error) {
@@ -396,13 +426,7 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 		f.mu.Unlock()
 		return "", err
 	}
-	w := &worker{
-		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
-		node:  node,
-		queue: newQueue(),
-		codec: security.Plain{},
-	}
-	f.nextID++
+	w := f.newWorkerLocked(node, security.Plain{})
 	f.mu.Unlock()
 
 	if prepare != nil {
@@ -433,20 +457,23 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 // tasks into it and (post-stream) closes it, so the worker drains the
 // recovered tasks and exits. It is the fault-tolerance manager's fallback
 // when a crash leaves no live worker behind.
+//
+// Once the run has completed — the result stream is closed, meaning no
+// stranded task can remain — it returns ErrStreamEnded: a worker recruited
+// then would block forever on an open empty queue (goroutine + node leak)
+// and any task later restored into it would be sent on the closed results
+// channel.
 func (f *Farm) AddRecoveryWorker() (string, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.resultsClosed {
+		return "", ErrStreamEnded
+	}
 	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
 	if err != nil {
 		return "", err
 	}
-	w := &worker{
-		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
-		node:  node,
-		queue: newQueue(),
-		codec: security.Plain{},
-	}
-	f.nextID++
+	w := f.newWorkerLocked(node, security.Plain{})
 	f.workers = append(f.workers, w)
 	f.active++
 	go f.runWorker(w)
@@ -626,13 +653,7 @@ func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) 
 	if err != nil {
 		return "", err
 	}
-	fresh := &worker{
-		id:    fmt.Sprintf("%s.w%d", f.cfg.Name, f.nextID),
-		node:  node,
-		queue: newQueue(),
-		codec: old.getCodec(),
-	}
-	f.nextID++
+	fresh := f.newWorkerLocked(node, old.getCodec())
 	items := old.queue.drain()
 	old.queue.close() // the old worker finishes its current task and exits
 	fresh.queue.restore(items)
@@ -646,8 +667,13 @@ func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) 
 }
 
 // SetCodec rebinds a worker connection onto a (secure) codec. Subsequent
-// sends to that worker use the new codec; in-flight envelopes keep the one
-// they were encoded with. It is the SECURE_BINDING actuator.
+// sends to that worker use the new codec; in-flight envelopes — including
+// a send that snapshotted its codec just before the rebind, since encoding
+// runs outside f.mu — keep the one they were encoded with. That window is
+// the §3.2 reactive hazard the two-phase protocol exists to avoid: securing
+// a binding *before* the worker becomes dispatchable (PrepareFunc) is
+// race-free, securing it reactively is not. It is the SECURE_BINDING
+// actuator.
 func (f *Farm) SetCodec(workerID string, c security.Codec) error {
 	if c == nil {
 		return errors.New("skel: nil codec")
@@ -683,7 +709,7 @@ func (f *Farm) Workers() []WorkerInfo {
 			ID:       w.id,
 			Node:     w.node,
 			QueueLen: w.queue.len(),
-			Served:   int(w.served.Value()),
+			Served:   int(w.served.Load()),
 			Secure:   w.getCodec().Secure(),
 			Failed:   w.failed,
 		}
@@ -701,6 +727,10 @@ type FarmStats struct {
 	InputDone     bool
 	Dispatched    uint64
 	Completed     uint64
+	// ErrorsDropped counts runtime errors lost to a full Errors() buffer:
+	// most harnesses never drain that channel, so silent overflow would
+	// hide dropped-task errors from every observer.
+	ErrorsDropped uint64
 }
 
 // Stats returns the current sensor snapshot.
@@ -722,16 +752,19 @@ func (f *Farm) Stats() FarmStats {
 		InputDone:     done,
 		Dispatched:    f.arrival.Total(),
 		Completed:     f.departure.Total(),
+		ErrorsDropped: f.errsDropped.Load(),
 	}
 }
 
 // Errors exposes asynchronous runtime errors (codec failures, dropped
-// tasks). The channel is buffered; overflow is dropped.
+// tasks). The channel is buffered; overflow is counted and surfaced as
+// FarmStats.ErrorsDropped rather than vanishing.
 func (f *Farm) Errors() <-chan error { return f.errs }
 
 func (f *Farm) reportErr(err error) {
 	select {
 	case f.errs <- err:
 	default:
+		f.errsDropped.Add(1)
 	}
 }

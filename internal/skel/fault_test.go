@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/runtime/leaktest"
 )
 
 func TestFarmReduceCollection(t *testing.T) {
@@ -249,18 +251,76 @@ func TestFarmConservationUnderChaos(t *testing.T) {
 	}
 }
 
-func TestAddRecoveryWorkerAfterStreamEnd(t *testing.T) {
-	f, _ := NewFarm(FarmConfig{Name: "ft", Env: fastEnv(), RM: smpRM(4), InitialWorkers: 1})
+// TestAddRecoveryWorkerAfterRunCompletes is the regression test for the
+// post-run recovery leak: once the run has completed (results closed, no
+// stranded tasks), AddRecoveryWorker must refuse instead of recruiting a
+// worker that blocks forever on an open empty queue. On the old code this
+// test fails twice over — the call succeeds and leaktest catches the
+// leaked worker goroutine.
+func TestAddRecoveryWorkerAfterRunCompletes(t *testing.T) {
+	defer leaktest.Check(t)()
+	rm := smpRM(4)
+	f, _ := NewFarm(FarmConfig{Name: "ft", Env: fastEnv(), RM: rm, InitialWorkers: 1})
 	runStage(t, f, mkTasks(2, 0)) // completes the stream
 	if _, err := f.AddWorker(); err != ErrStreamEnded {
 		t.Fatalf("AddWorker post-stream err = %v", err)
 	}
-	// AddRecoveryWorker is allowed post-stream (it exists for recovery).
+	if _, err := f.AddRecoveryWorker(); err != ErrStreamEnded {
+		t.Fatalf("AddRecoveryWorker after completed run err = %v, want ErrStreamEnded", err)
+	}
+	if rm.CoresInUse() != 0 {
+		t.Fatalf("CoresInUse after refused recovery = %d, want 0", rm.CoresInUse())
+	}
+}
+
+// TestAddRecoveryWorkerRecoversStrandedPostStream pins the legitimate
+// window AddRecoveryWorker exists for: the input stream has ended but a
+// crash left stranded tasks, so the result stream is still open and a
+// recovery worker must be recruitable to drain them.
+func TestAddRecoveryWorkerRecoversStrandedPostStream(t *testing.T) {
+	defer leaktest.Check(t)()
+	f, _ := NewFarm(FarmConfig{Name: "ft", Env: Env{TimeScale: 100}, RM: smpRM(4), InitialWorkers: 1})
+	in := make(chan *Task)
+	out := make(chan *Task, 16)
+	got := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		got <- n
+	}()
+	done := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(done) }()
+	waitFor(t, func() bool { return len(f.Workers()) == 1 })
+
+	for i := 0; i < 5; i++ {
+		in <- &Task{ID: NextTaskID(), Work: 2 * time.Second}
+	}
+	waitFor(t, func() bool { return f.Stats().Dispatched == 5 })
+	victim := f.Workers()[0].ID
+	if err := f.KillWorker(victim); err != nil {
+		t.Fatal(err)
+	}
+	close(in) // input done, but stranded tasks keep the results open
+
 	id, err := f.AddRecoveryWorker()
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("AddRecoveryWorker with stranded tasks err = %v", err)
 	}
 	if id == "" {
 		t.Fatal("no worker id")
+	}
+	waitFor(t, func() bool {
+		_, err := f.RecoverWorker(victim)
+		return err == nil
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm did not terminate after post-stream recovery")
+	}
+	if n := <-got; n != 5 {
+		t.Fatalf("completed %d/5 after post-stream recovery", n)
 	}
 }

@@ -1,6 +1,9 @@
 package skel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // queue is the per-worker input queue of a farm. Unlike a channel it
 // supports the reconfiguration actuators: draining for rebalance, stealing
@@ -9,6 +12,7 @@ type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []*envelope
+	size   atomic.Int64 // mirrors len(items); readable without mu
 	closed bool
 	failed bool // the owning worker crashed; items are stranded until recovery
 }
@@ -19,15 +23,20 @@ func newQueue() *queue {
 	return q
 }
 
-// push appends a task. Pushing to a closed queue reports false and leaves
-// the task with the caller (it must be re-dispatched elsewhere).
+// push appends a task. Pushing to a closed or failed queue reports false
+// and leaves the task with the caller (it must be re-dispatched elsewhere).
+// Refusing failed queues matters now that pushes happen outside Farm.mu: a
+// task sent to a worker that crashed — and whose stranded queue was already
+// drained by RecoverWorker — would otherwise land in an orphaned queue and
+// be lost.
 func (q *queue) push(t *envelope) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
+	if q.closed || q.failed {
 		return false
 	}
 	q.items = append(q.items, t)
+	q.size.Add(1)
 	q.cond.Signal()
 	return true
 }
@@ -46,6 +55,7 @@ func (q *queue) pop() (*envelope, bool) {
 	}
 	t := q.items[0]
 	q.items = q.items[1:]
+	q.size.Add(-1)
 	return t, true
 }
 
@@ -67,14 +77,15 @@ func (q *queue) fail() {
 
 // restore re-inserts tasks that were already accepted into the farm (by
 // rebalance or worker removal). Unlike push it succeeds even on a closed
-// queue: closing only forbids *new* input, while redistributed tasks must
-// never be lost.
+// or failed queue: closing only forbids *new* input, while redistributed
+// tasks must never be lost.
 func (q *queue) restore(items []*envelope) {
 	if len(items) == 0 {
 		return
 	}
 	q.mu.Lock()
 	q.items = append(q.items, items...)
+	q.size.Add(int64(len(items)))
 	q.cond.Broadcast()
 	q.mu.Unlock()
 }
@@ -86,12 +97,15 @@ func (q *queue) drain() []*envelope {
 	defer q.mu.Unlock()
 	items := q.items
 	q.items = nil
+	q.size.Add(-int64(len(items)))
 	return items
 }
 
-// len returns the current queue length.
+// len returns the current queue length from the atomic mirror, without
+// taking the queue lock. OnDemand dispatch compares every worker's length
+// per task, so this read must not contend with the workers' pop loops; the
+// value can be one update stale against a concurrent push/pop, which is
+// harmless for scheduling and for the QueueVarianceBean.
 func (q *queue) len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
+	return int(q.size.Load())
 }

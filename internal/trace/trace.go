@@ -43,6 +43,7 @@ const (
 	WorkerFail  Kind = "workerFail" // a worker crash was detected
 	Recovered   Kind = "recovered"  // stranded tasks redistributed after a crash
 	Migrated    Kind = "migrated"   // worker moved to a faster/less loaded node
+	ErrsDropped Kind = "errsDropped" // runtime errors lost to a full error buffer
 )
 
 // Event is one timestamped autonomic event emitted by a manager.
