@@ -277,11 +277,11 @@ func BenchmarkRateMeter(b *testing.B) {
 // benchFarm starts a farm with nWorkers zero-work workers, a drained output
 // and (optionally) AES-GCM codecs on every binding. It returns the input
 // channel and a cleanup that ends the stream and waits for the drain.
-func benchFarm(b *testing.B, nWorkers int, secure bool) (*skel.Farm, chan *skel.Task, func()) {
+func benchFarm(b *testing.B, nWorkers int, secure bool, ins *skel.FarmInstruments) (*skel.Farm, chan *skel.Task, func()) {
 	b.Helper()
 	f, err := skel.NewFarm(skel.FarmConfig{
 		Name: "bench", Env: skel.Env{TimeScale: 1}, RM: grid.NewSMP(2 * nWorkers).RM,
-		InitialWorkers: nWorkers,
+		InitialWorkers: nWorkers, Instruments: ins,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -323,9 +323,17 @@ func BenchmarkFarmDispatchCodec(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
 		secure bool
-	}{{"plain", false}, {"aes-gcm", true}} {
+		ins    bool
+	}{{"plain", false, false}, {"aes-gcm", true, false}, {"aes-gcm+telemetry", true, true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			_, in, cleanup := benchFarm(b, 4, mode.secure)
+			var ins *skel.FarmInstruments
+			if mode.ins {
+				ins = &skel.FarmInstruments{
+					Dispatch: metrics.NewLatencyHistogram(),
+					Seal:     metrics.NewLatencyHistogram(),
+				}
+			}
+			_, in, cleanup := benchFarm(b, 4, mode.secure, ins)
 			payload := make([]byte, 4096)
 			b.SetBytes(int64(len(payload)))
 			b.ResetTimer()
@@ -342,7 +350,7 @@ func BenchmarkFarmDispatchCodec(b *testing.B) {
 // is pumping AES-GCM-encoded 4 KiB tasks: the MAPE monitor phase reads this
 // sensor mid-stream, so it must not queue behind payload encryption.
 func BenchmarkFarmStatsUnderLoad(b *testing.B) {
-	f, in, cleanup := benchFarm(b, 4, true)
+	f, in, cleanup := benchFarm(b, 4, true, nil)
 	stop := make(chan struct{})
 	fed := make(chan struct{})
 	go func() {
@@ -364,6 +372,22 @@ func BenchmarkFarmStatsUnderLoad(b *testing.B) {
 	close(stop)
 	<-fed
 	cleanup()
+}
+
+// BenchmarkHistogramObserve measures the telemetry histogram hot path.
+// Every MAPE phase, dispatch and seal crosses Observe, so it must be
+// allocation-free (run with -benchmem to confirm 0 allocs/op).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := metrics.NewLatencyHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(5e-4) }); allocs != 0 {
+		b.Fatalf("Observe allocates %v per op", allocs)
+	}
 }
 
 // BenchmarkEventLog measures trace recording (managers log on the control

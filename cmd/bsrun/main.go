@@ -38,6 +38,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "task inter-arrival period (modelled)")
 	timeline := flag.Bool("timeline", false, "dump the autonomic event timeline")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
@@ -67,6 +68,13 @@ func main() {
 	app, err := core.BuildFromExpr(*expr, farmCfg, pipeCfg)
 	if err != nil {
 		fail(err)
+	}
+	if *telemetry != "" {
+		srv, err := app.EnableTelemetry(*telemetry)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("telemetry: serving on %s\n", srv.Addr())
 	}
 	fmt.Printf("running %s under contract %q (scale %gx, %d tasks)\n",
 		*expr, c.Describe(), *scale, *tasks)

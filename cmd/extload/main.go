@@ -22,13 +22,14 @@ func main() {
 	tasks := flag.Int("tasks", 240, "stream length")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
 	res, err := experiments.ExtLoad(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "extload:", err)

@@ -22,13 +22,14 @@ func main() {
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	tasks := flag.Int("tasks", 150, "stream length")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
 	if _, err := experiments.Farmize(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "farmize:", err)
 		os.Exit(1)

@@ -23,13 +23,14 @@ func main() {
 	tasks := flag.Int("tasks", 200, "stream length")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
 	res, err := experiments.FaultTolerance(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faulttol:", err)

@@ -23,13 +23,14 @@ func main() {
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
 	res, err := experiments.Fig3(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig3:", err)

@@ -30,6 +30,7 @@ func main() {
 	rulesDriven := flag.Bool("rules-driven", false, "store AM_A's reaction policy as DRL rules too")
 	csvPath := flag.String("csv", "", "also write the sampled series to this CSV file")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	res, err := experiments.Fig4(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout, RulesDriven: *rulesDriven,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry, RulesDriven: *rulesDriven,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig4:", err)

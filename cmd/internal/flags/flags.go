@@ -22,6 +22,14 @@ func RegisterTimeout() *time.Duration {
 		"wall-clock run limit triggering graceful shutdown; 0 means none")
 }
 
+// RegisterTelemetry registers the shared -telemetry flag and returns its
+// destination. The empty default disables the introspection endpoint: no
+// listener is bound and no telemetry goroutine runs.
+func RegisterTelemetry() *string {
+	return flag.String("telemetry", "",
+		"serve /healthz, /metrics, /trace, /managers and pprof on this address (e.g. :9090); empty disables")
+}
+
 // Context derives the binary's run context: canceled on SIGINT/SIGTERM
 // and, when timeout > 0, once the wall-clock limit expires. The caller
 // must invoke the returned cancel on exit to release the signal handler.

@@ -24,13 +24,14 @@ func main() {
 	tasks := flag.Int("tasks", 200, "stream length")
 	timeline := flag.String("timeline", "", "dump the event timeline of one scheme (two-phase, reactive, unmanaged)")
 	timeout := flags.RegisterTimeout()
+	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
 
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
 	res, err := experiments.MultiConcern(ctx, experiments.Options{
-		Scale: *scale, Tasks: *tasks, Out: os.Stdout,
+		Scale: *scale, Tasks: *tasks, Out: os.Stdout, Telemetry: *telemetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "multiconcern:", err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/contract"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/security"
 	"repro/internal/skel"
@@ -45,6 +46,10 @@ type FarmABC struct {
 	farm    *skel.Farm
 	auditor *security.Auditor
 	prepare skel.PrepareFunc
+	// actuator, when set, observes the wall-clock round-trip of every
+	// Execute call (recruitment, handshake, rebalance — the full mechanism
+	// latency a manager decision pays).
+	actuator *metrics.Histogram
 }
 
 // NewFarmABC wraps a farm. auditor may be nil when no security concern is
@@ -100,8 +105,19 @@ func (a *FarmABC) SecureBinding(workerID string, c security.Codec) error {
 	return a.farm.SetCodec(workerID, c)
 }
 
+// SetActuatorHistogram attaches a latency histogram observing every
+// Execute round-trip; nil disables observation (the default).
+func (a *FarmABC) SetActuatorHistogram(h *metrics.Histogram) { a.actuator = h }
+
+// ActuatorHistogram returns the attached actuator histogram (may be nil).
+func (a *FarmABC) ActuatorHistogram() *metrics.Histogram { return a.actuator }
+
 // Execute implements Controller.
 func (a *FarmABC) Execute(op string) (string, error) {
+	if a.actuator != nil {
+		start := time.Now()
+		defer func() { a.actuator.ObserveDuration(time.Since(start)) }()
+	}
 	switch op {
 	case rules.OpAddExecutor:
 		before := a.farm.Stats().Workers

@@ -14,6 +14,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/skel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -81,6 +82,13 @@ type App struct {
 
 	stages        []skel.Stage
 	startSecurity bool
+
+	// Introspection plane (see telemetry.go): the registry and tracer are
+	// assembled by the builders; the server exists only after
+	// EnableTelemetry and is run by RunContext inside the management group.
+	telemetry       *telemetry.Registry
+	tracer          *telemetry.Tracer
+	telemetryServer *telemetry.Server
 }
 
 // Contract installs the top-level SLA on the root manager (propagating
@@ -150,6 +158,9 @@ func (a *App) RunContext(ctx context.Context) (*Result, error) {
 	}()
 	if a.RootManager != nil {
 		mgmt.Go(a.RootManager.RunTree)
+	}
+	if a.telemetryServer != nil {
+		mgmt.Go(a.telemetryServer.Run)
 	}
 	switch {
 	case a.GM != nil:

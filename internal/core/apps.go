@@ -8,6 +8,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/grid"
 	"repro/internal/manager"
+	"repro/internal/metrics"
 	"repro/internal/planner"
 	"repro/internal/security"
 	"repro/internal/skel"
@@ -191,6 +192,10 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		func(i int) *skel.Task {
 			return &skel.Task{Work: cfg.TaskWork, Payload: append([]byte(nil), payload...)}
 		})
+	farmIns := &skel.FarmInstruments{
+		Dispatch: metrics.NewLatencyHistogram(),
+		Seal:     metrics.NewLatencyHistogram(),
+	}
 	farm, err := skel.NewFarm(skel.FarmConfig{
 		Name:           cfg.Name + ".farm",
 		Env:            env,
@@ -199,6 +204,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		InitialWorkers: cfg.InitialWorkers,
 		Policy:         pol,
 		Auditor:        auditor,
+		Instruments:    farmIns,
 	})
 	if err != nil {
 		return nil, err
@@ -300,6 +306,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		app.Migration = mig
 	}
 
+	app.initTelemetry(farmIns)
 	if err := app.Contract(cfg.Contract); err != nil {
 		return nil, err
 	}
@@ -408,6 +415,10 @@ func NewPipelineApp(cfg PipelineAppConfig) (*App, error) {
 		func(i int) *skel.Task {
 			return &skel.Task{Work: cfg.FilterWork, Payload: append([]byte(nil), payload...)}
 		})
+	farmIns := &skel.FarmInstruments{
+		Dispatch: metrics.NewLatencyHistogram(),
+		Seal:     metrics.NewLatencyHistogram(),
+	}
 	farm, err := skel.NewFarm(skel.FarmConfig{
 		Name:           cfg.Name + ".filter",
 		Env:            env,
@@ -419,6 +430,7 @@ func NewPipelineApp(cfg PipelineAppConfig) (*App, error) {
 			t.Work = cfg.ConsumerWork
 			return t
 		},
+		Instruments: farmIns,
 	})
 	if err != nil {
 		return nil, err
@@ -492,6 +504,7 @@ func NewPipelineApp(cfg PipelineAppConfig) (*App, error) {
 	app.Root = pipeBS
 	_ = prodNode // held for the duration of the app (resource accounting)
 
+	app.initTelemetry(farmIns)
 	if err := app.Contract(cfg.Contract); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/skel"
+	"repro/internal/telemetry"
+)
+
+// This file assembles the introspection plane of an application: one
+// telemetry.Registry collecting every layer's instruments (manager phase
+// histograms, farm dispatch/seal latency, actuator round-trips, the
+// platform and sink gauges), one telemetry.Tracer receiving a structured
+// DecisionRecord per MAPE iteration, and — only when the -telemetry flag
+// names an address — a telemetry.Server exposing them over HTTP.
+//
+// Measurement is always on: histograms and the decision trace are atomic,
+// allocation-free or bounded, so the builders wire them unconditionally.
+// The flag controls a single thing, the HTTP listener; without it no
+// socket is bound and no telemetry goroutine runs.
+
+// ManagerNode is one manager in the /managers hierarchy view.
+type ManagerNode struct {
+	Name         string                    `json:"name"`
+	Concern      string                    `json:"concern,omitempty"`
+	State        string                    `json:"state"`
+	Contract     string                    `json:"contract,omitempty"`
+	LastDecision *telemetry.DecisionRecord `json:"last_decision,omitempty"`
+	Children     []*ManagerNode            `json:"children,omitempty"`
+}
+
+// ManagersView is the /managers payload: the performance hierarchy plus
+// the concern managers outside it.
+type ManagersView struct {
+	App      string         `json:"app"`
+	Root     *ManagerNode   `json:"root,omitempty"`
+	Concerns []*ManagerNode `json:"concerns,omitempty"`
+}
+
+// Telemetry returns the application's instrument registry.
+func (a *App) Telemetry() *telemetry.Registry { return a.telemetry }
+
+// Tracer returns the application's decision tracer.
+func (a *App) Tracer() *telemetry.Tracer { return a.tracer }
+
+// EnableTelemetry binds the introspection HTTP server on addr (":0" for an
+// ephemeral port) and arranges for RunContext to serve on it for the whole
+// run. It returns the bound server so callers can print its address.
+func (a *App) EnableTelemetry(addr string) (*telemetry.Server, error) {
+	srv := telemetry.NewServer(addr, a.telemetry)
+	if err := srv.Listen(); err != nil {
+		return nil, err
+	}
+	a.telemetryServer = srv
+	return srv, nil
+}
+
+// initTelemetry assembles the registry and tracer and attaches them to
+// every layer of the application. The builders call it once the manager
+// hierarchy and skeletons exist; farmIns carries the farm's hot-path
+// histograms (nil when the app has no principal farm).
+func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	a.telemetry = reg
+	a.tracer = tracer
+	reg.SetTracer(tracer)
+	reg.SetEventLog(a.Log)
+
+	a.eachManager(func(m *manager.Manager) {
+		m.SetTracer(tracer)
+		ins := m.Instruments()
+		for phase, h := range map[string]*metrics.Histogram{
+			"sense":   ins.Sense,
+			"analyze": ins.Analyze,
+			"plan":    ins.Plan,
+			"act":     ins.Act,
+		} {
+			reg.AddHistogram("repro_mape_phase_seconds",
+				"Wall-clock latency of one MAPE phase.",
+				telemetry.Labels{"manager": m.Name(), "phase": phase}, h)
+		}
+		reg.AddHistogram("repro_mape_wake_to_decision_seconds",
+			"Latency from a skeleton edge to the decision it triggered.",
+			telemetry.Labels{"manager": m.Name()}, ins.Wake)
+	})
+	if a.GM != nil {
+		a.GM.SetTracer(tracer)
+	} else if a.Security != nil {
+		a.Security.SetTracer(tracer)
+	}
+
+	if farmIns != nil {
+		reg.AddHistogram("repro_farm_dispatch_seconds",
+			"Dispatcher latency per task (selection, encode, queue push).",
+			nil, farmIns.Dispatch)
+		reg.AddHistogram("repro_farm_seal_seconds",
+			"Codec encode share of the dispatch path.",
+			nil, farmIns.Seal)
+	}
+	if a.FarmABC != nil {
+		actuator := metrics.NewLatencyHistogram()
+		a.FarmABC.SetActuatorHistogram(actuator)
+		reg.AddHistogram("repro_abc_actuator_seconds",
+			"Round-trip latency of farm actuator operations.", nil, actuator)
+		fa := a.FarmABC
+		reg.AddGauge("repro_farm_workers", "Current farm parallelism degree.", nil,
+			func() float64 { return float64(fa.Stats().Workers) })
+		reg.AddGauge("repro_farm_arrival_rate", "Farm arrival rate (modelled tasks/s).", nil,
+			func() float64 { return fa.Stats().ArrivalRate })
+		reg.AddGauge("repro_farm_departure_rate", "Farm departure rate (modelled tasks/s).", nil,
+			func() float64 { return fa.Stats().DepartureRate })
+		reg.AddGauge("repro_farm_queue_variance", "Farm queue imbalance.", nil,
+			func() float64 { return fa.Stats().QueueVariance })
+	}
+	if a.Sink != nil {
+		sink := a.Sink
+		reg.AddGauge("repro_sink_rate", "Completed-task rate at the sink (modelled tasks/s).", nil,
+			func() float64 { return sink.Rate() })
+		reg.AddCounter("repro_sink_consumed_total", "Tasks consumed by the sink.", nil,
+			func() float64 { return float64(sink.Consumed()) })
+	}
+	if a.Platform != nil {
+		rm := a.Platform.RM
+		reg.AddGauge("repro_cores_in_use", "Allocated core slots on the platform.", nil,
+			func() float64 { return float64(rm.CoresInUse()) })
+	}
+
+	reg.SetManagersFunc(func() any { return a.managersView() })
+}
+
+// eachManager visits every manager in the performance hierarchy.
+func (a *App) eachManager(fn func(*manager.Manager)) {
+	var walk func(m *manager.Manager)
+	walk = func(m *manager.Manager) {
+		if m == nil {
+			return
+		}
+		fn(m)
+		for _, c := range m.Children() {
+			walk(c)
+		}
+	}
+	walk(a.RootManager)
+}
+
+// managersView builds the /managers payload.
+func (a *App) managersView() *ManagersView {
+	var last map[string]telemetry.DecisionRecord
+	if a.tracer != nil {
+		last = a.tracer.LastByManager()
+	}
+	node := func(name, concern, state, contract string) *ManagerNode {
+		n := &ManagerNode{Name: name, Concern: concern, State: state, Contract: contract}
+		if rec, ok := last[name]; ok {
+			n.LastDecision = &rec
+		}
+		return n
+	}
+	var build func(m *manager.Manager) *ManagerNode
+	build = func(m *manager.Manager) *ManagerNode {
+		n := node(m.Name(), m.Concern(), m.State().String(), m.Contract().Describe())
+		for _, c := range m.Children() {
+			n.Children = append(n.Children, build(c))
+		}
+		return n
+	}
+	view := &ManagersView{App: a.Name}
+	if a.RootManager != nil {
+		view.Root = build(a.RootManager)
+	}
+	if a.GM != nil {
+		view.Concerns = append(view.Concerns,
+			node(a.GM.Name(), "coordination", a.GM.Mode().String(), ""))
+	}
+	if a.Security != nil {
+		view.Concerns = append(view.Concerns,
+			node(a.Security.Name(), "security", "active", ""))
+	}
+	return view
+}

@@ -34,6 +34,27 @@ type Options struct {
 	// RulesDriven makes Fig4 store the application manager's policy as
 	// DRL rules (rules.PipeRuleSource) instead of the built-in Go policy.
 	RulesDriven bool
+	// Telemetry, when non-empty, serves the introspection endpoint
+	// (/healthz, /metrics, /trace, /managers, pprof) on this address for
+	// the duration of each run. Empty disables the listener.
+	Telemetry string
+}
+
+// enableTelemetry binds the introspection server when opts ask for one.
+// Called per app, just before RunContext, so harnesses running several
+// apps in sequence (MultiConcern) rebind the same address for each run.
+func enableTelemetry(app *core.App, opts Options) error {
+	if opts.Telemetry == "" {
+		return nil
+	}
+	srv, err := app.EnableTelemetry(opts.Telemetry)
+	if err != nil {
+		return err
+	}
+	if opts.Out != nil {
+		fmt.Fprintf(opts.Out, "telemetry: serving on %s\n", srv.Addr())
+	}
+	return nil
 }
 
 func (o Options) scale() float64 {
@@ -75,6 +96,9 @@ func Fig3(ctx context.Context, opts Options) (*core.Result, error) {
 		SamplePeriod:   time.Second,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := enableTelemetry(app, opts); err != nil {
 		return nil, err
 	}
 	res, err := app.RunContext(ctx)
@@ -122,6 +146,9 @@ func Fig4(ctx context.Context, opts Options) (*core.Result, error) {
 		RulesDriven:  opts.RulesDriven,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := enableTelemetry(app, opts); err != nil {
 		return nil, err
 	}
 	res, err := app.RunContext(ctx)
@@ -205,6 +232,9 @@ func ExtLoad(ctx context.Context, opts Options) (*ExtLoadResult, error) {
 			fmt.Sprintf("75%% external load on %d worker nodes", len(workers)))
 	}()
 
+	if err := enableTelemetry(app, opts); err != nil {
+		return nil, err
+	}
 	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err
@@ -284,6 +314,9 @@ func MultiConcern(ctx context.Context, opts Options) (*MultiConcernResult, error
 			SecurityPeriod: 8 * time.Second,
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := enableTelemetry(app, opts); err != nil {
 			return nil, err
 		}
 		res, err := app.RunContext(ctx)
@@ -379,6 +412,9 @@ func FaultTolerance(ctx context.Context, opts Options) (*FaultResult, error) {
 		}
 	}()
 
+	if err := enableTelemetry(app, opts); err != nil {
+		return nil, err
+	}
 	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err

@@ -86,6 +86,9 @@ func Farmize(ctx context.Context, opts Options) (*FarmizeResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := enableTelemetry(app, opts); err != nil {
+			return nil, err
+		}
 		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err

@@ -67,6 +67,9 @@ func InitialDegree(ctx context.Context, opts Options) (*InitResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := enableTelemetry(app, opts); err != nil {
+			return nil, err
+		}
 		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err

@@ -98,6 +98,9 @@ func Migration(ctx context.Context, opts Options) (*MigrationResult, error) {
 				"75% external load on 3 worker nodes")
 		}()
 
+		if err := enableTelemetry(app, opts); err != nil {
+			return nil, err
+		}
 		res, err := app.RunContext(ctx)
 		if err != nil {
 			return nil, err

@@ -60,6 +60,9 @@ func Shed(ctx context.Context, opts Options) (*ShedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := enableTelemetry(app, opts); err != nil {
+		return nil, err
+	}
 	res, err := app.RunContext(ctx)
 	if err != nil {
 		return nil, err

@@ -23,9 +23,11 @@ import (
 
 	"repro/internal/abc"
 	"repro/internal/contract"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/runtime"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -57,6 +59,9 @@ type Violation struct {
 	Tag      string // rules.TagNotEnoughTasks, rules.TagTooMuchTasks, ...
 	Snapshot contract.Snapshot
 	When     time.Time
+	// CauseID is the telemetry causality id linking the child's decision
+	// record to the parent's reaction (0 when decision tracing is off).
+	CauseID uint64
 }
 
 // Policy collects the pluggable policy hooks of a manager. Zero-value
@@ -102,12 +107,36 @@ type Config struct {
 	PollOnly bool
 }
 
+// Instruments are the phase-latency histograms of one MAPE loop, in
+// wall-clock seconds. They are always collected: observation is atomic
+// and allocation-free, and the loop runs at control frequency, so the
+// cost is negligible. Wake records the wake-to-decision latency of
+// edge-triggered iterations only.
+type Instruments struct {
+	Sense   *metrics.Histogram
+	Analyze *metrics.Histogram
+	Plan    *metrics.Histogram
+	Act     *metrics.Histogram
+	Wake    *metrics.Histogram
+}
+
+func newInstruments() Instruments {
+	return Instruments{
+		Sense:   metrics.NewLatencyHistogram(),
+		Analyze: metrics.NewLatencyHistogram(),
+		Plan:    metrics.NewLatencyHistogram(),
+		Act:     metrics.NewLatencyHistogram(),
+		Wake:    metrics.NewLatencyHistogram(),
+	}
+}
+
 // Manager is one autonomic manager.
 type Manager struct {
 	cfg     Config
 	clock   simclock.Clock
 	log     *trace.Log
 	created time.Time
+	inst    Instruments
 
 	mu       sync.Mutex
 	contract contract.Contract
@@ -118,10 +147,23 @@ type Manager struct {
 
 	violations chan Violation
 
+	// tracer receives one DecisionRecord per RunOnce; set before the
+	// control loop starts (SetTracer), read only by the loop goroutine.
+	tracer *telemetry.Tracer
+	// wakeStamp is the UnixNano of the oldest unserviced edge wake-up
+	// (0 when none); written by skeleton goroutines, consumed by Run.
+	wakeStamp atomic.Int64
+
 	// per-RunOnce scratch (single goroutine)
 	cycleLocalAction bool
 	cycleViolation   bool
 	seenErrsDropped  uint64 // high-water mark of Snapshot.ErrorsDropped
+	cycleOpen        bool
+	cycleCause       uint64
+	cycleActNs       int64
+	cycleWakeNS      int64
+	cycleEvents      []telemetry.EventRec
+	cycleActions     []telemetry.ActionRec
 
 	running atomic.Bool
 	life    runtime.Lifecycle
@@ -149,12 +191,24 @@ func New(cfg Config) (*Manager, error) {
 		cfg:        cfg,
 		clock:      cfg.Clock,
 		log:        cfg.Log,
+		inst:       newInstruments(),
 		contract:   contract.BestEffort{},
 		engine:     cfg.Engine,
 		violations: make(chan Violation, 256),
 		created:    cfg.Clock.Now(),
 	}, nil
 }
+
+// Instruments returns the manager's phase-latency histograms.
+func (m *Manager) Instruments() Instruments { return m.inst }
+
+// SetTracer attaches the decision tracer: every subsequent RunOnce emits
+// one structured telemetry.DecisionRecord. Attach before the control loop
+// starts; a nil tracer disables decision tracing (the default).
+func (m *Manager) SetTracer(t *telemetry.Tracer) { m.tracer = t }
+
+// Tracer returns the attached decision tracer (may be nil).
+func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }
 
 // Name returns the manager's name (e.g. "AM_F").
 func (m *Manager) Name() string { return m.cfg.Name }
@@ -287,14 +341,44 @@ func (m *Manager) deliver(v Violation) {
 	}
 }
 
+// event logs an autonomic event and, when a MAPE cycle is in flight on
+// this goroutine, captures it into the cycle's decision record.
+func (m *Manager) event(kind trace.Kind, detail string) {
+	m.log.Record(m.clock.Now(), m.cfg.Name, kind, detail)
+	if m.cycleOpen && m.tracer != nil {
+		m.cycleEvents = append(m.cycleEvents, telemetry.EventRec{Kind: string(kind), Detail: detail})
+	}
+}
+
+// noteAction captures one executed operation into the cycle's decision
+// record.
+func (m *Manager) noteAction(op, detail string, err error) {
+	if !m.cycleOpen || m.tracer == nil {
+		return
+	}
+	a := telemetry.ActionRec{Op: op, Detail: detail}
+	if err != nil {
+		a.Error = err.Error()
+	}
+	m.cycleActions = append(m.cycleActions, a)
+}
+
 // reportViolation sends a violation to the parent (or only logs it at the
-// root) and marks this cycle as violation-raising.
+// root) and marks this cycle as violation-raising. With tracing on, the
+// violation carries the cycle's causality id (allocating one if this
+// cycle has none yet), so the parent's reaction records chain to ours.
 func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
 	m.cycleViolation = true
-	m.log.Record(m.clock.Now(), m.cfg.Name, trace.RaiseViol, tag)
+	if m.cycleOpen && m.cycleCause == 0 && m.tracer != nil {
+		m.cycleCause = m.tracer.NextCause()
+	}
+	m.event(trace.RaiseViol, tag)
 	parent := m.Parent()
 	if parent != nil {
-		parent.deliver(Violation{From: m.cfg.Name, Tag: tag, Snapshot: snap, When: m.clock.Now()})
+		parent.deliver(Violation{
+			From: m.cfg.Name, Tag: tag, Snapshot: snap,
+			When: m.clock.Now(), CauseID: m.cycleCause,
+		})
 	}
 }
 
@@ -311,15 +395,18 @@ func (m *Manager) Escalate(tag string, snap contract.Snapshot) {
 // actions reach the execute phase. Violation raising goes to the parent;
 // everything else is an ABC mechanism.
 func (m *Manager) FireOperation(op string, act *rules.Activation) error {
+	start := time.Now()
+	defer func() { m.cycleActNs += int64(time.Since(start)) }()
 	switch op {
 	case rules.OpRaiseViolation:
 		tag := act.LastData()
 		switch tag {
 		case rules.TagNotEnoughTasks:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.NotEnough, "")
+			m.event(trace.NotEnough, "")
 		case rules.TagTooMuchTasks:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.TooMuch, "")
+			m.event(trace.TooMuch, "")
 		}
+		m.noteAction(op, tag, nil)
 		m.reportViolation(tag, m.cfg.Controller.Snapshot())
 		return nil
 	default:
@@ -327,34 +414,52 @@ func (m *Manager) FireOperation(op string, act *rules.Activation) error {
 		if err != nil {
 			// Corrective action required but not possible: report a
 			// violation upward instead (§3.1).
+			m.noteAction(op, "", err)
 			m.reportViolation(op+"_failed: "+err.Error(), m.cfg.Controller.Snapshot())
 			return nil
 		}
 		m.cycleLocalAction = true
+		m.noteAction(op, detail, nil)
 		switch op {
 		case rules.OpAddExecutor:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.AddWorker, detail)
+			m.event(trace.AddWorker, detail)
 		case rules.OpRemoveExecutor:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.RemWorker, detail)
+			m.event(trace.RemWorker, detail)
 		case rules.OpBalanceLoad:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Rebalance, detail)
+			m.event(trace.Rebalance, detail)
 		default:
-			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind(op), detail)
+			m.event(trace.Kind(op), detail)
 		}
 		return nil
 	}
 }
 
 // RunOnce performs one MAPE iteration. It is exported so that tests and
-// deterministic experiments can drive the loop explicitly.
+// deterministic experiments can drive the loop explicitly. Each iteration
+// observes its phase latencies into Instruments and — when a tracer is
+// attached — emits one telemetry.DecisionRecord.
 func (m *Manager) RunOnce() error {
 	m.cycleLocalAction = false
 	m.cycleViolation = false
+	m.cycleCause = 0
+	m.cycleActNs = 0
+	m.cycleEvents = m.cycleEvents[:0]
+	m.cycleActions = m.cycleActions[:0]
+	m.cycleOpen = true
+	defer func() { m.cycleOpen = false }()
+	wakeNS := m.cycleWakeNS
+	m.cycleWakeNS = 0
 
-	// React to child violations first (hierarchical coordination).
+	// React to child violations first (hierarchical coordination). The
+	// first child violation's causality id is inherited, so the reaction's
+	// decision record chains to the child's.
+	drainStart := time.Now()
 	for {
 		select {
 		case v := <-m.violations:
+			if m.cycleCause == 0 {
+				m.cycleCause = v.CauseID
+			}
 			if m.cfg.Policy.OnChildViolation != nil {
 				m.cfg.Policy.OnChildViolation(m, v)
 			}
@@ -363,34 +468,63 @@ func (m *Manager) RunOnce() error {
 		}
 	}
 drained:
+	drainDur := time.Since(drainStart)
 
-	// Monitor + analyse: verdict logging (the contrLow events of Fig. 4).
+	// Monitor.
+	senseStart := time.Now()
 	snap := m.cfg.Controller.Snapshot()
+	m.inst.Sense.ObserveDuration(time.Since(senseStart))
+
+	// Analyse: verdict logging (the contrLow events of Fig. 4).
+	analyzeStart := time.Now()
 	if snap.ErrorsDropped > m.seenErrsDropped {
 		// Runtime errors overflowed the skeleton's error buffer since the
 		// last cycle: make the loss visible in the trace instead of silent.
-		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ErrsDropped,
+		m.event(trace.ErrsDropped,
 			fmt.Sprintf("+%d (total %d)", snap.ErrorsDropped-m.seenErrsDropped, snap.ErrorsDropped))
 		m.seenErrsDropped = snap.ErrorsDropped
 	}
-	switch m.Contract().Check(snap) {
+	verdict := m.Contract().Check(snap)
+	switch verdict {
 	case contract.ViolatedLow:
-		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrLow,
-			fmt.Sprintf("tp=%.3f", snap.Throughput))
+		m.event(trace.ContrLow, fmt.Sprintf("tp=%.3f", snap.Throughput))
 	case contract.ViolatedHigh:
-		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrHigh,
-			fmt.Sprintf("tp=%.3f", snap.Throughput))
+		m.event(trace.ContrHigh, fmt.Sprintf("tp=%.3f", snap.Throughput))
 	case contract.Violated:
-		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ContrLow, "boolean concern violated")
+		m.event(trace.ContrLow, "boolean concern violated")
 	}
+	analyzeDur := time.Since(analyzeStart)
+	m.inst.Analyze.ObserveDuration(analyzeDur)
 
 	// Plan + execute via the rule engine (skipped during sensor warm-up).
+	// FireOperation accumulates execute time into cycleActNs, so the act
+	// share can be subtracted from the engine cycle to isolate planning.
+	var ruleEvals []telemetry.RuleEval
+	engStart := time.Now()
 	engine := m.Engine()
 	if engine != nil && !m.clock.Now().Before(m.created.Add(m.WarmUp())) {
-		if _, err := engine.Cycle(m.cfg.Controller.Beans(), m); err != nil {
+		if m.tracer != nil {
+			_, verdicts, err := engine.CycleExplain(m.cfg.Controller.Beans(), m, 0)
+			for _, v := range verdicts {
+				ruleEvals = append(ruleEvals, telemetry.RuleEval{
+					Rule: v.Rule, Fired: v.Fired, Failed: v.FailingPattern,
+				})
+			}
+			if err != nil {
+				return fmt.Errorf("manager %s: %w", m.cfg.Name, err)
+			}
+		} else if _, err := engine.Cycle(m.cfg.Controller.Beans(), m); err != nil {
 			return fmt.Errorf("manager %s: %w", m.cfg.Name, err)
 		}
 	}
+	engDur := time.Since(engStart)
+	actDur := time.Duration(m.cycleActNs)
+	planDur := drainDur + engDur - actDur
+	if planDur < 0 {
+		planDur = 0
+	}
+	m.inst.Plan.ObserveDuration(planDur)
+	m.inst.Act.ObserveDuration(actDur)
 
 	// Role transition (P_rol): passive iff the only reaction available
 	// was raising a violation.
@@ -409,7 +543,39 @@ drained:
 	}
 	m.mu.Unlock()
 	if transition != "" {
-		m.log.Record(m.clock.Now(), m.cfg.Name, transition, "")
+		m.event(transition, "")
+	}
+
+	if wakeNS != 0 {
+		m.inst.Wake.Observe(time.Since(time.Unix(0, wakeNS)).Seconds())
+	}
+	if m.tracer != nil {
+		rec := telemetry.DecisionRecord{
+			T:        m.clock.Now(),
+			Manager:  m.cfg.Name,
+			Concern:  m.cfg.Concern,
+			State:    m.State().String(),
+			Cause:    m.cycleCause,
+			Snapshot: snap,
+			Verdict:  verdict.String(),
+			Rules:    ruleEvals,
+			Phases: telemetry.PhaseNanos{
+				Sense:   int64(analyzeStart.Sub(senseStart)),
+				Analyze: int64(analyzeDur),
+				Plan:    int64(planDur),
+				Act:     int64(actDur),
+			},
+		}
+		if len(m.cycleActions) > 0 {
+			rec.Actions = append([]telemetry.ActionRec(nil), m.cycleActions...)
+		}
+		if len(m.cycleEvents) > 0 {
+			rec.Events = append([]telemetry.EventRec(nil), m.cycleEvents...)
+		}
+		if wakeNS != 0 {
+			rec.WakeNs = time.Now().UnixNano() - wakeNS
+		}
+		m.tracer.Record(rec)
 	}
 	return nil
 }
@@ -433,7 +599,13 @@ func (m *Manager) Run(ctx context.Context) error {
 
 	var wake runtime.Notifier
 	if ws, ok := m.cfg.Controller.(abc.WakeSource); ok && !m.cfg.PollOnly {
-		defer ws.OnEdge(wake.Notify)()
+		// Stamp the oldest unserviced edge so RunOnce can report the
+		// wake-to-decision latency (the edge-notifier claim of the paper's
+		// "react within a control period" argument, made measurable).
+		defer ws.OnEdge(func() {
+			m.wakeStamp.CompareAndSwap(0, time.Now().UnixNano())
+			wake.Notify()
+		})()
 	}
 	ticker := m.clock.NewTicker(m.cfg.Period)
 	defer ticker.Stop()
@@ -443,6 +615,9 @@ func (m *Manager) Run(ctx context.Context) error {
 			return nil
 		case <-ticker.C():
 		case <-wake.C():
+		}
+		if ns := m.wakeStamp.Swap(0); ns != 0 {
+			m.cycleWakeNS = ns
 		}
 		if err := m.RunOnce(); err != nil {
 			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind("error"), err.Error())

@@ -12,6 +12,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -75,9 +76,10 @@ type SecurityConfig struct {
 // reactive mode it runs its own control loop scanning for bindings that
 // violate the policy.
 type SecurityManager struct {
-	cfg   SecurityConfig
-	clock simclock.Clock
-	log   *trace.Log
+	cfg    SecurityConfig
+	clock  simclock.Clock
+	log    *trace.Log
+	tracer *telemetry.Tracer
 
 	mu      sync.Mutex
 	farms   []*abc.FarmABC
@@ -110,6 +112,10 @@ func NewSecurityManager(cfg SecurityConfig) (*SecurityManager, error) {
 // Name returns the manager's name.
 func (s *SecurityManager) Name() string { return s.cfg.Name }
 
+// SetTracer attaches the decision tracer; a nil tracer disables decision
+// tracing (the default).
+func (s *SecurityManager) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
 // Secured returns how many bindings this manager has secured so far.
 func (s *SecurityManager) Secured() int {
 	s.mu.Lock()
@@ -134,6 +140,12 @@ func (s *SecurityManager) newCodec() (security.Codec, error) {
 // called between recruitment and first dispatch, it secures the binding if
 // the policy requires it.
 func (s *SecurityManager) PrepareWorker(id string, node *grid.Node, setCodec func(security.Codec)) error {
+	return s.prepareWorker(0, id, node, setCodec)
+}
+
+// prepareWorker is PrepareWorker carrying the coordinator's causality id,
+// so the AM_sec prepare record chains to the GM intent/commit records.
+func (s *SecurityManager) prepareWorker(cause uint64, id string, node *grid.Node, setCodec func(security.Codec)) error {
 	if !s.cfg.Policy.RequireSecure(s.cfg.DispatchNode, node) {
 		return nil
 	}
@@ -145,9 +157,20 @@ func (s *SecurityManager) PrepareWorker(id string, node *grid.Node, setCodec fun
 	s.mu.Lock()
 	s.secured++
 	s.mu.Unlock()
-	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Prepared,
-		fmt.Sprintf("%s on %s (%s)", id, node.ID, node.Domain.Name))
+	detail := fmt.Sprintf("%s on %s (%s)", id, node.ID, node.Domain.Name)
+	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Prepared, detail)
 	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Secured, id)
+	if s.tracer != nil {
+		s.tracer.Record(telemetry.DecisionRecord{
+			T: s.clock.Now(), Manager: s.cfg.Name, Concern: "security",
+			State: "active", Cause: cause,
+			Actions: []telemetry.ActionRec{{Op: "SECURE_BINDING", Detail: id}},
+			Events: []telemetry.EventRec{
+				{Kind: string(trace.Prepared), Detail: detail},
+				{Kind: string(trace.Secured), Detail: id},
+			},
+		})
+	}
 	return nil
 }
 
@@ -160,6 +183,7 @@ func (s *SecurityManager) RunOnce() int {
 	copy(farms, s.farms)
 	s.mu.Unlock()
 	n := 0
+	var acts []telemetry.ActionRec
 	for _, f := range farms {
 		for _, w := range f.Workers() {
 			if w.Secure || !s.cfg.Policy.RequireSecure(s.cfg.DispatchNode, w.Node) {
@@ -178,7 +202,16 @@ func (s *SecurityManager) RunOnce() int {
 			s.mu.Unlock()
 			s.log.Record(s.clock.Now(), s.cfg.Name, trace.Secured,
 				fmt.Sprintf("%s (reactive)", w.ID))
+			if s.tracer != nil {
+				acts = append(acts, telemetry.ActionRec{Op: "SECURE_BINDING", Detail: w.ID + " (reactive)"})
+			}
 		}
+	}
+	if s.tracer != nil && n > 0 {
+		s.tracer.Record(telemetry.DecisionRecord{
+			T: s.clock.Now(), Manager: s.cfg.Name, Concern: "security",
+			State: "active", Actions: acts,
+		})
 	}
 	return n
 }
@@ -222,11 +255,12 @@ func (s *SecurityManager) Stop() { _ = s.life.Stop() }
 // wires the cross-concern coordination protocol into the farms' actuator
 // paths.
 type GeneralManager struct {
-	name  string
-	clock simclock.Clock
-	log   *trace.Log
-	sec   *SecurityManager
-	mode  CoordinationMode
+	name   string
+	clock  simclock.Clock
+	log    *trace.Log
+	sec    *SecurityManager
+	mode   CoordinationMode
+	tracer *telemetry.Tracer
 
 	running atomic.Bool
 	life    runtime.Lifecycle
@@ -255,6 +289,27 @@ func (g *GeneralManager) Name() string { return g.name }
 // Mode returns the coordination mode in force.
 func (g *GeneralManager) Mode() CoordinationMode { return g.mode }
 
+// SetTracer attaches the decision tracer to the GM and its security
+// manager; a nil tracer disables decision tracing (the default).
+func (g *GeneralManager) SetTracer(t *telemetry.Tracer) {
+	g.tracer = t
+	if g.sec != nil {
+		g.sec.SetTracer(t)
+	}
+}
+
+// decision emits one GM coordination record (no-op without a tracer).
+func (g *GeneralManager) decision(cause uint64, kind trace.Kind, detail string) {
+	if g.tracer == nil {
+		return
+	}
+	g.tracer.Record(telemetry.DecisionRecord{
+		T: g.clock.Now(), Manager: g.name, Concern: "coordination",
+		State: "active", Cause: cause,
+		Events: []telemetry.EventRec{{Kind: string(kind), Detail: detail}},
+	})
+}
+
 // Coordinate installs the coordination protocol on a farm's actuator path.
 // In TwoPhase mode every ADD_EXECUTOR goes intent -> prepare (security) ->
 // commit; in Reactive mode the security manager merely watches the farm;
@@ -263,13 +318,22 @@ func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 	switch g.mode {
 	case TwoPhase:
 		farm.SetPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
-			g.log.Record(g.clock.Now(), g.name, trace.Intent,
-				fmt.Sprintf("add %s on %s (%s)", id, node.ID, node.Domain.Name))
-			if err := g.sec.PrepareWorker(id, node, setCodec); err != nil {
+			// One causality id spans the whole intent -> prepare -> commit
+			// chain, so /trace?cause=N reconstructs the protocol run.
+			var cause uint64
+			if g.tracer != nil {
+				cause = g.tracer.NextCause()
+			}
+			detail := fmt.Sprintf("add %s on %s (%s)", id, node.ID, node.Domain.Name)
+			g.log.Record(g.clock.Now(), g.name, trace.Intent, detail)
+			g.decision(cause, trace.Intent, detail)
+			if err := g.sec.prepareWorker(cause, id, node, setCodec); err != nil {
 				g.log.Record(g.clock.Now(), g.name, trace.Aborted, err.Error())
+				g.decision(cause, trace.Aborted, err.Error())
 				return err
 			}
 			g.log.Record(g.clock.Now(), g.name, trace.Committed, id)
+			g.decision(cause, trace.Committed, id)
 			return nil
 		})
 	case Reactive:

@@ -175,7 +175,7 @@ func (p *PipelineCoordinator) OnChildViolation(m *Manager, v Violation) {
 		if v.Snapshot.StreamDone || p.endStream {
 			// No significant action is possible: the stream is over.
 			if !p.endLogged {
-				m.Log().Record(m.clock.Now(), m.Name(), trace.EndStream, "")
+				m.event(trace.EndStream, "")
 				p.endLogged = true
 			}
 			p.endStream = p.endStream || v.Snapshot.StreamDone
@@ -186,16 +186,18 @@ func (p *PipelineCoordinator) OnChildViolation(m *Manager, v Violation) {
 		if p.Cap > 0 && p.requested > p.Cap {
 			p.requested = p.Cap
 		}
-		m.Log().Record(m.clock.Now(), m.Name(), trace.IncRate,
-			fmt.Sprintf("rate->%.3f", p.requested))
+		detail := fmt.Sprintf("rate->%.3f", p.requested)
+		m.event(trace.IncRate, detail)
+		m.noteAction(string(trace.IncRate), detail, nil)
 		if p.Producer != nil {
 			_ = p.Producer.AssignContract(contract.MinThroughput(p.requested))
 		}
 	case rules.TagTooMuchTasks:
 		base := math.Max(v.Snapshot.ArrivalRate, p.requested)
 		p.requested = base / p.step()
-		m.Log().Record(m.clock.Now(), m.Name(), trace.DecRate,
-			fmt.Sprintf("rate->%.3f", p.requested))
+		detail := fmt.Sprintf("rate->%.3f", p.requested)
+		m.event(trace.DecRate, detail)
+		m.noteAction(string(trace.DecRate), detail, nil)
 		if p.Producer != nil {
 			_ = p.Producer.AssignContract(contract.MinThroughput(p.requested))
 		}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed log-spaced buckets. All state
+// is atomic: Observe is lock-free, allocation-free and safe for any number
+// of concurrent writers, which lets it sit on hot paths (farm dispatch,
+// codec sealing) without perturbing what it measures. Bucket boundaries
+// are fixed at construction; there is no resizing and no per-observation
+// memory.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; values > last go to the overflow bucket
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// An implicit +Inf bucket catches everything above the last bound.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = ExpBuckets(1e-6, 2, 24)
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: own, counts: make([]atomic.Uint64, len(own)+1)}
+}
+
+// NewLatencyHistogram builds the standard latency layout used by the
+// telemetry plane: 24 exponential buckets from 1µs to ~8.4s (factor 2),
+// in seconds.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(ExpBuckets(1e-6, 2, 24))
+}
+
+// ExpBuckets returns n exponential bucket bounds start, start*factor,
+// start*factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("metrics: bad exponential bucket spec")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. It is allocation-free and lock-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns a copy of the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts has one entry per bound plus the trailing +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state. Under concurrent writers the copy
+// is weakly consistent (each counter is read atomically), which is all an
+// exposition endpoint needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.Bounds(),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the winning bucket, Prometheus-style. It returns 0 on an empty
+// histogram; estimates from the overflow bucket clamp to the last bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // overflow bucket: no upper bound to interpolate to
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

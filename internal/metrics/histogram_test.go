@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Upper bounds are inclusive: 0.5 and 1 land in bucket le=1, etc.
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if got, want := s.Sum, 0.5+1+5+10+50+100+1000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.003) > 1e-12 {
+		t.Fatalf("sum = %g, want 0.003", got)
+	}
+}
+
+func TestHistogramObserveNoAllocs(t *testing.T) {
+	h := NewLatencyHistogram()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(42e-6)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w+1) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("count = %d, want %d", got, writers*per)
+	}
+	var want float64
+	for w := 1; w <= writers; w++ {
+		want += float64(w) * 1e-6 * per
+	}
+	if got := h.Sum(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	q := h.Snapshot().Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("median = %g, want within (1,2]", q)
+	}
+	if got := (HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}).Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}

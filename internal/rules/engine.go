@@ -102,6 +102,98 @@ func (e *Engine) CycleLimit(memory []Bean, eff Effector, maxFirings int) ([]*Act
 	return fired, nil
 }
 
+// RuleVerdict reports, for one rule in an explained cycle, whether it
+// fired and — when it did not — which pattern could not be satisfied.
+// It is the machine-readable form of "which precondition failed" that the
+// telemetry decision trace exposes.
+type RuleVerdict struct {
+	Rule     string
+	Salience int
+	Fired    bool
+	// FailingPattern renders the first pattern, in declaration order, for
+	// which no bean satisfied type+condition under the greedy bindings of
+	// the preceding patterns, e.g. `DepartureRateBean(value < 0.6)`.
+	// Empty when the rule fired; "no consistent binding" when every
+	// pattern matches some bean in isolation but no complete assignment
+	// exists (a backtracking failure the greedy walk cannot localize).
+	FailingPattern string
+}
+
+// CycleExplain is CycleLimit plus a per-rule verdict: every rule is
+// reported as fired or, when it did not fire, with its failing predicate.
+// maxFirings <= 0 means no bound.
+func (e *Engine) CycleExplain(memory []Bean, eff Effector, maxFirings int) ([]*Activation, []RuleVerdict, error) {
+	var fired []*Activation
+	verdicts := make([]RuleVerdict, 0, len(e.rules))
+	for _, r := range e.rules {
+		v := RuleVerdict{Rule: r.Name, Salience: r.Salience}
+		if maxFirings > 0 && len(fired) >= maxFirings {
+			v.FailingPattern = "firing limit reached"
+			verdicts = append(verdicts, v)
+			continue
+		}
+		act, ok, err := e.match(r, memory)
+		if err != nil {
+			return fired, verdicts, fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+		if ok {
+			if err := e.execute(act, eff); err != nil {
+				return fired, verdicts, fmt.Errorf("rule %q: %w", r.Name, err)
+			}
+			fired = append(fired, act)
+			v.Fired = true
+		} else {
+			v.FailingPattern = e.explainFailure(r, memory)
+		}
+		verdicts = append(verdicts, v)
+	}
+	return fired, verdicts, nil
+}
+
+// explainFailure walks the rule's patterns greedily and renders the first
+// one no unbound bean satisfies. Evaluation errors on candidate beans are
+// treated as non-matches (the authoritative error surfaces via match).
+func (e *Engine) explainFailure(r *Rule, memory []Bean) string {
+	bindings := map[string]Bean{}
+	for _, p := range r.Patterns {
+		found := false
+		for _, b := range memory {
+			if b.BeanType() != p.Type || alreadyBound(bindings, b) {
+				continue
+			}
+			if p.Cond != nil {
+				ev := &env{current: b, bindings: bindings, consts: e.consts}
+				v, err := p.Cond.eval(ev)
+				if err != nil {
+					continue
+				}
+				hold, err := v.AsBool()
+				if err != nil || !hold {
+					continue
+				}
+			}
+			if p.Var != "" {
+				bindings[p.Var] = b
+			}
+			found = true
+			break
+		}
+		if !found {
+			return renderPattern(p)
+		}
+	}
+	return "no consistent binding"
+}
+
+// renderPattern prints a pattern in source syntax, Type(cond).
+func renderPattern(p *Pattern) string {
+	cond := ""
+	if p.Cond != nil {
+		cond = p.Cond.String()
+	}
+	return p.Type + "(" + cond + ")"
+}
+
 // Fireable reports, without executing actions, which rules would fire
 // against the given memory. The managers use it to detect the passive
 // state: no fireable "active" rules.

@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// explainBeans builds the four farm sensors for an explain cycle.
+func explainBeans(arrival, departure, workers, variance float64) []Bean {
+	return []Bean{
+		NewBean(BeanArrivalRate, Num(arrival)),
+		NewBean(BeanDepartureRate, Num(departure)),
+		NewBean(BeanNumWorker, Num(workers)),
+		NewBean(BeanQueueVariance, Num(variance)),
+	}
+}
+
+func TestCycleExplainVerdicts(t *testing.T) {
+	eng := NewFarmEngine(FarmConstants(0.6, 1.2, 1, 8, 4))
+	// Arrival below the low level: only CheckInterArrivalRateLow fires.
+	var ops []string
+	eff := EffectorFunc(func(op string, act *Activation) error {
+		ops = append(ops, op)
+		return nil
+	})
+	fired, verdicts, err := eng.CycleExplain(explainBeans(0.3, 0.7, 2, 1), eff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0].Rule.Name != "CheckInterArrivalRateLow" {
+		t.Fatalf("fired = %v, want exactly CheckInterArrivalRateLow", fired)
+	}
+	if len(ops) != 1 || ops[0] != OpRaiseViolation {
+		t.Fatalf("ops = %v, want [%s]", ops, OpRaiseViolation)
+	}
+	if len(verdicts) != len(eng.Rules()) {
+		t.Fatalf("got %d verdicts for %d rules", len(verdicts), len(eng.Rules()))
+	}
+	byName := map[string]RuleVerdict{}
+	for _, v := range verdicts {
+		byName[v.Rule] = v
+	}
+	if !byName["CheckInterArrivalRateLow"].Fired {
+		t.Errorf("CheckInterArrivalRateLow not marked fired: %+v", byName["CheckInterArrivalRateLow"])
+	}
+	if v := byName["CheckInterArrivalRateLow"]; v.FailingPattern != "" {
+		t.Errorf("fired rule carries failing pattern %q", v.FailingPattern)
+	}
+	// CheckRateLow needs arrival >= low level; that is the failing pattern
+	// (departure 0.7 satisfies the first pattern at contract low 0.6? no:
+	// 0.7 > 0.6, so the *first* pattern fails).
+	v := byName["CheckRateLow"]
+	if v.Fired {
+		t.Fatalf("CheckRateLow unexpectedly fired")
+	}
+	if !strings.Contains(v.FailingPattern, BeanDepartureRate) {
+		t.Errorf("CheckRateLow failing pattern = %q, want it to name %s", v.FailingPattern, BeanDepartureRate)
+	}
+	if !strings.Contains(v.FailingPattern, "value") {
+		t.Errorf("failing pattern %q does not render the predicate", v.FailingPattern)
+	}
+}
+
+func TestCycleExplainFailingPatternOrder(t *testing.T) {
+	eng := NewFarmEngine(FarmConstants(0.6, 1.2, 1, 8, 4))
+	// Departure below low level but arrival also below: CheckRateLow's
+	// second pattern (arrival >= low) is the first unsatisfiable one.
+	_, verdicts, err := eng.CycleExplain(explainBeans(0.3, 0.2, 2, 1), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Rule != "CheckRateLow" {
+			continue
+		}
+		if v.Fired {
+			t.Fatalf("CheckRateLow fired with arrival below the low level")
+		}
+		if !strings.Contains(v.FailingPattern, BeanArrivalRate) {
+			t.Fatalf("failing pattern = %q, want the arrival pattern", v.FailingPattern)
+		}
+		return
+	}
+	t.Fatal("no verdict for CheckRateLow")
+}
+
+func TestCycleExplainFiringLimit(t *testing.T) {
+	eng := NewFarmEngine(FarmConstants(0.6, 1.2, 1, 8, 4))
+	// Unbalanced queues and too-high arrival: at least two rules fireable.
+	fired, verdicts, err := eng.CycleExplain(explainBeans(2.0, 0.8, 2, 9), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired %d rules, want 1 (limit)", len(fired))
+	}
+	limited := 0
+	for _, v := range verdicts {
+		if v.FailingPattern == "firing limit reached" {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("no verdict reports the firing limit")
+	}
+}
+
+func TestCycleExplainMatchesCycle(t *testing.T) {
+	eng := NewFarmEngine(FarmConstants(0.6, 1.2, 1, 8, 4))
+	for _, beans := range [][]Bean{
+		explainBeans(0.3, 0.7, 2, 1),
+		explainBeans(2.0, 0.8, 2, 9),
+		explainBeans(0.8, 0.7, 2, 1),
+	} {
+		plain, err := eng.Cycle(beans, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		explained, _, err := eng.CycleExplain(beans, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) != len(explained) {
+			t.Fatalf("Cycle fired %d rules, CycleExplain %d", len(plain), len(explained))
+		}
+		for i := range plain {
+			if plain[i].Rule.Name != explained[i].Rule.Name {
+				t.Fatalf("firing order diverges: %s vs %s", plain[i].Rule.Name, explained[i].Rule.Name)
+			}
+		}
+	}
+}

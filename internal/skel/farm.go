@@ -50,6 +50,17 @@ const (
 	Reduce
 )
 
+// FarmInstruments are the optional latency histograms of the farm's hot
+// path, in wall-clock seconds. Dispatch covers the whole route of one task
+// (snapshot, target selection, encode, queue push); Seal isolates the
+// codec encode so the encryption share is visible on its own. Observation
+// is atomic and allocation-free; a nil Instruments costs one predictable
+// branch per task.
+type FarmInstruments struct {
+	Dispatch *metrics.Histogram
+	Seal     *metrics.Histogram
+}
+
 // FarmConfig parameterizes a task farm.
 type FarmConfig struct {
 	Name string
@@ -79,6 +90,8 @@ type FarmConfig struct {
 	WorkOverride time.Duration
 	// OutBuffer sizes the internal result channel (default 64).
 	OutBuffer int
+	// Instruments receives dispatch/seal latency observations. Optional.
+	Instruments *FarmInstruments
 }
 
 // envelope is one message on a worker binding: the task plus its payload
@@ -241,6 +254,10 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 // encoding and the queue push all run off-lock, so the sensors (Stats,
 // Workers) and the actuators never queue behind encryption.
 func (f *Farm) dispatch(t *Task) {
+	if ins := f.cfg.Instruments; ins != nil {
+		start := time.Now()
+		defer func() { ins.Dispatch.ObserveDuration(time.Since(start)) }()
+	}
 	f.mu.Lock()
 	f.scratch = f.scratch[:0]
 	for _, w := range f.workers {
@@ -286,7 +303,15 @@ func (f *Farm) dispatch(t *Task) {
 // already-encoded envelope is requeued under f.mu.
 func (f *Farm) send(w *worker, t *Task) {
 	codec := w.getCodec()
+	var sealStart time.Time
+	ins := f.cfg.Instruments
+	if ins != nil {
+		sealStart = time.Now()
+	}
 	wire, err := codec.Encode(t.Payload)
+	if ins != nil {
+		ins.Seal.ObserveDuration(time.Since(sealStart))
+	}
 	if err != nil {
 		f.reportErr(fmt.Errorf("skel: farm %s encode for %s: %w", f.cfg.Name, w.id, err))
 		return

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Labels name one series of a metric (e.g. {"manager": "AM_F",
+// "phase": "sense"}). Rendered sorted by key.
+type Labels map[string]string
+
+type histEntry struct {
+	name, help string
+	labels     Labels
+	h          *metrics.Histogram
+}
+
+type scalarEntry struct {
+	name, help string
+	typ        string // "gauge" or "counter"
+	labels     Labels
+	fn         func() float64
+}
+
+// Registry is the assembly point of the introspection plane: every layer
+// registers its instruments here and the HTTP server renders them. A
+// registry is passive — registering and rendering spawn nothing.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	tracer   *Tracer
+	events   *trace.Log
+	hists    []histEntry
+	scalars  []scalarEntry
+	managers func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{start: time.Now()} }
+
+// SetTracer attaches the decision tracer backing /trace and the decision
+// counters of /metrics.
+func (r *Registry) SetTracer(t *Tracer) {
+	r.mu.Lock()
+	r.tracer = t
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached decision tracer (may be nil).
+func (r *Registry) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// SetEventLog attaches the autonomic event log whose per-(source, kind)
+// counts /metrics exposes.
+func (r *Registry) SetEventLog(l *trace.Log) {
+	r.mu.Lock()
+	r.events = l
+	r.mu.Unlock()
+}
+
+// SetManagersFunc installs the callback building the /managers hierarchy
+// view. The callback's result is rendered as JSON on each request.
+func (r *Registry) SetManagersFunc(fn func() any) {
+	r.mu.Lock()
+	r.managers = fn
+	r.mu.Unlock()
+}
+
+// Managers invokes the /managers callback (nil when none is installed).
+func (r *Registry) Managers() any {
+	r.mu.Lock()
+	fn := r.managers
+	r.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// AddHistogram registers a histogram series.
+func (r *Registry) AddHistogram(name, help string, labels Labels, h *metrics.Histogram) {
+	if h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists = append(r.hists, histEntry{name: name, help: help, labels: labels, h: h})
+	r.mu.Unlock()
+}
+
+// AddGauge registers a gauge series whose value is read at scrape time.
+func (r *Registry) AddGauge(name, help string, labels Labels, fn func() float64) {
+	r.addScalar(name, help, "gauge", labels, fn)
+}
+
+// AddCounter registers a monotone counter series read at scrape time.
+func (r *Registry) AddCounter(name, help string, labels Labels, fn func() float64) {
+	r.addScalar(name, help, "counter", labels, fn)
+}
+
+func (r *Registry) addScalar(name, help, typ string, labels Labels, fn func() float64) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.scalars = append(r.scalars, scalarEntry{name: name, help: help, typ: typ, labels: labels, fn: fn})
+	r.mu.Unlock()
+}
+
+// fmtLabels renders a label set (plus optional extra pairs) in canonical
+// {k="v",...} form, sorted by key; extra pairs win on collision.
+func fmtLabels(labels Labels, extra ...string) string {
+	merged := map[string]string{}
+	for k, v := range labels {
+		merged[k] = v
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		merged[extra[i]] = extra[i+1]
+	}
+	if len(merged) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, merged[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered instrument — plus the built-in
+// tracer/event-log counters — in the Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	start := r.start
+	tracer := r.tracer
+	events := r.events
+	hists := append([]histEntry(nil), r.hists...)
+	scalars := append([]scalarEntry(nil), r.scalars...)
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP repro_uptime_seconds Seconds since the telemetry registry was assembled.\n")
+	fmt.Fprintf(w, "# TYPE repro_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "repro_uptime_seconds %s\n", fmtFloat(time.Since(start).Seconds()))
+
+	// Scalars, grouped by name in first-registration order.
+	seen := map[string]bool{}
+	for i, e := range scalars {
+		if seen[e.name] {
+			continue
+		}
+		seen[e.name] = true
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.typ)
+		for _, f := range scalars[i:] {
+			if f.name == e.name {
+				fmt.Fprintf(w, "%s%s %s\n", f.name, fmtLabels(f.labels), fmtFloat(f.fn()))
+			}
+		}
+	}
+
+	// Histograms, grouped by name.
+	seen = map[string]bool{}
+	for i, e := range hists {
+		if seen[e.name] {
+			continue
+		}
+		seen[e.name] = true
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", e.name, e.help, e.name)
+		for _, f := range hists[i:] {
+			if f.name != e.name {
+				continue
+			}
+			s := f.h.Snapshot()
+			cum := uint64(0)
+			for bi, bound := range s.Bounds {
+				cum += s.Counts[bi]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, fmtLabels(f.labels, "le", fmtFloat(bound)), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, fmtLabels(f.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, fmtLabels(f.labels), fmtFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, fmtLabels(f.labels), s.Count)
+		}
+	}
+
+	if tracer != nil {
+		fmt.Fprintf(w, "# HELP repro_decisions_total MAPE decision records emitted.\n# TYPE repro_decisions_total counter\n")
+		fmt.Fprintf(w, "repro_decisions_total %d\n", tracer.Total())
+		fmt.Fprintf(w, "# HELP repro_decisions_dropped_total Decision records evicted from the trace ring.\n# TYPE repro_decisions_dropped_total counter\n")
+		fmt.Fprintf(w, "repro_decisions_dropped_total %d\n", tracer.Dropped())
+	}
+	if events != nil {
+		fmt.Fprintf(w, "# HELP repro_trace_events_evicted_total Autonomic events evicted from the bounded event log.\n# TYPE repro_trace_events_evicted_total counter\n")
+		fmt.Fprintf(w, "repro_trace_events_evicted_total %d\n", events.Evicted())
+		counts := events.KindCounts()
+		keys := make([]trace.EventCountKey, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Source != keys[j].Source {
+				return keys[i].Source < keys[j].Source
+			}
+			return keys[i].Kind < keys[j].Kind
+		})
+		fmt.Fprintf(w, "# HELP repro_trace_events_total Autonomic events by source manager and kind.\n# TYPE repro_trace_events_total counter\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "repro_trace_events_total%s %d\n",
+				fmtLabels(nil, "source", k.Source, "kind", string(k.Kind)), counts[k])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server is the opt-in introspection endpoint. Routes:
+//
+//	/healthz        liveness probe ("ok")
+//	/metrics        Prometheus text exposition of the registry
+//	/trace?n=K      last K decision records as a JSON array
+//	                (&format=jsonl for one record per line)
+//	/managers       manager hierarchy with roles, contracts, last decisions
+//	/debug/pprof/   the stdlib profiler
+//
+// It implements the runtime.Runnable shape (Run(ctx) error): Serve until
+// ctx cancels, then shut down gracefully. Nothing runs until Run is
+// called, so an app built without the -telemetry flag starts no listener
+// and no goroutines.
+type Server struct {
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer builds a server for addr (e.g. ":9090"). Call Listen to bind
+// (or let Run do it) and Run to serve.
+func NewServer(addr string, reg *Registry) *Server {
+	s := &Server{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/managers", func(w http.ResponseWriter, _ *http.Request) {
+		view := reg.Managers()
+		if view == nil {
+			http.Error(w, "no manager view registered", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.reg.Tracer()
+	if tr == nil {
+		http.Error(w, "no decision tracer attached", http.StatusNotFound)
+		return
+	}
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if v > 0 {
+			n = v
+		}
+	}
+	recs := tr.Last(n)
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			_ = enc.Encode(rec)
+		}
+		return
+	}
+	if recs == nil {
+		recs = []DecisionRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(recs)
+}
+
+// Listen binds the listener without serving yet, so the caller learns the
+// bound address (":0" in tests) and binding errors synchronously.
+func (s *Server) Listen() error {
+	if s.ln != nil {
+		return nil
+	}
+	addr := s.srv.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address after Listen, the configured one before.
+func (s *Server) Addr() string {
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.srv.Addr
+}
+
+// Run serves until ctx is canceled, then shuts down gracefully (bounded
+// at 3s) and returns nil. It binds first when Listen was not called.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.srv.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = s.srv.Shutdown(sctx)
+		<-errc
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+// Package telemetry is the introspection plane of the reproduction: a
+// structured decision trace for the MAPE loops (one DecisionRecord per
+// manager iteration, linked across managers by causality ids), a registry
+// collecting the histograms, gauges and counters every layer publishes,
+// a hand-written Prometheus text exposition, and an opt-in net/http
+// server mounting /healthz, /metrics, /trace, /managers and pprof.
+//
+// The package is pure stdlib and deliberately passive: collecting a trace
+// or a histogram spawns no goroutines; only the HTTP server (enabled by
+// the -telemetry flag) runs anything.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contract"
+)
+
+// RuleEval is the verdict of one rule in the plan phase of a decision.
+type RuleEval struct {
+	Rule  string `json:"rule"`
+	Fired bool   `json:"fired"`
+	// Failed renders the failing predicate — the first pattern no bean
+	// satisfied — when the rule did not fire.
+	Failed string `json:"failed,omitempty"`
+}
+
+// ActionRec is one operation chosen by the plan phase and executed.
+type ActionRec struct {
+	Op     string `json:"op"`
+	Detail string `json:"detail,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// EventRec is one trace.Event emitted while the decision was made.
+type EventRec struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// PhaseNanos carries the wall-clock duration of each MAPE phase.
+type PhaseNanos struct {
+	Sense   int64 `json:"sense_ns"`
+	Analyze int64 `json:"analyze_ns"`
+	Plan    int64 `json:"plan_ns"`
+	Act     int64 `json:"act_ns"`
+}
+
+// DecisionRecord is the structured outcome of one MAPE iteration: what
+// the manager saw, which rules it evaluated (and why the others did not
+// fire), what it did, and which cross-manager causal chain the decision
+// belongs to. Records with the same non-zero Cause form one chain — a
+// child's raiseViol and the parent's incRate reaction, or a two-phase
+// intent→prepared→committed interaction across concerns.
+type DecisionRecord struct {
+	Seq      uint64            `json:"seq"`
+	T        time.Time         `json:"t"`
+	Manager  string            `json:"manager"`
+	Concern  string            `json:"concern,omitempty"`
+	State    string            `json:"state,omitempty"`
+	Cause    uint64            `json:"cause,omitempty"`
+	Snapshot contract.Snapshot `json:"snapshot"`
+	Verdict  string            `json:"verdict,omitempty"`
+	Rules    []RuleEval        `json:"rules,omitempty"`
+	Actions  []ActionRec       `json:"actions,omitempty"`
+	Events   []EventRec        `json:"events,omitempty"`
+	Phases   PhaseNanos        `json:"phases"`
+	// WakeNs is the wake-to-decision latency when the iteration was
+	// triggered by a skeleton edge rather than the periodic tick.
+	WakeNs int64 `json:"wake_ns,omitempty"`
+}
+
+// Tracer accumulates decision records in a bounded ring. Overflow evicts
+// the oldest record and bumps the drop counter: a long-running server
+// keeps the most recent window and the count of what it lost. All methods
+// are safe for concurrent use.
+type Tracer struct {
+	seq   atomic.Uint64
+	cause atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []DecisionRecord
+	head    int
+	cap     int
+	dropped uint64
+	last    map[string]DecisionRecord
+}
+
+// DefaultTraceDepth is the ring capacity used when NewTracer is given a
+// non-positive one.
+const DefaultTraceDepth = 1024
+
+// NewTracer builds a tracer keeping the last capacity records
+// (DefaultTraceDepth when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceDepth
+	}
+	return &Tracer{cap: capacity, last: map[string]DecisionRecord{}}
+}
+
+// NextCause allocates a fresh causality id. The allocating manager stamps
+// it on the violation (or two-phase intent) it emits; every reaction
+// records the same id, chaining the decisions.
+func (t *Tracer) NextCause() uint64 { return t.cause.Add(1) }
+
+// Record stamps rec with the next sequence number and appends it,
+// evicting the oldest record when the ring is full. It returns the
+// assigned sequence number.
+func (t *Tracer) Record(rec DecisionRecord) uint64 {
+	rec.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	t.last[rec.Manager] = rec
+	if len(t.ring) == t.cap {
+		t.ring[t.head] = rec
+		t.head = (t.head + 1) % t.cap
+		t.dropped++
+	} else {
+		t.ring = append(t.ring, rec)
+	}
+	t.mu.Unlock()
+	return rec.Seq
+}
+
+// Len returns how many records the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total returns how many records were ever recorded.
+func (t *Tracer) Total() uint64 { return t.seq.Load() }
+
+// Dropped returns how many records the ring evicted.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Last returns the newest n records in chronological order (all of them
+// when n <= 0 or n exceeds the ring size).
+func (t *Tracer) Last(n int) []DecisionRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]DecisionRecord, 0, n)
+	for i := size - n; i < size; i++ {
+		out = append(out, t.ring[(t.head+i)%size])
+	}
+	return out
+}
+
+// ByCause returns, in chronological order, the retained records sharing
+// the given causality id.
+func (t *Tracer) ByCause(cause uint64) []DecisionRecord {
+	if cause == 0 {
+		return nil
+	}
+	var out []DecisionRecord
+	for _, rec := range t.Last(0) {
+		if rec.Cause == cause {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// LastByManager returns the most recent record of every manager that ever
+// recorded one (kept even after ring eviction).
+func (t *Tracer) LastByManager() map[string]DecisionRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]DecisionRecord, len(t.last))
+	for k, v := range t.last {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteJSONL exports the retained records, oldest first, one JSON object
+// per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Last(0) {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

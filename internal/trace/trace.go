@@ -39,10 +39,10 @@ const (
 	Prepared    Kind = "prepared" // two-phase protocol: co-manager prepared
 	Committed   Kind = "committed"
 	Aborted     Kind = "aborted"
-	Secured     Kind = "secured"    // binding switched to the secure codec
-	WorkerFail  Kind = "workerFail" // a worker crash was detected
-	Recovered   Kind = "recovered"  // stranded tasks redistributed after a crash
-	Migrated    Kind = "migrated"   // worker moved to a faster/less loaded node
+	Secured     Kind = "secured"     // binding switched to the secure codec
+	WorkerFail  Kind = "workerFail"  // a worker crash was detected
+	Recovered   Kind = "recovered"   // stranded tasks redistributed after a crash
+	Migrated    Kind = "migrated"    // worker moved to a faster/less loaded node
 	ErrsDropped Kind = "errsDropped" // runtime errors lost to a full error buffer
 )
 
@@ -55,37 +55,124 @@ type Event struct {
 }
 
 // String renders the event as "mm:ss source kind detail".
-func (e Event) String() string {
-	s := fmt.Sprintf("%s %-6s %-12s", fmtClock(e.T), e.Source, e.Kind)
+func (e Event) String() string { return e.stringClock(false) }
+
+// stringClock renders the event with either the short (mm:ss) or the long
+// (h:mm:ss) clock; Timeline picks the long one for runs spanning an hour
+// boundary.
+func (e Event) stringClock(long bool) string {
+	clock := fmtClock(e.T)
+	if long {
+		clock = fmtClockLong(e.T)
+	}
+	s := fmt.Sprintf("%s %-6s %-12s", clock, e.Source, e.Kind)
 	if e.Detail != "" {
 		s += " " + e.Detail
 	}
 	return strings.TrimRight(s, " ")
 }
 
-// Log is an append-only, concurrency-safe event log shared by a hierarchy
-// of managers.
-type Log struct {
-	mu     sync.Mutex
-	events []Event
-	subs   []chan Event
+// EventCountKey identifies one (source, kind) pair in KindCounts.
+type EventCountKey struct {
+	Source string
+	Kind   Kind
 }
 
-// NewLog returns an empty log.
+// Log is a concurrency-safe event log shared by a hierarchy of managers.
+// It is unbounded by default; SetLimit turns it into a ring that evicts
+// the oldest events, so long-running servers hold a window rather than
+// the whole history. Cumulative per-(source, kind) counts survive
+// eviction (they back the /metrics event counters).
+type Log struct {
+	mu      sync.Mutex
+	events  []Event
+	head    int // ring start when len(events) == limit
+	limit   int // 0 = unbounded
+	evicted uint64
+	counts  map[EventCountKey]uint64
+	subs    []chan Event
+}
+
+// NewLog returns an empty, unbounded log.
 func NewLog() *Log { return &Log{} }
 
-// Add appends an event.
+// NewBoundedLog returns a log keeping only the newest max events.
+func NewBoundedLog(max int) *Log {
+	l := NewLog()
+	l.SetLimit(max)
+	return l
+}
+
+// Add appends an event, evicting the oldest one when the log is bounded
+// and full.
 func (l *Log) Add(e Event) {
 	l.mu.Lock()
-	l.events = append(l.events, e)
-	subs := l.subs
-	l.mu.Unlock()
-	for _, ch := range subs {
+	if l.counts == nil {
+		l.counts = map[EventCountKey]uint64{}
+	}
+	l.counts[EventCountKey{Source: e.Source, Kind: e.Kind}]++
+	if l.limit > 0 && len(l.events) == l.limit {
+		l.events[l.head] = e
+		l.head = (l.head + 1) % l.limit
+		l.evicted++
+	} else {
+		l.events = append(l.events, e)
+	}
+	// Delivery stays under the mutex so Unsubscribe can never race a send
+	// on a closed channel; sends are non-blocking either way.
+	for _, ch := range l.subs {
 		select {
 		case ch <- e:
 		default: // slow subscribers drop events rather than stall managers
 		}
 	}
+	l.mu.Unlock()
+}
+
+// SetLimit bounds the log to the newest max events (0 removes the bound).
+// Events beyond the new bound are evicted immediately.
+func (l *Log) SetLimit(max int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ordered := l.orderedLocked()
+	if max > 0 && len(ordered) > max {
+		l.evicted += uint64(len(ordered) - max)
+		ordered = append([]Event(nil), ordered[len(ordered)-max:]...)
+	}
+	l.events = ordered
+	l.head = 0
+	l.limit = max
+}
+
+// Evicted returns how many events the bound has dropped so far.
+func (l *Log) Evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// KindCounts returns the cumulative event counts per (source, kind),
+// including events already evicted from a bounded log.
+func (l *Log) KindCounts() map[EventCountKey]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[EventCountKey]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// orderedLocked linearizes the (possibly wrapped) ring. Caller holds mu.
+func (l *Log) orderedLocked() []Event {
+	out := make([]Event, len(l.events))
+	if l.head > 0 {
+		n := copy(out, l.events[l.head:])
+		copy(out[n:], l.events[:l.head])
+	} else {
+		copy(out, l.events)
+	}
+	return out
 }
 
 // Record is a convenience wrapper building the Event in place.
@@ -93,13 +180,11 @@ func (l *Log) Record(t time.Time, source string, kind Kind, detail string) {
 	l.Add(Event{T: t, Source: source, Kind: kind, Detail: detail})
 }
 
-// Events returns a copy of all recorded events in append order.
+// Events returns a copy of all retained events in append order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
-	return out
+	return l.orderedLocked()
 }
 
 // Len returns the number of recorded events.
@@ -111,6 +196,7 @@ func (l *Log) Len() int {
 
 // Subscribe returns a channel receiving future events. Subscribers that do
 // not keep up lose events (the managers must never block on tracing).
+// Release the channel with Unsubscribe when done.
 func (l *Log) Subscribe(buf int) <-chan Event {
 	if buf <= 0 {
 		buf = 64
@@ -120,6 +206,21 @@ func (l *Log) Subscribe(buf int) <-chan Event {
 	l.subs = append(l.subs, ch)
 	l.mu.Unlock()
 	return ch
+}
+
+// Unsubscribe removes a channel returned by Subscribe and closes it, so
+// ranging consumers terminate and the log does not accumulate dead
+// subscribers. Unknown channels are ignored.
+func (l *Log) Unsubscribe(ch <-chan Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, s := range l.subs {
+		if (<-chan Event)(s) == ch {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			close(s)
+			return
+		}
+	}
 }
 
 // BySource returns the events emitted by the named source, in order.
@@ -188,13 +289,27 @@ func fmtClock(t time.Time) string {
 	return fmt.Sprintf("%02d:%02d", t.Minute(), t.Second())
 }
 
-// Timeline renders the log as one line per event, ordered by time.
+// fmtClockLong renders t as h:mm:ss, used when a span crosses an hour
+// boundary (where mm:ss would appear to run backwards).
+func fmtClockLong(t time.Time) string {
+	h, m, s := t.Clock()
+	return fmt.Sprintf("%d:%02d:%02d", h, m, s)
+}
+
+// spansHour reports whether [min, max] crosses an hour boundary.
+func spansHour(min, max time.Time) bool {
+	return !min.Truncate(time.Hour).Equal(max.Truncate(time.Hour))
+}
+
+// Timeline renders the log as one line per event, ordered by time. Runs
+// crossing an hour boundary use the h:mm:ss clock throughout.
 func (l *Log) Timeline() string {
 	evs := l.Events()
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T.Before(evs[j].T) })
+	long := len(evs) > 1 && spansHour(evs[0].T, evs[len(evs)-1].T)
 	var b strings.Builder
 	for _, e := range evs {
-		b.WriteString(e.String())
+		b.WriteString(e.stringClock(long))
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -291,14 +406,17 @@ func RenderSeries(opts PlotOptions, series ...*metrics.Series) string {
 		h = 12
 	}
 	var (
-		tMin, tMax time.Time
-		yMin, yMax = opts.YMin, opts.YMax
-		havePoint  bool
+		tMin, tMax       time.Time
+		yMin, yMax       = opts.YMin, opts.YMax
+		dataMin, dataMax float64
+		havePoint        bool
 	)
 	for _, s := range series {
 		for _, p := range s.Points() {
 			if !havePoint {
-				tMin, tMax, havePoint = p.T, p.T, true
+				tMin, tMax = p.T, p.T
+				dataMin, dataMax = p.V, p.V
+				havePoint = true
 			}
 			if p.T.Before(tMin) {
 				tMin = p.T
@@ -306,13 +424,11 @@ func RenderSeries(opts PlotOptions, series ...*metrics.Series) string {
 			if p.T.After(tMax) {
 				tMax = p.T
 			}
-			if opts.YMin == opts.YMax {
-				if p.V < yMin || !havePoint {
-					yMin = p.V
-				}
-				if p.V > yMax {
-					yMax = p.V
-				}
+			if p.V < dataMin {
+				dataMin = p.V
+			}
+			if p.V > dataMax {
+				dataMax = p.V
 			}
 		}
 	}
@@ -320,6 +436,9 @@ func RenderSeries(opts PlotOptions, series ...*metrics.Series) string {
 		return "(no samples)\n"
 	}
 	if opts.YMin == opts.YMax {
+		// Auto-scale to the true data range (an all-positive series must
+		// not be stretched down to a floor of 0).
+		yMin, yMax = dataMin, dataMax
 		for _, band := range opts.Bands {
 			if band < yMin {
 				yMin = band
@@ -372,7 +491,11 @@ func RenderSeries(opts PlotOptions, series ...*metrics.Series) string {
 		fmt.Fprintf(&b, "%8.2f |%s|\n", v, line)
 	}
 	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", w))
-	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", w-5, fmtClock(tMin), fmtClock(tMax))
+	loClock, hiClock := fmtClock(tMin), fmtClock(tMax)
+	if spansHour(tMin, tMax) {
+		loClock, hiClock = fmtClockLong(tMin), fmtClockLong(tMax)
+	}
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", w-5, loClock, hiClock)
 	for si, s := range series {
 		fmt.Fprintf(&b, "%8s  %c = %s\n", "", glyphs[si%len(glyphs)], s.Name())
 	}
