@@ -12,6 +12,7 @@ package abc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/contract"
@@ -50,6 +51,20 @@ type FarmABC struct {
 	// Execute call (recruitment, handshake, rebalance — the full mechanism
 	// latency a manager decision pays).
 	actuator *metrics.Histogram
+	// execFault, when non-nil, may veto an Execute call with an error —
+	// the chaos plane's injection point for failing or slow actuators.
+	// Execute is the control path, but the hook is nil-gated anyway.
+	execFault atomic.Pointer[func(op string) error]
+}
+
+// SetExecuteFault installs (or, with nil, removes) a hook consulted at the
+// top of every Execute call; a non-nil error from the hook fails the call.
+func (a *FarmABC) SetExecuteFault(fn func(op string) error) {
+	if fn == nil {
+		a.execFault.Store(nil)
+		return
+	}
+	a.execFault.Store(&fn)
 }
 
 // NewFarmABC wraps a farm. auditor may be nil when no security concern is
@@ -62,6 +77,12 @@ func NewFarmABC(farm *skel.Farm, auditor *security.Auditor) *FarmABC {
 // becomes dispatchable (the two-phase protocol entry point; see
 // internal/manager.GeneralManager).
 func (a *FarmABC) SetPrepare(p skel.PrepareFunc) { a.prepare = p }
+
+// Prepare returns the installed preparation hook (nil when uncoordinated),
+// letting out-of-band recruitment paths — the fault-tolerance manager's
+// recovery and replacement — honor the same two-phase protocol as
+// ADD_EXECUTOR.
+func (a *FarmABC) Prepare() skel.PrepareFunc { return a.prepare }
 
 // Farm returns the underlying skeleton.
 func (a *FarmABC) Farm() *skel.Farm { return a.farm }
@@ -117,6 +138,11 @@ func (a *FarmABC) Execute(op string) (string, error) {
 	if a.actuator != nil {
 		start := time.Now()
 		defer func() { a.actuator.ObserveDuration(time.Since(start)) }()
+	}
+	if fp := a.execFault.Load(); fp != nil {
+		if err := (*fp)(op); err != nil {
+			return "", err
+		}
 	}
 	switch op {
 	case rules.OpAddExecutor:

@@ -1,0 +1,125 @@
+package abc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/rules"
+	"repro/internal/runtime"
+)
+
+// scriptedController fails Execute a configurable number of times, then
+// succeeds; it can also block to exercise the deadline. calls is atomic
+// because a timed-out Execute keeps running on the guard's abandoned
+// goroutine while the test reads the count.
+type scriptedController struct {
+	failures int64
+	err      error
+	block    time.Duration
+	calls    atomic.Int64
+}
+
+func (s *scriptedController) Beans() []rules.Bean         { return nil }
+func (s *scriptedController) Snapshot() contract.Snapshot { return contract.Snapshot{} }
+func (s *scriptedController) Execute(op string) (string, error) {
+	n := s.calls.Add(1)
+	if s.block > 0 {
+		time.Sleep(s.block)
+	}
+	if n <= s.failures {
+		return "", s.err
+	}
+	return "ok:" + op, nil
+}
+
+func fastBackoff() runtime.Backoff {
+	return runtime.Backoff{Base: time.Microsecond, Max: time.Millisecond,
+		Jitter: -1, Attempts: 3}
+}
+
+func TestGuardRetriesTransientFailures(t *testing.T) {
+	inner := &scriptedController{failures: 2, err: errors.New("transient wobble")}
+	g := NewGuard(inner, GuardConfig{Backoff: fastBackoff()})
+	detail, err := g.Execute("OP")
+	if err != nil {
+		t.Fatalf("Execute = %v, want success after retries", err)
+	}
+	if detail != "ok:OP" {
+		t.Fatalf("detail = %q", detail)
+	}
+	if inner.calls.Load() != 3 {
+		t.Fatalf("inner called %d times, want 3", inner.calls.Load())
+	}
+	if g.Retries() != 2 {
+		t.Fatalf("Retries = %d, want 2", g.Retries())
+	}
+	if g.Failures() != 0 {
+		t.Fatalf("Failures = %d after a success", g.Failures())
+	}
+}
+
+func TestGuardCountsFinalFailure(t *testing.T) {
+	inner := &scriptedController{failures: 99, err: errors.New("still down")}
+	g := NewGuard(inner, GuardConfig{Backoff: fastBackoff()})
+	if _, err := g.Execute("OP"); err == nil {
+		t.Fatal("Execute succeeded against a permanently failing inner")
+	}
+	if inner.calls.Load() != 3 {
+		t.Fatalf("inner called %d times, want the full retry budget of 3", inner.calls.Load())
+	}
+	if g.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", g.Failures())
+	}
+}
+
+func TestGuardPermanentErrorFailsFast(t *testing.T) {
+	inner := &scriptedController{failures: 99, err: ErrUnsupported}
+	g := NewGuard(inner, GuardConfig{Backoff: fastBackoff()})
+	if _, err := g.Execute("OP"); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Execute = %v, want ErrUnsupported", err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("permanent error retried: %d calls", inner.calls.Load())
+	}
+}
+
+func TestGuardTimeoutNotRetried(t *testing.T) {
+	inner := &scriptedController{block: 200 * time.Millisecond}
+	g := NewGuard(inner, GuardConfig{
+		Timeout: 5 * time.Millisecond,
+		Backoff: fastBackoff(),
+	})
+	_, err := g.Execute("SLOW")
+	if !errors.Is(err, ErrActuatorTimeout) {
+		t.Fatalf("Execute = %v, want ErrActuatorTimeout", err)
+	}
+	// Re-issuing a possibly landed reconfiguration risks doing it twice, so
+	// a timeout consumes exactly one attempt.
+	if inner.calls.Load() != 1 {
+		t.Fatalf("timed-out op retried: %d calls", inner.calls.Load())
+	}
+	if g.Timeouts() != 1 {
+		t.Fatalf("Timeouts = %d, want 1", g.Timeouts())
+	}
+	if g.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", g.Failures())
+	}
+}
+
+func TestGuardDelegatesSensing(t *testing.T) {
+	inner := &scriptedController{}
+	g := NewGuard(inner, GuardConfig{})
+	if g.Inner() != Controller(inner) {
+		t.Fatal("Inner() does not return the wrapped controller")
+	}
+	_ = g.Beans()
+	_ = g.Snapshot()
+	if cancel := g.OnEdge(func() {}); cancel == nil {
+		t.Fatal("OnEdge returned nil cancel for a non-WakeSource inner")
+	} else {
+		cancel()
+	}
+}

@@ -1,0 +1,391 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// ErrInjectedActuator marks an actuator failure injected by the chaos
+// plane. It is transient: the abc.Guard's retry policy is allowed to absorb
+// it if the fault window closes in time.
+var ErrInjectedActuator = errors.New("chaos: injected actuator failure")
+
+// ErrInjectedRecruit marks a transient injected recruitment failure
+// (retryable, unlike an injected outage which wraps grid.ErrExhausted).
+var ErrInjectedRecruit = errors.New("chaos: injected flaky recruitment")
+
+// Targets binds an Injector to the system under test. Farm is mandatory;
+// every other target is optional and its faults are skipped when absent.
+type Targets struct {
+	Farm *skel.Farm
+	// Exec receives the actuator fault hook.
+	Exec *abc.FarmABC
+	// RM receives the recruitment fault hook.
+	RM *grid.ResourceManager
+	// Nodes are external-load spike candidates (typically the platform's).
+	Nodes []*grid.Node
+	// Network plus the LinkA–LinkB domain pair locate the link to degrade.
+	Network      *grid.Network
+	LinkA, LinkB string
+	// Env supplies the clock and time scale that turn the plan's modelled
+	// times into wall time.
+	Env skel.Env
+	// Log, when set, records every applied fault (source "CHAOS").
+	Log *trace.Log
+	// Health reports whether the system currently meets its contract; it
+	// is polled after each storm to measure recovery.
+	Health func() bool
+	// MTTR receives one observation per recovered storm: the modelled
+	// seconds from the end of the storm until Health turned true.
+	MTTR *metrics.Histogram
+	// MaxRecover bounds the post-storm recovery wait in modelled time
+	// (default 60s). A storm whose recovery exceeds it counts as
+	// unrecovered — an invariant violation in the soak harness.
+	MaxRecover time.Duration
+}
+
+// Report summarizes one Injector.Run. Applied counts can depend on runtime
+// state (a crash event finds no live worker and is skipped), so replay
+// assertions should compare Plan.ByKind plus the invariant verdicts, not
+// Applied.
+type Report struct {
+	Applied     map[Kind]int
+	Skipped     map[Kind]int
+	Storms      int
+	Recovered   int // storms whose Health returned within MaxRecover
+	Unrecovered int
+}
+
+// Injector executes fault plans against its targets. The windowed faults
+// (actuator, recruitment) work through nil-gated hooks installed at
+// construction and removed by Close; crash/load/link faults act directly
+// on the target objects, restoring state when their window expires.
+type Injector struct {
+	t     Targets
+	clock simclock.Clock
+
+	// fault windows as clock unix-nanos, read by the hooks.
+	actFailUntil       atomic.Int64
+	actSlowUntil       atomic.Int64
+	actDelay           atomic.Int64 // modelled ns
+	recruitFlakyUntil  atomic.Int64
+	recruitOutageUntil atomic.Int64
+
+	// one-shot worker faults, consumed by the farm's per-task hook.
+	pendingPanics atomic.Int32
+	pendingStalls atomic.Int32
+	stallDur      atomic.Int64 // modelled ns
+
+	injectedActs     atomic.Uint64
+	injectedRecruits atomic.Uint64
+
+	wg     sync.WaitGroup // window-restore goroutines
+	closed chan struct{}
+}
+
+// NewInjector installs the chaos hooks on the targets and returns the
+// injector. Call Close to uninstall them and wait for restores.
+func NewInjector(t Targets) *Injector {
+	if t.MaxRecover <= 0 {
+		t.MaxRecover = 60 * time.Second
+	}
+	in := &Injector{t: t, clock: t.Env.Clock, closed: make(chan struct{})}
+	if in.clock == nil {
+		in.clock = simclock.NewReal()
+	}
+	if t.Farm != nil {
+		t.Farm.SetWorkerFault(in.workerFault)
+	}
+	if t.Exec != nil {
+		t.Exec.SetExecuteFault(in.execFault)
+	}
+	if t.RM != nil {
+		t.RM.SetRecruitFault(in.recruitFault)
+	}
+	return in
+}
+
+// Close removes the hooks and waits for outstanding window restores.
+func (in *Injector) Close() {
+	select {
+	case <-in.closed:
+	default:
+		close(in.closed)
+	}
+	if in.t.Farm != nil {
+		in.t.Farm.SetWorkerFault(nil)
+	}
+	if in.t.Exec != nil {
+		in.t.Exec.SetExecuteFault(nil)
+	}
+	if in.t.RM != nil {
+		in.t.RM.SetRecruitFault(nil)
+	}
+	in.wg.Wait()
+}
+
+// InjectedActuatorFailures returns how many Execute calls the plane vetoed.
+func (in *Injector) InjectedActuatorFailures() uint64 { return in.injectedActs.Load() }
+
+// InjectedRecruitFailures returns how many recruitments the plane vetoed.
+func (in *Injector) InjectedRecruitFailures() uint64 { return in.injectedRecruits.Load() }
+
+// real converts a modelled duration to wall time under the env time scale.
+func (in *Injector) real(d time.Duration) time.Duration {
+	scale := in.t.Env.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	out := time.Duration(float64(d) / scale)
+	if out <= 0 {
+		out = time.Nanosecond
+	}
+	return out
+}
+
+// takeOne atomically consumes one pending one-shot fault.
+func takeOne(c *atomic.Int32) bool {
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// workerFault is the farm's per-task hook.
+func (in *Injector) workerFault(string, *skel.Task) skel.WorkerFault {
+	if takeOne(&in.pendingPanics) {
+		return skel.WorkerFault{Panic: true}
+	}
+	if takeOne(&in.pendingStalls) {
+		return skel.WorkerFault{Stall: time.Duration(in.stallDur.Load())}
+	}
+	return skel.WorkerFault{}
+}
+
+// execFault is the ABC's Execute hook.
+func (in *Injector) execFault(op string) error {
+	now := in.clock.Now().UnixNano()
+	if now < in.actFailUntil.Load() {
+		in.injectedActs.Add(1)
+		return fmt.Errorf("%w: %s", ErrInjectedActuator, op)
+	}
+	if now < in.actSlowUntil.Load() {
+		in.t.Env.SleepScaled(time.Duration(in.actDelay.Load()))
+	}
+	return nil
+}
+
+// recruitFault is the resource manager's Recruit hook.
+func (in *Injector) recruitFault(grid.Request) error {
+	now := in.clock.Now().UnixNano()
+	if now < in.recruitOutageUntil.Load() {
+		in.injectedRecruits.Add(1)
+		return fmt.Errorf("chaos: injected recruitment outage: %w", grid.ErrExhausted)
+	}
+	if now < in.recruitFlakyUntil.Load() {
+		in.injectedRecruits.Add(1)
+		return ErrInjectedRecruit
+	}
+	return nil
+}
+
+// openWindow extends the given fault window to now + modelled d.
+func (in *Injector) openWindow(w *atomic.Int64, d time.Duration) {
+	until := in.clock.Now().Add(in.real(d)).UnixNano()
+	for {
+		cur := w.Load()
+		if cur >= until || w.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// after runs fn once the modelled window d has elapsed (or immediately on
+// Close), always executing fn so injected state is restored.
+func (in *Injector) after(d time.Duration, fn func()) {
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		select {
+		case <-in.closed:
+		case <-in.clock.After(in.real(d)):
+		}
+		fn()
+	}()
+}
+
+// pickWorker returns the first live worker by ID order (deterministic
+// given the farm state), or "" when none is live.
+func (in *Injector) pickWorker() (string, *grid.Node) {
+	ws := in.t.Farm.Workers()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+	for _, w := range ws {
+		if !w.Failed {
+			return w.ID, w.Node
+		}
+	}
+	return "", nil
+}
+
+func (in *Injector) record(ev Event, detail string) {
+	if in.t.Log == nil {
+		return
+	}
+	in.t.Log.Record(in.clock.Now(), "CHAOS", trace.Kind(string(ev.Kind)), detail)
+}
+
+// apply executes one fault event. It returns false when the event had no
+// viable target and was skipped.
+func (in *Injector) apply(ev Event) bool {
+	switch ev.Kind {
+	case WorkerCrash:
+		id, node := in.pickWorker()
+		if id == "" {
+			return false
+		}
+		if err := in.t.Farm.KillWorker(id); err != nil {
+			return false
+		}
+		in.record(ev, fmt.Sprintf("%s on %s", id, node.ID))
+	case WorkerPanic:
+		in.pendingPanics.Add(1)
+		in.record(ev, "next task panics")
+	case WorkerStall:
+		in.stallDur.Store(int64(time.Duration(ev.Param * float64(time.Second))))
+		in.pendingStalls.Add(1)
+		in.record(ev, fmt.Sprintf("next task stalls %.1fs", ev.Param))
+	case ExtLoad:
+		_, node := in.pickWorker()
+		if node == nil {
+			if len(in.t.Nodes) == 0 {
+				return false
+			}
+			node = in.t.Nodes[0]
+		}
+		n := node
+		n.SetExternalLoad(ev.Param)
+		in.after(ev.Dur, func() { n.SetExternalLoad(0) })
+		in.record(ev, fmt.Sprintf("%s load=%.2f for %v", n.ID, ev.Param, ev.Dur))
+	case LinkDegrade:
+		if in.t.Network == nil || in.t.LinkA == "" || in.t.LinkB == "" {
+			return false
+		}
+		nw, a, b := in.t.Network, in.t.LinkA, in.t.LinkB
+		orig := nw.LinkBetween(a, b)
+		nw.SetLink(a, b, grid.Link{
+			Latency: orig.Latency + time.Duration(ev.Param)*time.Millisecond,
+			Private: orig.Private,
+		})
+		in.after(ev.Dur, func() { nw.SetLink(a, b, orig) })
+		in.record(ev, fmt.Sprintf("%s<->%s +%.0fms for %v", a, b, ev.Param, ev.Dur))
+	case RecruitFlaky:
+		if in.t.RM == nil {
+			return false
+		}
+		in.openWindow(&in.recruitFlakyUntil, ev.Dur)
+		in.record(ev, fmt.Sprintf("for %v", ev.Dur))
+	case RecruitOutage:
+		if in.t.RM == nil {
+			return false
+		}
+		in.openWindow(&in.recruitOutageUntil, ev.Dur)
+		in.record(ev, fmt.Sprintf("for %v", ev.Dur))
+	case ActuatorFail:
+		if in.t.Exec == nil {
+			return false
+		}
+		in.openWindow(&in.actFailUntil, ev.Dur)
+		in.record(ev, fmt.Sprintf("for %v", ev.Dur))
+	case ActuatorSlow:
+		if in.t.Exec == nil {
+			return false
+		}
+		in.actDelay.Store(int64(time.Duration(ev.Param * float64(time.Millisecond))))
+		in.openWindow(&in.actSlowUntil, ev.Dur)
+		in.record(ev, fmt.Sprintf("+%.0fms for %v", ev.Param, ev.Dur))
+	default:
+		return false
+	}
+	return true
+}
+
+// Run drives the plan to completion: each storm's events fire at their
+// modelled offsets, then — when a Health probe is configured — recovery is
+// polled and the storm's MTTR observed. Run blocks until the plan is done
+// or ctx is canceled, then waits for all fault windows to restore.
+func (in *Injector) Run(ctx context.Context, p Plan) Report {
+	rep := Report{Applied: map[Kind]int{}, Skipped: map[Kind]int{}}
+	elapsed := time.Duration(0) // modelled time since run start
+	defer in.wg.Wait()
+	for _, storm := range p.Storms {
+		for _, ev := range storm.Events {
+			if ev.At > elapsed {
+				if !in.sleep(ctx, ev.At-elapsed) {
+					return rep
+				}
+				elapsed = ev.At
+			}
+			if in.apply(ev) {
+				rep.Applied[ev.Kind]++
+			} else {
+				rep.Skipped[ev.Kind]++
+			}
+		}
+		rep.Storms++
+		if in.t.Health == nil {
+			continue
+		}
+		// The storm has fully landed; measure how long the management
+		// plane needs to re-establish the contract.
+		recovered := false
+		var waited time.Duration
+		const probe = 250 * time.Millisecond // modelled
+		for waited < in.t.MaxRecover {
+			if in.t.Health() {
+				recovered = true
+				break
+			}
+			if !in.sleep(ctx, probe) {
+				return rep
+			}
+			waited += probe
+			elapsed += probe
+		}
+		if recovered {
+			rep.Recovered++
+			if in.t.MTTR != nil {
+				in.t.MTTR.Observe(waited.Seconds())
+			}
+		} else {
+			rep.Unrecovered++
+		}
+	}
+	return rep
+}
+
+// sleep waits a modelled duration, reporting false on cancelation.
+func (in *Injector) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-in.clock.After(in.real(d)):
+		return true
+	}
+}

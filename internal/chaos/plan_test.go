@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := StormConfig{Storms: 3}
+	p1 := NewPlan(42, cfg)
+	p2 := NewPlan(42, cfg)
+	s1 := strings.Join(p1.Schedule(), "\n")
+	s2 := strings.Join(p2.Schedule(), "\n")
+	if s1 != s2 {
+		t.Fatalf("same-seed schedules differ:\n%s\n---\n%s", s1, s2)
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Fatalf("same-seed fingerprints differ: %s vs %s",
+			p1.Fingerprint(), p2.Fingerprint())
+	}
+	p3 := NewPlan(43, cfg)
+	if p3.Fingerprint() == p1.Fingerprint() {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+}
+
+func TestPlanCoversTaxonomy(t *testing.T) {
+	p := NewPlan(7, StormConfig{Storms: 1})
+	for _, k := range Kinds() {
+		if !p.Contains(k) {
+			t.Errorf("default-size storm misses kind %s", k)
+		}
+	}
+	if got, want := p.Events(), len(Kinds()); got != want {
+		t.Errorf("Events() = %d, want %d", got, want)
+	}
+	total := 0
+	for _, n := range p.ByKind() {
+		total += n
+	}
+	if total != p.Events() {
+		t.Errorf("ByKind sums to %d, Events() = %d", total, p.Events())
+	}
+}
+
+func TestPlanEventsOrderedAndWindowed(t *testing.T) {
+	cfg := StormConfig{Storms: 2, EventsPerStorm: 20,
+		Warmup: 5 * time.Second, Span: 8 * time.Second, Quiet: 12 * time.Second}
+	p := NewPlan(99, cfg)
+	if len(p.Storms) != 2 {
+		t.Fatalf("storms = %d", len(p.Storms))
+	}
+	base := cfg.Warmup
+	for si, storm := range p.Storms {
+		if len(storm.Events) != 20 {
+			t.Fatalf("storm %d has %d events", si, len(storm.Events))
+		}
+		prev := time.Duration(-1)
+		for _, ev := range storm.Events {
+			if ev.At < prev {
+				t.Fatalf("storm %d events out of order: %v after %v", si, ev.At, prev)
+			}
+			prev = ev.At
+			if ev.At < base || ev.At >= base+cfg.Span {
+				t.Fatalf("storm %d event at %v outside window [%v, %v)",
+					si, ev.At, base, base+cfg.Span)
+			}
+		}
+		base += cfg.Span + cfg.Quiet
+	}
+}

@@ -66,6 +66,7 @@ type App struct {
 	Source      *skel.Source
 	Sink        *skel.Sink
 	FarmABC     *abc.FarmABC // the principal farm, when the app has one
+	Guard       *abc.Guard   // hardened actuator path wrapping FarmABC
 	Auditor     *security.Auditor
 
 	Security  *manager.SecurityManager

@@ -10,6 +10,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/metrics"
 	"repro/internal/planner"
+	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/skel"
 	"repro/internal/trace"
@@ -49,6 +50,14 @@ type FarmAppConfig struct {
 
 	// Fn is the worker function (nil = identity).
 	Fn skel.Fn
+	// SinkFn runs in the sink on every collected task (nil = none); the
+	// chaos soak uses it for exactly-once accounting.
+	SinkFn skel.Fn
+	// ChargeLinkLatency makes the farm charge each task the latency of
+	// the link between the platform's first domain (where dispatcher and
+	// collector live) and the worker's domain, so inter-domain link
+	// degradation becomes observable to the managers. Default off.
+	ChargeLinkLatency bool
 
 	InitialWorkers int
 	// AutoDegree derives InitialWorkers from the task-farm performance
@@ -89,6 +98,20 @@ type FarmAppConfig struct {
 	// Period/2).
 	WithFaultTolerance bool
 	FaultPeriod        time.Duration
+	// FaultSuspectAfter arms the progress-based stall detector (modelled;
+	// 0 leaves it off); FaultSuspectGrace shields freshly added workers
+	// (modelled; default 2×FaultSuspectAfter).
+	FaultSuspectAfter time.Duration
+	FaultSuspectGrace time.Duration
+	// FaultQuarantineAfter and FaultQuarantineCooldown (modelled) tune the
+	// node circuit breaker (defaults: 3 crashes, 10 fault periods).
+	FaultQuarantineAfter    int
+	FaultQuarantineCooldown time.Duration
+
+	// ActuatorTimeout is the per-operation deadline of the hardened
+	// actuator path (modelled; default 30s). The guard also retries
+	// transient actuator failures with bounded jittered backoff.
+	ActuatorTimeout time.Duration
 
 	// WithMigration attaches a migration manager that moves workers off
 	// nodes whose external load exceeds MigrationMaxLoad (default 0.5).
@@ -196,7 +219,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Dispatch: metrics.NewLatencyHistogram(),
 		Seal:     metrics.NewLatencyHistogram(),
 	}
-	farm, err := skel.NewFarm(skel.FarmConfig{
+	farmCfg := skel.FarmConfig{
 		Name:           cfg.Name + ".farm",
 		Env:            env,
 		Fn:             cfg.Fn,
@@ -205,14 +228,28 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Policy:         pol,
 		Auditor:        auditor,
 		Instruments:    farmIns,
-	})
+	}
+	if cfg.ChargeLinkLatency && len(cfg.Platform.Domains) > 0 {
+		farmCfg.Network = cfg.Platform.Network
+		farmCfg.HomeDomain = cfg.Platform.Domains[0].Name
+	}
+	farm, err := skel.NewFarm(farmCfg)
 	if err != nil {
 		return nil, err
 	}
-	sink := skel.NewSink(cfg.Name+".sink", env, nil)
+	sink := skel.NewSink(cfg.Name+".sink", env, cfg.SinkFn)
 
 	farmABC := abc.NewFarmABC(farm, auditor)
-	amF, err := manager.NewFarmManager("AM_F", farmABC, cfg.Log, clock,
+	actTimeout := cfg.ActuatorTimeout
+	if actTimeout <= 0 {
+		actTimeout = 30 * time.Second
+	}
+	guard := abc.NewGuard(farmABC, abc.GuardConfig{
+		Clock:   clock,
+		Timeout: scaled(env, actTimeout),
+		Backoff: runtime.Backoff{Clock: clock},
+	})
+	amF, err := manager.NewFarmManager("AM_F", guard, cfg.Log, clock,
 		scaled(env, cfg.Period), cfg.Limits)
 	if err != nil {
 		return nil, err
@@ -233,6 +270,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Source:       source,
 		Sink:         sink,
 		FarmABC:      farmABC,
+		Guard:        guard,
 		Auditor:      auditor,
 		SamplePeriod: scaled(env, cfg.SamplePeriod),
 		Grace:        scaled(env, 2*cfg.Period),
@@ -276,11 +314,26 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		if fp <= 0 {
 			fp = cfg.Period / 2
 		}
-		ft, err := manager.NewFaultManager(manager.FaultConfig{
-			Clock:  clock,
-			Log:    cfg.Log,
-			Period: scaled(env, fp),
-		})
+		cfg.Platform.RM.SetClock(clock)
+		fc := manager.FaultConfig{
+			Clock:           clock,
+			Log:             cfg.Log,
+			Period:          scaled(env, fp),
+			RM:              cfg.Platform.RM,
+			QuarantineAfter: cfg.FaultQuarantineAfter,
+			Retry:           runtime.Backoff{Clock: clock},
+		}
+		// scaled() floors at 1ms, so modelled knobs translate only when set.
+		if cfg.FaultSuspectAfter > 0 {
+			fc.SuspectAfter = scaled(env, cfg.FaultSuspectAfter)
+		}
+		if cfg.FaultSuspectGrace > 0 {
+			fc.SuspectGrace = scaled(env, cfg.FaultSuspectGrace)
+		}
+		if cfg.FaultQuarantineCooldown > 0 {
+			fc.QuarantineCooldown = scaled(env, cfg.FaultQuarantineCooldown)
+		}
+		ft, err := manager.NewFaultManager(fc)
 		if err != nil {
 			return nil, err
 		}

@@ -83,6 +83,11 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 		reg.AddHistogram("repro_mape_wake_to_decision_seconds",
 			"Latency from a skeleton edge to the decision it triggered.",
 			telemetry.Labels{"manager": m.Name()}, ins.Wake)
+		mm := m
+		reg.AddCounter("repro_actuator_failures_total",
+			"Actuator operations that failed after the hardened path gave up.",
+			telemetry.Labels{"manager": m.Name()},
+			func() float64 { return float64(mm.ActuatorFailures()) })
 	})
 	if a.GM != nil {
 		a.GM.SetTracer(tracer)
@@ -119,6 +124,33 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 			func() float64 { return sink.Rate() })
 		reg.AddCounter("repro_sink_consumed_total", "Tasks consumed by the sink.", nil,
 			func() float64 { return float64(sink.Consumed()) })
+	}
+	if a.Guard != nil {
+		g := a.Guard
+		reg.AddCounter("repro_actuator_retries_total",
+			"Actuator operations retried by the hardened path.", nil,
+			func() float64 { return float64(g.Retries()) })
+		reg.AddCounter("repro_actuator_timeouts_total",
+			"Actuator operations that exceeded the per-op deadline.", nil,
+			func() float64 { return float64(g.Timeouts()) })
+	}
+	if a.Fault != nil {
+		ft := a.Fault
+		reg.AddCounter("repro_actuator_failures_total",
+			"Recruitment operations that failed after the retry budget.",
+			telemetry.Labels{"manager": ft.Name()},
+			func() float64 { return float64(ft.ActuatorFailures()) })
+		reg.AddCounter("repro_nodes_quarantined_total",
+			"Node circuit-breaker trips after repeated worker crashes.", nil,
+			func() float64 { return float64(ft.Quarantined()) })
+		reg.AddGauge("repro_fault_degraded",
+			"1 while recruitment is exhausted and the concern runs degraded.", nil,
+			func() float64 {
+				if ft.Degraded() {
+					return 1
+				}
+				return 0
+			})
 	}
 	if a.Platform != nil {
 		rm := a.Platform.RM

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	gort "runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/skel"
+	"repro/internal/telemetry"
+)
+
+// ChaosOptions parameterizes the chaos soak on top of the shared Options.
+type ChaosOptions struct {
+	// Seed drives the deterministic fault plan (default 1).
+	Seed int64
+	// Storms is the number of fault bursts (default 3).
+	Storms int
+	// MaxRecover bounds the post-storm recovery wait in modelled time
+	// (default 60s); exceeding it marks the storm unrecovered, an
+	// invariant violation.
+	MaxRecover time.Duration
+}
+
+func (c ChaosOptions) normalized() ChaosOptions {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Storms <= 0 {
+		c.Storms = 3
+	}
+	if c.MaxRecover <= 0 {
+		c.MaxRecover = 60 * time.Second
+	}
+	return c
+}
+
+// ChaosSummary is the deterministic digest of one soak run: it contains
+// only seed-derived values (the plan) and invariant verdicts, never
+// wall-clock measurements or runtime-dependent counts, so two runs with
+// the same seed must render it byte-identically.
+type ChaosSummary struct {
+	Seed        int64
+	Fingerprint string
+	Tasks       int
+	Storms      int
+	ByKind      map[chaos.Kind]int
+
+	Lost          int
+	Duplicates    int
+	Leaks         uint64
+	Unrecovered   int
+	GoroutineLeak bool
+	MTTRSampled   bool
+}
+
+// String renders the summary in a canonical byte-stable form.
+func (s ChaosSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d fingerprint=%s tasks=%d storms=%d\n",
+		s.Seed, s.Fingerprint, s.Tasks, s.Storms)
+	b.WriteString("plan:")
+	for _, k := range chaos.Kinds() {
+		fmt.Fprintf(&b, " %s=%d", k, s.ByKind[k])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "invariants: lost=%d dups=%d leaks=%d unrecovered=%d goroutine_leak=%v mttr_sampled=%v\n",
+		s.Lost, s.Duplicates, s.Leaks, s.Unrecovered, s.GoroutineLeak, s.MTTRSampled)
+	return b.String()
+}
+
+// Invariants returns the violated soak invariants, empty when the run was
+// clean.
+func (s ChaosSummary) Invariants() []string {
+	var v []string
+	if s.Lost != 0 {
+		v = append(v, fmt.Sprintf("%d tasks lost (want exactly-once collection)", s.Lost))
+	}
+	if s.Duplicates != 0 {
+		v = append(v, fmt.Sprintf("%d tasks collected more than once", s.Duplicates))
+	}
+	if s.Leaks != 0 {
+		v = append(v, fmt.Sprintf("%d plaintext sends to untrusted nodes", s.Leaks))
+	}
+	if s.Unrecovered != 0 {
+		v = append(v, fmt.Sprintf("%d storms without contract recovery", s.Unrecovered))
+	}
+	if s.GoroutineLeak {
+		v = append(v, "goroutines leaked across the run")
+	}
+	if !s.MTTRSampled {
+		v = append(v, "MTTR histogram is empty (no recovery was measured)")
+	}
+	return v
+}
+
+// ChaosResult is the full outcome of one soak run.
+type ChaosResult struct {
+	*core.Result
+	Plan    chaos.Plan
+	Report  chaos.Report
+	Summary ChaosSummary
+	MTTR    *metrics.Histogram
+	// ActuatorFailures is AM_F's count of actuator operations that failed
+	// after the hardened path's retries.
+	ActuatorFailures uint64
+	// InjectedActuator and InjectedRecruit count the faults the plane
+	// actually delivered through the hooks.
+	InjectedActuator uint64
+	InjectedRecruit  uint64
+	// Tracer is the run's decision tracer, for JSONL export of the MAPE
+	// decision trace (the CI artifact).
+	Tracer *telemetry.Tracer
+	// FarmErrors are the asynchronous farm errors drained after the run
+	// (dropped tasks, codec failures) — the first place to look when the
+	// exactly-once invariant is violated.
+	FarmErrors []string
+}
+
+// ChaosSoak is the robustness acceptance harness: a secured two-domain
+// farm app with fault tolerance attached runs a stream long enough to
+// outlast a seeded chaos plan covering the whole fault taxonomy. After the
+// run it checks the soak invariants — every task collected exactly once,
+// zero plaintext on untrusted links, every storm recovered within bound
+// (MTTR histogram non-empty), no goroutine leaks — and returns the
+// deterministic summary two same-seed runs must agree on byte for byte.
+func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosResult, error) {
+	copts = copts.normalized()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	env := opts.env()
+
+	plan := chaos.NewPlan(copts.Seed, chaos.StormConfig{Storms: copts.Storms})
+
+	// The stream must outlast the plan (plus recovery probes), or late
+	// storms would hit an already-drained farm: warmup 10s + 40s per storm
+	// (the default span+quiet) + 30s margin, all modelled.
+	const interval = 250 * time.Millisecond
+	planSpan := 10*time.Second + time.Duration(copts.Storms)*(40*time.Second)
+	tasks := opts.Tasks
+	if tasks <= 0 {
+		tasks = int((planSpan+30*time.Second)/interval) + 1
+	}
+
+	con := contract.Conjunction{contract.SecureComms{}, contract.MinThroughput(1.2)}
+	platform := grid.NewTwoDomainGrid(4, 12)
+
+	// Exactly-once accounting: the sink function sees every collected task.
+	var seenMu sync.Mutex
+	seen := map[uint64]int{}
+	baseline := gort.NumGoroutine()
+
+	app, err := core.NewFarmApp(core.FarmAppConfig{
+		Name:           "chaos",
+		Env:            env,
+		Platform:       platform,
+		Tasks:          tasks,
+		TaskWork:       2 * time.Second,
+		SourceInterval: interval, // 4 tasks/s offered
+		Payload:        256,
+		SinkFn: func(t *skel.Task) *skel.Task {
+			seenMu.Lock()
+			seen[t.ID]++
+			seenMu.Unlock()
+			return t
+		},
+		ChargeLinkLatency:  true,
+		InitialWorkers:     3,
+		Contract:           con,
+		Limits:             manager.FarmLimits{MaxWorkers: 14},
+		Period:             time.Second,
+		SamplePeriod:       time.Second,
+		WithSecurity:       true,
+		Coordination:       manager.TwoPhase,
+		Handshake:          200 * time.Millisecond,
+		WithFaultTolerance: true,
+		FaultPeriod:        500 * time.Millisecond,
+		FaultSuspectAfter:  6 * time.Second,
+		ActuatorTimeout:    10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := enableTelemetry(app, opts); err != nil {
+		return nil, err
+	}
+
+	mttr := metrics.NewHistogram(metrics.ExpBuckets(0.25, 2, 10))
+	app.Telemetry().AddHistogram("repro_chaos_mttr_seconds",
+		"Modelled seconds from storm end to contract recovery.", nil, mttr)
+
+	fa := app.FarmABC
+	health := func() bool {
+		snap := fa.Snapshot()
+		return snap.StreamDone || con.Check(snap).OK()
+	}
+	inj := chaos.NewInjector(chaos.Targets{
+		Farm:       fa.Farm(),
+		Exec:       fa,
+		RM:         platform.RM,
+		Nodes:      platform.RM.Nodes(),
+		Network:    platform.Network,
+		LinkA:      platform.Domains[0].Name,
+		LinkB:      platform.Domains[1].Name,
+		Env:        env,
+		Log:        app.Log,
+		Health:     health,
+		MTTR:       mttr,
+		MaxRecover: copts.MaxRecover,
+	})
+
+	injCtx, cancelInj := context.WithCancel(ctx)
+	var rep chaos.Report
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		rep = inj.Run(injCtx, plan)
+	}()
+
+	res, err := app.RunContext(ctx)
+	// The stream outlasts the plan by construction, so by the time the run
+	// returns the injector has normally finished; cancel covers early
+	// stream exits and unrecovered storms stuck in their probe loop.
+	cancelInj()
+	<-injDone
+	inj.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// Let transient goroutines (drained stages, restore timers) exit
+	// before judging leaks.
+	leaked := false
+	for i := 0; i < 100; i++ {
+		if gort.NumGoroutine() <= baseline+2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+		if i == 99 {
+			leaked = true
+		}
+	}
+
+	seenMu.Lock()
+	distinct := len(seen)
+	collected := 0
+	for _, n := range seen {
+		collected += n
+	}
+	seenMu.Unlock()
+
+	var leaks uint64
+	if app.Auditor != nil {
+		leaks = app.Auditor.Leaks()
+	}
+	summary := ChaosSummary{
+		Seed:          copts.Seed,
+		Fingerprint:   plan.Fingerprint(),
+		Tasks:         tasks,
+		Storms:        copts.Storms,
+		ByKind:        plan.ByKind(),
+		Lost:          tasks - distinct,
+		Duplicates:    collected - distinct,
+		Leaks:         leaks,
+		Unrecovered:   rep.Unrecovered,
+		GoroutineLeak: leaked,
+		MTTRSampled:   mttr.Count() > 0,
+	}
+
+	var farmErrs []string
+drainErrs:
+	for {
+		select {
+		case e := <-fa.Farm().Errors():
+			farmErrs = append(farmErrs, e.Error())
+		default:
+			break drainErrs
+		}
+	}
+
+	out := &ChaosResult{
+		Result:           res,
+		Plan:             plan,
+		Report:           rep,
+		Summary:          summary,
+		MTTR:             mttr,
+		InjectedActuator: inj.InjectedActuatorFailures(),
+		InjectedRecruit:  inj.InjectedRecruitFailures(),
+		Tracer:           app.Tracer(),
+		FarmErrors:       farmErrs,
+	}
+	if app.RootManager != nil {
+		out.ActuatorFailures = app.RootManager.ActuatorFailures()
+	}
+	if opts.Out != nil {
+		writeChaos(opts.Out, out)
+	}
+	return out, nil
+}
+
+// writeChaos renders the soak outcome.
+func writeChaos(w io.Writer, r *ChaosResult) {
+	fmt.Fprintf(w, "== chaos soak ==\n")
+	for _, line := range r.Plan.Schedule() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprint(w, r.Summary)
+	applied := make([]string, 0, len(r.Report.Applied))
+	for _, k := range chaos.Kinds() {
+		if n := r.Report.Applied[k]; n > 0 {
+			applied = append(applied, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	sort.Strings(applied)
+	fmt.Fprintf(w, "applied: %s\n", strings.Join(applied, " "))
+	// Run-dependent diagnostics: unlike the schedule and the summary above,
+	// these counts depend on what the live system was doing inside each
+	// fault window and may differ between same-seed runs.
+	fmt.Fprintf(w, "diagnostics: completed=%d recovered=%d/%d mttr_samples=%d actuator_failures=%d injected: act=%d recruit=%d\n",
+		r.Completed, r.Report.Recovered, r.Report.Storms, r.MTTR.Count(),
+		r.ActuatorFailures, r.InjectedActuator, r.InjectedRecruit)
+	if v := r.Summary.Invariants(); len(v) > 0 {
+		for _, line := range v {
+			fmt.Fprintf(w, "VIOLATION: %s\n", line)
+		}
+	} else {
+		fmt.Fprintf(w, "all soak invariants hold\n")
+	}
+}

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/simclock"
 )
 
 // Domain is an IP domain of the simulated grid.
@@ -194,15 +197,106 @@ func (r Request) matches(n *Node) bool {
 // ResourceManager hands out core slots from a pool of nodes. Recruitment
 // policy: free capacity first, trusted domains before untrusted ones, then
 // faster nodes first, then lexicographic node ID for determinism.
+//
+// Nodes can be quarantined for a cooldown window: a quarantined node is
+// invisible to Recruit and CapacityFree until the window expires. The fault
+// manager uses this as a circuit breaker against nodes whose workers keep
+// dying.
 type ResourceManager struct {
-	mu    sync.Mutex
-	nodes []*Node
+	mu          sync.Mutex
+	nodes       []*Node
+	clock       simclock.Clock
+	quarantined map[string]time.Time // node ID -> quarantine expiry
+
+	// recruitFault, when non-nil, is consulted at the top of Recruit and
+	// may veto the recruitment with an error. It is the chaos plane's
+	// injection point for flaky or exhausted recruitment; the pointer is
+	// atomic so the hook costs one predictable nil check when unused.
+	recruitFault atomic.Pointer[func(Request) error]
 }
 
 // NewResourceManager returns a manager over the given pool. The pool slice
 // is not copied; callers should not mutate it afterwards.
 func NewResourceManager(nodes ...*Node) *ResourceManager {
-	return &ResourceManager{nodes: nodes}
+	return &ResourceManager{nodes: nodes, quarantined: map[string]time.Time{}}
+}
+
+// SetClock installs the clock used to expire quarantines (default: real
+// time). The fault manager shares its simulation clock this way.
+func (rm *ResourceManager) SetClock(c simclock.Clock) {
+	rm.mu.Lock()
+	rm.clock = c
+	rm.mu.Unlock()
+}
+
+func (rm *ResourceManager) nowLocked() time.Time {
+	if rm.clock != nil {
+		return rm.clock.Now()
+	}
+	return time.Now()
+}
+
+// SetRecruitFault installs (or, with nil, removes) a hook consulted before
+// every recruitment; a non-nil error from the hook fails the Recruit call.
+func (rm *ResourceManager) SetRecruitFault(fn func(Request) error) {
+	if fn == nil {
+		rm.recruitFault.Store(nil)
+		return
+	}
+	rm.recruitFault.Store(&fn)
+}
+
+// Quarantine removes the node from recruitment for the given cooldown. It
+// reports whether the node is in the pool. A second quarantine extends the
+// window if it ends later than the current one.
+func (rm *ResourceManager) Quarantine(nodeID string, cooldown time.Duration) bool {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	found := false
+	for _, n := range rm.nodes {
+		if n.ID == nodeID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	until := rm.nowLocked().Add(cooldown)
+	if cur, ok := rm.quarantined[nodeID]; !ok || until.After(cur) {
+		rm.quarantined[nodeID] = until
+	}
+	return true
+}
+
+// Quarantined returns the IDs of the nodes currently under quarantine, in
+// lexicographic order.
+func (rm *ResourceManager) Quarantined() []string {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	now := rm.nowLocked()
+	var out []string
+	for id, until := range rm.quarantined {
+		if now.Before(until) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// quarantinedLocked reports whether n is under quarantine, lazily dropping
+// expired entries.
+func (rm *ResourceManager) quarantinedLocked(n *Node, now time.Time) bool {
+	until, ok := rm.quarantined[n.ID]
+	if !ok {
+		return false
+	}
+	if now.Before(until) {
+		return true
+	}
+	delete(rm.quarantined, n.ID)
+	return false
 }
 
 // Nodes returns the pool in the manager's preference order.
@@ -236,10 +330,19 @@ func (rm *ResourceManager) rankLocked(ns []*Node) {
 // returns that node. The caller owns the slot and must eventually call
 // Node.Release.
 func (rm *ResourceManager) Recruit(req Request) (*Node, error) {
+	if fp := rm.recruitFault.Load(); fp != nil {
+		if err := (*fp)(req); err != nil {
+			return nil, err
+		}
+	}
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	now := rm.nowLocked()
 	cand := make([]*Node, 0, len(rm.nodes))
 	for _, n := range rm.nodes {
+		if rm.quarantinedLocked(n, now) {
+			continue
+		}
 		if req.matches(n) {
 			cand = append(cand, n)
 		}
@@ -259,12 +362,15 @@ func (rm *ResourceManager) Recruit(req Request) (*Node, error) {
 }
 
 // CapacityFree returns the number of unallocated core slots matching req.
+// Quarantined nodes contribute nothing, so the managers' capacity sensing
+// agrees with what Recruit would actually hand out.
 func (rm *ResourceManager) CapacityFree(req Request) int {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	now := rm.nowLocked()
 	total := 0
 	for _, n := range rm.nodes {
-		if !req.matches(n) {
+		if rm.quarantinedLocked(n, now) || !req.matches(n) {
 			continue
 		}
 		if free := n.Cores - n.Busy(); free > 0 {

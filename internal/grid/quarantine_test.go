@@ -1,0 +1,88 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func twoNodeRM() (*ResourceManager, *Node, *Node) {
+	dom := Domain{Name: "c", Trusted: true}
+	a := NewNode("a", dom, 1, 1.0)
+	b := NewNode("b", dom, 1, 1.0)
+	return NewResourceManager(a, b), a, b
+}
+
+func TestQuarantineExcludesNodeFromRecruitment(t *testing.T) {
+	rm, _, _ := twoNodeRM()
+	if !rm.Quarantine("a", time.Hour) {
+		t.Fatal("Quarantine(a) = false for a known node")
+	}
+	if rm.Quarantine("nope", time.Hour) {
+		t.Fatal("Quarantine accepted an unknown node")
+	}
+	got := rm.Quarantined()
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Quarantined() = %v, want [a]", got)
+	}
+	// Both cores free, but only b is recruitable.
+	n1, err := rm.Recruit(Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID != "b" {
+		t.Fatalf("recruited %s, want the non-quarantined b", n1.ID)
+	}
+	if _, err := rm.Recruit(Request{}); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("recruit with only a quarantined node free: err = %v, want ErrExhausted", err)
+	}
+	if free := rm.CapacityFree(Request{}); free != 0 {
+		t.Fatalf("CapacityFree counts quarantined cores: %d", free)
+	}
+}
+
+func TestQuarantineCooldownExpires(t *testing.T) {
+	rm, _, _ := twoNodeRM()
+	clock := simclock.NewManual(time.Unix(0, 0))
+	rm.SetClock(clock)
+	rm.Quarantine("a", 10*time.Second)
+	rm.Quarantine("b", 10*time.Second)
+	if _, err := rm.Recruit(Request{}); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("recruit during quarantine: err = %v, want ErrExhausted", err)
+	}
+	clock.Advance(11 * time.Second)
+	if _, err := rm.Recruit(Request{}); err != nil {
+		t.Fatalf("recruit after cooldown: %v", err)
+	}
+	if got := rm.Quarantined(); len(got) != 0 {
+		t.Fatalf("expired quarantines still listed: %v", got)
+	}
+}
+
+func TestQuarantineExtendsWindow(t *testing.T) {
+	rm, _, _ := twoNodeRM()
+	clock := simclock.NewManual(time.Unix(0, 0))
+	rm.SetClock(clock)
+	rm.Quarantine("a", 10*time.Second)
+	clock.Advance(5 * time.Second)
+	rm.Quarantine("a", 10*time.Second) // re-trip: window restarts
+	clock.Advance(6 * time.Second)     // 11s after first trip, 6s after second
+	if got := rm.Quarantined(); len(got) != 1 {
+		t.Fatalf("re-tripped quarantine expired early: %v", got)
+	}
+}
+
+func TestRecruitFaultHook(t *testing.T) {
+	rm, _, _ := twoNodeRM()
+	boom := errors.New("injected")
+	rm.SetRecruitFault(func(Request) error { return boom })
+	if _, err := rm.Recruit(Request{}); !errors.Is(err, boom) {
+		t.Fatalf("recruit with veto hook: err = %v, want injected error", err)
+	}
+	rm.SetRecruitFault(nil)
+	if _, err := rm.Recruit(Request{}); err != nil {
+		t.Fatalf("recruit after clearing hook: %v", err)
+	}
+}

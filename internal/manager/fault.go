@@ -2,14 +2,17 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/abc"
+	"repro/internal/grid"
 	"repro/internal/runtime"
 	"repro/internal/simclock"
+	"repro/internal/skel"
 	"repro/internal/trace"
 )
 
@@ -39,6 +42,27 @@ type FaultConfig struct {
 	// are detected). Like any timeout detector it can false-positive on
 	// genuinely slow tasks; pick it well above the expected service time.
 	SuspectAfter time.Duration
+	// SuspectGrace shields freshly added workers from the timeout
+	// detector: a worker that has served nothing yet is not suspected
+	// until it has been visible for this long (recruitment, the security
+	// handshake and a long first task all look exactly like a stall).
+	// The grace is keyed on the time the detector first saw the worker —
+	// its add time, up to one detection period. Defaults to 2×SuspectAfter.
+	SuspectGrace time.Duration
+	// RM, when set, arms the node circuit breaker: a node whose workers
+	// crash QuarantineAfter times is quarantined from recruitment for
+	// QuarantineCooldown.
+	RM *grid.ResourceManager
+	// QuarantineAfter is the per-node crash count tripping the breaker
+	// (default 3; meaningful only with RM set).
+	QuarantineAfter int
+	// QuarantineCooldown is how long a tripped node stays out of the
+	// recruitment pool (default 10×Period).
+	QuarantineCooldown time.Duration
+	// Retry is the backoff policy for replacement recruitment; transient
+	// recruitment errors are retried under it, while pool exhaustion and
+	// end of stream fail fast. The zero value uses the runtime defaults.
+	Retry runtime.Backoff
 	// PollOnly disables the crash-edge wake-up, leaving only the periodic
 	// detection tick (the wake-up latency benchmark's baseline).
 	PollOnly bool
@@ -51,12 +75,26 @@ type FaultManager struct {
 	log     *trace.Log
 	replace bool
 
-	mu        sync.Mutex
-	farms     []*abc.FarmABC
-	recovered int
-	replaced  int
-	suspected int
-	progress  map[string]progressEntry
+	mu          sync.Mutex
+	farms       []*abc.FarmABC
+	recovered   int
+	replaced    int
+	suspected   int
+	quarantined int
+	progress    map[string]progressEntry
+	// seen is when the detector first observed each live worker — its add
+	// time up to one detection period — anchoring the suspect grace.
+	seen map[string]time.Time
+	// nodeCrashes counts worker crashes per node for the circuit breaker;
+	// crashCounted ensures one crash is charged to its node exactly once
+	// even when recovery takes several cycles.
+	nodeCrashes  map[string]int
+	crashCounted map[string]bool
+	// degraded is set while recruitment keeps failing: the manager stays
+	// live (it still recovers stranded tasks onto survivors) but raises
+	// the violation upward instead of silently wedging the loop.
+	degraded        bool
+	recruitFailures uint64
 
 	running atomic.Bool
 	life    runtime.Lifecycle
@@ -83,13 +121,28 @@ func NewFaultManager(cfg FaultConfig) (*FaultManager, error) {
 	if cfg.Period <= 0 {
 		cfg.Period = 100 * time.Millisecond
 	}
+	if cfg.SuspectGrace <= 0 {
+		cfg.SuspectGrace = 2 * cfg.SuspectAfter
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.QuarantineCooldown <= 0 {
+		cfg.QuarantineCooldown = 10 * cfg.Period
+	}
+	if cfg.Retry.Clock == nil {
+		cfg.Retry.Clock = cfg.Clock
+	}
 	replace := true
 	if cfg.Replace != nil {
 		replace = *cfg.Replace
 	}
 	return &FaultManager{
 		cfg: cfg, clock: cfg.Clock, log: cfg.Log, replace: replace,
-		progress: map[string]progressEntry{},
+		progress:     map[string]progressEntry{},
+		seen:         map[string]time.Time{},
+		nodeCrashes:  map[string]int{},
+		crashCounted: map[string]bool{},
 	}, nil
 }
 
@@ -118,6 +171,98 @@ func (m *FaultManager) Replaced() int {
 	return m.replaced
 }
 
+// Quarantined returns how many nodes the circuit breaker has tripped.
+func (m *FaultManager) Quarantined() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined
+}
+
+// Degraded reports whether the manager is currently in degraded mode:
+// recruitment keeps failing, so lost capacity cannot be replaced and the
+// violation has been raised upward (P_rol).
+func (m *FaultManager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
+
+// ActuatorFailures returns how many recruitment actuations ultimately
+// failed (after retry); exported at /metrics as actuator_failures.
+func (m *FaultManager) ActuatorFailures() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recruitFailures
+}
+
+// permanentRecruitErr reports recruitment errors that retrying cannot fix:
+// pool exhaustion and a farm past end of stream.
+func permanentRecruitErr(err error) bool {
+	return errors.Is(err, grid.ErrExhausted) || errors.Is(err, skel.ErrStreamEnded)
+}
+
+// recruit runs one recruitment actuation under the retry policy, tracking
+// the degraded-mode transitions: entering it raises the violation upward,
+// leaving it is logged as a return to active management.
+func (m *FaultManager) recruit(kind string, add func() (string, error)) (string, error) {
+	var id string
+	err := runtime.Retry(context.Background(), m.cfg.Retry, func() error {
+		var err error
+		id, err = add()
+		return err
+	}, permanentRecruitErr)
+	if errors.Is(err, skel.ErrStreamEnded) {
+		// Benign: past end of stream there is no capacity to restore.
+		return "", err
+	}
+	m.mu.Lock()
+	if err != nil {
+		m.recruitFailures++
+		entered := !m.degraded
+		m.degraded = true
+		m.mu.Unlock()
+		if entered {
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.RaiseViol,
+				fmt.Sprintf("%s recruitment failed, degraded: %v", kind, err))
+		}
+		return "", err
+	}
+	left := m.degraded
+	m.degraded = false
+	m.mu.Unlock()
+	if left {
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.EnterActive,
+			fmt.Sprintf("recruitment restored (%s)", kind))
+	}
+	return id, nil
+}
+
+// chargeCrash charges one worker crash to its node and trips the circuit
+// breaker when the node reaches the configured crash count.
+func (m *FaultManager) chargeCrash(workerID, nodeID string) {
+	if m.cfg.RM == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.crashCounted[workerID] {
+		m.mu.Unlock()
+		return
+	}
+	m.crashCounted[workerID] = true
+	m.nodeCrashes[nodeID]++
+	tripped := m.nodeCrashes[nodeID] >= m.cfg.QuarantineAfter
+	if tripped {
+		m.nodeCrashes[nodeID] = 0
+		m.quarantined++
+	}
+	m.mu.Unlock()
+	if tripped && m.cfg.RM.Quarantine(nodeID, m.cfg.QuarantineCooldown) {
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.Quarantine,
+			fmt.Sprintf("%s: %d worker crashes, cooling down for %v",
+				nodeID, m.cfg.QuarantineAfter, m.cfg.QuarantineCooldown))
+	}
+}
+
 // Watch registers a farm for fault supervision.
 func (m *FaultManager) Watch(f *abc.FarmABC) {
 	m.mu.Lock()
@@ -135,22 +280,29 @@ func (m *FaultManager) RunOnce() int {
 	m.mu.Unlock()
 
 	repaired := 0
+	live := map[string]bool{}
 	for _, fa := range farms {
 		if m.cfg.SuspectAfter > 0 {
 			m.suspectStalled(fa)
 		}
 		for _, w := range fa.Workers() {
 			if !w.Failed {
+				live[w.ID] = true
 				continue
 			}
 			m.log.Record(m.clock.Now(), m.cfg.Name, trace.WorkerFail,
 				fmt.Sprintf("%s on %s (%d tasks stranded)", w.ID, w.Node.ID, w.QueueLen))
+			m.chargeCrash(w.ID, w.Node.ID)
 			n, err := fa.Farm().RecoverWorker(w.ID)
 			if err != nil {
 				// Typically: no live worker to recover onto. Recruit one
 				// (valid even after end of stream) and retry on the next
-				// cycle.
-				if _, err := fa.Farm().AddRecoveryWorker(); err == nil {
+				// cycle. A recruitment failure flips the manager into
+				// degraded mode rather than wedging the loop.
+				farm, prep := fa.Farm(), fa.Prepare()
+				if _, err := m.recruit("recovery", func() (string, error) {
+					return farm.AddRecoveryWorkerWithPrepare(prep)
+				}); err == nil {
 					m.mu.Lock()
 					m.replaced++
 					m.mu.Unlock()
@@ -164,7 +316,10 @@ func (m *FaultManager) RunOnce() int {
 			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Recovered,
 				fmt.Sprintf("%s: %d tasks redistributed", w.ID, n))
 			if m.replace {
-				if id, err := fa.Farm().AddWorker(); err == nil {
+				farm, prep := fa.Farm(), fa.Prepare()
+				if id, err := m.recruit("replacement", func() (string, error) {
+					return farm.AddWorkerWithPrepare(prep)
+				}); err == nil {
 					m.mu.Lock()
 					m.replaced++
 					m.mu.Unlock()
@@ -174,17 +329,42 @@ func (m *FaultManager) RunOnce() int {
 			}
 		}
 	}
+	m.pruneSeen(live)
 	return repaired
 }
 
+// pruneSeen drops first-seen and progress bookkeeping for workers that are
+// no longer live, keeping the maps bounded across long soaks.
+func (m *FaultManager) pruneSeen(live map[string]bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.seen {
+		if !live[id] {
+			delete(m.seen, id)
+			delete(m.progress, id)
+		}
+	}
+}
+
 // suspectStalled declares workers crashed when their served count has not
-// advanced despite queued work for longer than SuspectAfter.
+// advanced despite queued work for longer than SuspectAfter. Workers that
+// have never served a task are shielded by SuspectGrace from their first
+// sighting: a fresh worker legitimately shows zero progress while it is
+// recruited, has its binding secured and chews its first task, and killing
+// it then would throw away capacity the farm just paid for.
 func (m *FaultManager) suspectStalled(fa *abc.FarmABC) {
 	now := m.clock.Now()
 	for _, w := range fa.Workers() {
 		if w.Failed {
 			continue
 		}
+		m.mu.Lock()
+		first, known := m.seen[w.ID]
+		if !known {
+			first = now
+			m.seen[w.ID] = now
+		}
+		m.mu.Unlock()
 		if w.QueueLen == 0 {
 			// Idle workers make no progress legitimately.
 			m.mu.Lock()
@@ -203,6 +383,9 @@ func (m *FaultManager) suspectStalled(fa *abc.FarmABC) {
 		m.mu.Unlock()
 		if !stalled {
 			continue
+		}
+		if w.Served == 0 && now.Sub(first) < m.cfg.SuspectGrace {
+			continue // still in the warm-up grace window
 		}
 		if err := fa.Farm().KillWorker(w.ID); err != nil {
 			continue

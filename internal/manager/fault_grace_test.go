@@ -1,0 +1,408 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abc"
+	"repro/internal/grid"
+	"repro/internal/runtime"
+	"repro/internal/runtime/leaktest"
+	"repro/internal/simclock"
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// TestSuspectGraceShieldsFreshWorkers is the regression test for the stall
+// detector's false positive on fresh workers: a worker that has served
+// nothing yet (recruitment, handshake and a long first task all look like a
+// stall) must not be suspected until SuspectGrace has elapsed from the time
+// the detector first saw it. Driven entirely on a manual clock so the
+// timing is exact.
+func TestSuspectGraceShieldsFreshWorkers(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	env := skel.Env{Clock: clock, TimeScale: 1}
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "grace", Env: env, RM: grid.NewSMP(8).RM, InitialWorkers: 2,
+		Dispatch: skel.RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 64)
+	drained := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		drained <- n
+	}()
+	runDone := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(runDone) }()
+
+	// Ten 120s tasks: both workers start their first task and park on the
+	// manual clock; the rest queue up, so QueueLen > 0 for everyone.
+	const tasks = 10
+	for i := 0; i < tasks; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: 120 * time.Second}
+	}
+	close(in)
+	deadline := time.Now().Add(10 * time.Second)
+	for clock.PendingWaiters() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never started their first task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	log := trace.NewLog()
+	ft, err := NewFaultManager(FaultConfig{
+		Log: log, Clock: clock, Period: time.Second,
+		SuspectAfter: 5 * time.Second, SuspectGrace: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Watch(abc.NewFarmABC(f, nil))
+
+	ft.RunOnce() // t=0: first sighting + progress baseline recorded
+
+	// t=20s: far beyond SuspectAfter, but both workers have Served == 0
+	// and are inside the 60s grace — they must survive. Before the grace
+	// fix this cycle killed them both.
+	clock.Advance(20 * time.Second)
+	ft.RunOnce()
+	if got := ft.Suspected(); got != 0 {
+		t.Fatalf("fresh workers suspected during grace: Suspected = %d", got)
+	}
+	for _, w := range f.Workers() {
+		if w.Failed {
+			t.Fatalf("worker %s killed during its grace window", w.ID)
+		}
+	}
+
+	// t=100s: the grace has expired and the workers still show zero
+	// progress with queued work — now the detector must fire.
+	clock.Advance(80 * time.Second)
+	ft.RunOnce()
+	if got := ft.Suspected(); got == 0 {
+		t.Fatalf("stalled workers never suspected after grace:\n%s", log.Timeline())
+	}
+
+	// Drain: keep running detection cycles (recovery + replacement) and
+	// advancing modelled time until the farm completes the stream.
+	go func() {
+		for {
+			select {
+			case <-runDone:
+				return
+			default:
+			}
+			ft.RunOnce()
+			clock.Advance(5 * time.Second)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	select {
+	case <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm never drained after suspicion/recovery")
+	}
+	if n := <-drained; n != tasks {
+		t.Fatalf("completed %d/%d after stall recovery", n, tasks)
+	}
+}
+
+// TestSuspectStormRecoversEachWorkerOnce kills every worker of a farm
+// concurrently and requires the fault manager to recover each crash exactly
+// once, with the whole stream still collected exactly once. Run under
+// -race in CI; leaktest guards the goroutine ledger.
+func TestSuspectStormRecoversEachWorkerOnce(t *testing.T) {
+	defer leaktest.Check(t)()
+	const workers = 4
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "storm", Env: skel.Env{TimeScale: 500}, RM: grid.NewSMP(16).RM,
+		InitialWorkers: workers, Dispatch: skel.RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 256)
+	seen := map[uint64]int{}
+	var seenMu sync.Mutex
+	drained := make(chan struct{})
+	go func() {
+		for r := range out {
+			seenMu.Lock()
+			seen[r.ID]++
+			seenMu.Unlock()
+		}
+		close(drained)
+	}()
+	runDone := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(runDone) }()
+
+	log := trace.NewLog()
+	ft, err := NewFaultManager(FaultConfig{Log: log, Period: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := abc.NewFarmABC(f, nil)
+	ft.Watch(fa)
+	ft.Start()
+
+	const tasks = 60
+	go func() {
+		for i := 0; i < tasks; i++ {
+			in <- &skel.Task{ID: skel.NextTaskID(), Work: 400 * time.Millisecond}
+		}
+		close(in)
+	}()
+
+	// Give the dispatcher a moment to spread work, then kill every
+	// initial worker concurrently — the storm.
+	victims := make([]string, 0, workers)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < workers {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, w := range f.Workers() {
+		victims = append(victims, w.ID)
+	}
+	var wg sync.WaitGroup
+	for _, id := range victims {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			_ = f.KillWorker(id)
+		}(id)
+	}
+	wg.Wait()
+
+	// Every crash recovered exactly once.
+	deadline = time.Now().Add(30 * time.Second)
+	for ft.Recovered() < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered %d/%d crashes:\n%s", ft.Recovered(), workers, log.Timeline())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	select {
+	case <-runDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("farm never finished after the storm")
+	}
+	<-drained
+	ft.Stop()
+
+	if got := ft.Recovered(); got != workers {
+		t.Fatalf("Recovered = %d, want exactly %d (each crash once)", got, workers)
+	}
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	if len(seen) != tasks {
+		t.Fatalf("collected %d distinct tasks, want %d", len(seen), tasks)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d collected %d times", id, c)
+		}
+	}
+}
+
+// TestFaultManagerDegradedMode forces recruitment exhaustion during
+// recovery: the manager must keep recovering stranded tasks onto
+// survivors, raise the violation upward exactly once (P_rol), count the
+// failed actuations, and leave degraded mode once recruitment succeeds
+// again.
+func TestFaultManagerDegradedMode(t *testing.T) {
+	rm := grid.NewSMP(8).RM
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "deg", Env: skel.Env{TimeScale: 200}, RM: rm, InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 64)
+	count := make(chan int, 1)
+	go func() {
+		n := 0
+		for range out {
+			n++
+		}
+		count <- n
+	}()
+	runDone := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(runDone) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	log := trace.NewLog()
+	ft, err := NewFaultManager(FaultConfig{
+		Log: log, Period: time.Millisecond,
+		Retry: runtime.Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond,
+			Jitter: -1, Attempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Watch(abc.NewFarmABC(f, nil))
+
+	for i := 0; i < 12; i++ {
+		in <- &skel.Task{ID: skel.NextTaskID(), Work: 500 * time.Millisecond}
+	}
+
+	// Kill one worker while recruitment is vetoed: recovery onto the
+	// survivor works, replacement fails -> degraded mode, raised once.
+	rm.SetRecruitFault(func(grid.Request) error { return grid.ErrExhausted })
+	if err := f.KillWorker(f.Workers()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for ft.RunOnce() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("crash never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !ft.Degraded() {
+		t.Fatalf("manager not degraded after recruitment exhaustion:\n%s", log.Timeline())
+	}
+	if ft.ActuatorFailures() == 0 {
+		t.Fatal("failed recruitment not counted as actuator failure")
+	}
+	if log.Count("AM_ft", trace.RaiseViol) != 1 {
+		t.Fatalf("RaiseViol logged %d times, want once per transition:\n%s",
+			log.Count("AM_ft", trace.RaiseViol), log.Timeline())
+	}
+
+	// Clear the outage: the next crash recovery recruits fine and the
+	// manager re-enters active mode.
+	rm.SetRecruitFault(nil)
+	victim := ""
+	for _, w := range f.Workers() {
+		if !w.Failed {
+			victim = w.ID
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no live worker left to crash")
+	}
+	if err := f.KillWorker(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for ft.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("manager stuck degraded after recruitment recovered:\n%s", log.Timeline())
+		}
+		ft.RunOnce()
+		time.Sleep(time.Millisecond)
+	}
+	if log.Count("AM_ft", trace.EnterActive) == 0 {
+		t.Fatalf("recovery to active not logged:\n%s", log.Timeline())
+	}
+
+	// Drain under continued supervision: the second crash may still need
+	// recovery cycles to redistribute its stranded tasks.
+	ft.Start()
+	close(in)
+	select {
+	case <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm never drained")
+	}
+	ft.Stop()
+	if n := <-count; n != 12 {
+		t.Fatalf("completed %d/12", n)
+	}
+}
+
+// TestFaultManagerQuarantinesCrashyNode verifies the node circuit breaker:
+// with QuarantineAfter=1, a single worker crash quarantines its node from
+// further recruitment for the cooldown window.
+func TestFaultManagerQuarantinesCrashyNode(t *testing.T) {
+	rm := grid.NewSMP(8).RM
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "qrn", Env: skel.Env{TimeScale: 200}, RM: rm, InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *skel.Task)
+	out := make(chan *skel.Task, 64)
+	go func() {
+		for range out {
+		}
+	}()
+	runDone := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(runDone) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.Workers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("farm never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	log := trace.NewLog()
+	ft, err := NewFaultManager(FaultConfig{
+		Log: log, Period: time.Millisecond,
+		RM: rm, QuarantineAfter: 1, QuarantineCooldown: time.Hour,
+		Retry: runtime.Backoff{Base: time.Microsecond, Jitter: -1, Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Watch(abc.NewFarmABC(f, nil))
+
+	node := f.Workers()[0].Node.ID
+	if err := f.KillWorker(f.Workers()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for ft.RunOnce() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("crash never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ft.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", ft.Quarantined())
+	}
+	q := rm.Quarantined()
+	if len(q) != 1 || q[0] != node {
+		t.Fatalf("RM.Quarantined() = %v, want [%s]", q, node)
+	}
+	if log.Count("AM_ft", trace.Quarantine) != 1 {
+		t.Fatalf("quarantine not logged:\n%s", log.Timeline())
+	}
+	// The single SMP node is out of the pool, so recruitment is exhausted.
+	if _, err := rm.Recruit(grid.Request{}); !errors.Is(err, grid.ErrExhausted) {
+		t.Fatalf("recruit on a quarantined platform: %v, want ErrExhausted", err)
+	}
+
+	close(in)
+	select {
+	case <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("farm never drained")
+	}
+}

@@ -153,6 +153,9 @@ type Manager struct {
 	// wakeStamp is the UnixNano of the oldest unserviced edge wake-up
 	// (0 when none); written by skeleton goroutines, consumed by Run.
 	wakeStamp atomic.Int64
+	// actFailures counts actuator executions that failed (and were turned
+	// into violations); exported at /metrics as actuator_failures.
+	actFailures atomic.Uint64
 
 	// per-RunOnce scratch (single goroutine)
 	cycleLocalAction bool
@@ -218,6 +221,10 @@ func (m *Manager) Concern() string { return m.cfg.Concern }
 
 // Controller returns the manager's ABC.
 func (m *Manager) Controller() abc.Controller { return m.cfg.Controller }
+
+// ActuatorFailures returns how many actuator executions failed so far
+// (each one was converted into an upward violation per §3.1).
+func (m *Manager) ActuatorFailures() uint64 { return m.actFailures.Load() }
 
 // Log returns the manager's trace log.
 func (m *Manager) Log() *trace.Log { return m.log }
@@ -414,6 +421,7 @@ func (m *Manager) FireOperation(op string, act *rules.Activation) error {
 		if err != nil {
 			// Corrective action required but not possible: report a
 			// violation upward instead (§3.1).
+			m.actFailures.Add(1)
 			m.noteAction(op, "", err)
 			m.reportViolation(op+"_failed: "+err.Error(), m.cfg.Controller.Snapshot())
 			return nil

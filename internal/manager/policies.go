@@ -61,7 +61,7 @@ func (l FarmLimits) normalized() FarmLimits {
 // NewFarmManager builds the AM of a task-farm behavioural skeleton: the
 // Fig. 5 rule engine, re-parameterized from each assigned throughput
 // contract, plus the best-effort farm split for its children.
-func NewFarmManager(name string, a *abc.FarmABC, log *trace.Log, clock simclock.Clock, period time.Duration, limits FarmLimits) (*Manager, error) {
+func NewFarmManager(name string, a abc.Controller, log *trace.Log, clock simclock.Clock, period time.Duration, limits FarmLimits) (*Manager, error) {
 	limits = limits.normalized()
 	mkEngine := func(c contract.Contract) *rules.Engine {
 		lo, hi := throughputBounds(c)

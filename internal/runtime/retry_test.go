@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// A deterministic Rand makes the jittered delay exactly predictable:
+	// d * (1 - Jitter*Rand()).
+	b := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5,
+		Rand: func() float64 { return 1 }}
+	if got, want := b.Delay(0), 50*time.Millisecond; got != want {
+		t.Errorf("full jitter draw: Delay(0) = %v, want %v", got, want)
+	}
+	b.Rand = func() float64 { return 0 }
+	if got, want := b.Delay(0), 100*time.Millisecond; got != want {
+		t.Errorf("zero jitter draw: Delay(0) = %v, want %v", got, want)
+	}
+}
+
+// advance keeps a Manual clock moving while Retry sleeps on it.
+func advance(done <-chan struct{}, clock *simclock.Manual) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if clock.PendingWaiters() > 0 {
+			clock.Advance(time.Second)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	defer close(done)
+	go advance(done, clock)
+
+	calls := 0
+	err := Retry(context.Background(), Backoff{Clock: clock, Attempts: 3},
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		}, nil)
+	if err != nil {
+		t.Fatalf("Retry = %v, want success on third attempt", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	defer close(done)
+	go advance(done, clock)
+
+	calls := 0
+	boom := errors.New("still broken")
+	err := Retry(context.Background(), Backoff{Clock: clock, Attempts: 4},
+		func() error { calls++; return boom }, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry = %v, want the op's error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("op called %d times, want 4", calls)
+	}
+}
+
+func TestRetryPermanentShortCircuits(t *testing.T) {
+	fatal := errors.New("pool exhausted")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 5},
+		func() error { calls++; return fatal },
+		func(err error) bool { return errors.Is(err, fatal) })
+	if !errors.Is(err, fatal) {
+		t.Fatalf("Retry = %v, want permanent error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+}
+
+func TestRetryCanceledReturnsLastError(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("transient")
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Retry(ctx, Backoff{Clock: clock, Attempts: 3},
+			func() error { return boom }, nil)
+	}()
+	// Wait until Retry is parked in its backoff sleep, then cancel: the
+	// pending op error must come back, not a bare ctx error.
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Retry never slept")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, boom) {
+			t.Fatalf("Retry = %v, want last attempt's error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return after cancel")
+	}
+}

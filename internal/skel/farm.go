@@ -92,6 +92,12 @@ type FarmConfig struct {
 	OutBuffer int
 	// Instruments receives dispatch/seal latency observations. Optional.
 	Instruments *FarmInstruments
+	// Network and HomeDomain, when both set, charge every task the latency
+	// of the link between HomeDomain (where dispatcher and collector run)
+	// and the worker's domain, on top of the task's service time. Optional;
+	// it makes link degradation between domains observable to the managers.
+	Network    *grid.Network
+	HomeDomain string
 }
 
 // envelope is one message on a worker binding: the task plus its payload
@@ -137,6 +143,13 @@ type Farm struct {
 	started       bool
 	resultsClosed bool
 
+	// pending parks accepted tasks that momentarily have no live worker to
+	// go to — every worker crashed at once and recovery has not landed yet.
+	// They are flushed (re-dispatched) as soon as a worker joins the pool,
+	// and the result stream stays open while any task is parked, so a
+	// correlated crash storm delays tasks instead of losing them.
+	pending []*Task
+
 	// rrIndex and scratch belong to the dispatcher goroutine alone; scratch
 	// is the reusable snapshot of dispatchable workers, refilled under f.mu
 	// each task so steady-state dispatch allocates nothing.
@@ -151,6 +164,30 @@ type Farm struct {
 	errs        chan error
 	errsDropped atomic.Uint64 // reportErr overflow, surfaced via Stats
 	hooks       hooks
+
+	// workerFault, when non-nil, is consulted once per task before the
+	// compute step — the chaos plane's injection point for worker panics
+	// and stalls. Like FarmInstruments it is nil-gated: unused, it costs a
+	// single predictable branch per task, and it sits on the worker side of
+	// the farm so the dispatch hot path is untouched.
+	workerFault atomic.Pointer[func(workerID string, t *Task) WorkerFault]
+}
+
+// WorkerFault describes a fault injected into one worker compute step.
+type WorkerFault struct {
+	// Stall delays the task by the given modelled duration first.
+	Stall time.Duration
+	// Panic makes the worker function panic (contained by runWorker).
+	Panic bool
+}
+
+// SetWorkerFault installs (or, with nil, removes) the per-task fault hook.
+func (f *Farm) SetWorkerFault(fn func(workerID string, t *Task) WorkerFault) {
+	if fn == nil {
+		f.workerFault.Store(nil)
+		return
+	}
+	f.workerFault.Store(&fn)
 }
 
 // NewFarm validates cfg and builds the farm (workers are recruited when
@@ -268,9 +305,7 @@ func (f *Farm) dispatch(t *Task) {
 	f.mu.Unlock()
 	avail := f.scratch
 	if len(avail) == 0 {
-		// No worker available (initial recruitment failed or every
-		// worker crashed): drop with an error rather than deadlock.
-		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no workers", f.cfg.Name, t.ID))
+		f.parkOrDrop(t)
 		return
 	}
 	var target *worker
@@ -334,16 +369,71 @@ func (f *Farm) send(w *worker, t *Task) {
 // f.mu.
 func (f *Farm) requeue(skip *worker, env *envelope) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, other := range f.workers {
 		if other == skip || other.failed || other.exited {
 			continue
 		}
 		if other.queue.push(env) {
+			f.mu.Unlock()
 			return
 		}
 	}
-	f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: all queues closed", f.cfg.Name, env.task.ID))
+	f.mu.Unlock()
+	// env.task still carries its original payload (compute replaces it only
+	// after a pop), so the task can be parked and re-encoded on flush.
+	f.parkOrDrop(env.task)
+}
+
+// parkOrDrop handles a task that found no live worker. If a crashed worker
+// is still in the pool, recovery is coming (the crash edge has fired), so
+// the task is parked until a worker joins; parked tasks keep the result
+// stream open exactly like a crashed worker's stranded queue. Without any
+// crashed worker nobody will be summoned — initial recruitment failed —
+// and the task is dropped with an error rather than deadlocking the run.
+func (f *Farm) parkOrDrop(t *Task) {
+	f.mu.Lock()
+	var hasFailed bool
+	var target *worker
+	for _, w := range f.workers {
+		if !w.failed && !w.exited && target == nil {
+			target = w
+		}
+		hasFailed = hasFailed || w.failed
+	}
+	// The park shares the critical section with the scan: a worker joining
+	// after this point sees the task in pending and flushes it.
+	if target == nil && hasFailed {
+		f.pending = append(f.pending, t)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	if target != nil {
+		// A worker joined between the dispatch scan and now (its
+		// flushPending may already have run and missed this task): send it
+		// there directly. Not via dispatch — scratch and rrIndex belong to
+		// the dispatcher goroutine, and parkOrDrop also runs on manager
+		// goroutines via flushPending.
+		f.send(target, t)
+		return
+	}
+	f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no workers", f.cfg.Name, t.ID))
+}
+
+// flushPending hands every parked task to the worker that just joined the
+// pool; the add paths call it once the worker is dispatchable. The send
+// re-encodes with the new binding's codec, so a task parked during a crash
+// storm cannot leave with a codec negotiated for a worker that no longer
+// exists. If the new worker is already gone again, send's requeue path
+// parks the task anew.
+func (f *Farm) flushPending(w *worker) {
+	f.mu.Lock()
+	parked := f.pending
+	f.pending = nil
+	f.mu.Unlock()
+	for _, t := range parked {
+		f.send(w, t)
+	}
 }
 
 // endInput marks the stream exhausted and lets workers drain and exit.
@@ -365,6 +455,9 @@ func (f *Farm) endInput() {
 func (f *Farm) maybeCloseResultsLocked() {
 	if f.active != 0 || !f.inputDone || f.resultsClosed {
 		return
+	}
+	if len(f.pending) > 0 {
+		return // parked tasks: wait for a worker to join and flush them
 	}
 	for _, w := range f.workers {
 		if w.failed && w.queue.len() > 0 {
@@ -396,21 +489,74 @@ func (f *Farm) runWorker(w *worker) {
 			f.mu.Unlock()
 			return
 		}
-		payload, err := env.codec.Decode(env.wire)
-		if err != nil {
-			f.reportErr(fmt.Errorf("skel: farm %s worker %s decode: %w", f.cfg.Name, w.id, err))
-			continue
+		res, crashed := f.computeTask(w, env)
+		if crashed {
+			f.containPanic(w, env)
+			continue // the failed queue makes the next pop report done
 		}
-		t := env.task
-		t.Payload = payload
-		work := t.Work
-		if f.cfg.WorkOverride > 0 {
-			work = f.cfg.WorkOverride
+		if res != nil {
+			f.results <- res
+			w.served.Add(1)
 		}
-		f.env.SleepScaled(w.node.ServiceTime(work))
-		f.results <- applyFn(f.cfg.Fn, t)
-		w.served.Add(1)
 	}
+}
+
+// computeTask decodes and computes one envelope. A panic in the worker
+// function — or one injected by the fault hook — is contained here: it is
+// reported as crashed instead of unwinding the process, and the result is
+// discarded. The emit happens in the caller, outside the recover scope, so
+// a contained task is requeued exactly when it was never emitted.
+func (f *Farm) computeTask(w *worker, env *envelope) (res *Task, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, crashed = nil, true
+			f.reportErr(fmt.Errorf("skel: farm %s worker %s panicked on task %d: %v",
+				f.cfg.Name, w.id, env.task.ID, r))
+		}
+	}()
+	payload, err := env.codec.Decode(env.wire)
+	if err != nil {
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s decode: %w", f.cfg.Name, w.id, err))
+		return nil, false
+	}
+	t := env.task
+	t.Payload = payload
+	work := t.Work
+	if f.cfg.WorkOverride > 0 {
+		work = f.cfg.WorkOverride
+	}
+	if fp := f.workerFault.Load(); fp != nil {
+		if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
+			if fault.Stall > 0 {
+				f.env.SleepScaled(fault.Stall)
+			}
+			if fault.Panic {
+				panic(fmt.Sprintf("injected worker fault (task %d)", t.ID))
+			}
+		}
+	}
+	f.env.SleepScaled(w.node.ServiceTime(work))
+	if nw := f.cfg.Network; nw != nil && f.cfg.HomeDomain != "" {
+		if lat := nw.LinkBetween(f.cfg.HomeDomain, w.node.Domain.Name).Latency; lat > 0 {
+			f.env.SleepScaled(lat)
+		}
+	}
+	return applyFn(f.cfg.Fn, t), false
+}
+
+// containPanic turns a panicked worker into a crashed one, exactly as
+// KillWorker would: the in-flight envelope is restored into the worker's
+// own queue, the queue is failed so its tasks strand for the fault manager
+// to recover, and the crash edge fires. The process never dies.
+func (f *Farm) containPanic(w *worker, env *envelope) {
+	f.mu.Lock()
+	if !w.failed && !w.exited {
+		w.failed = true
+		w.queue.fail()
+	}
+	w.queue.restore([]*envelope{env})
+	f.mu.Unlock()
+	f.hooks.fire()
 }
 
 // newWorkerLocked builds a worker on the given node with the given binding
@@ -473,6 +619,7 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	f.active++
 	f.mu.Unlock()
 	go f.runWorker(w)
+	f.flushPending(w)
 	return w.id, nil
 }
 
@@ -489,19 +636,48 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 // and any task later restored into it would be sent on the closed results
 // channel.
 func (f *Farm) AddRecoveryWorker() (string, error) {
+	return f.AddRecoveryWorkerWithPrepare(nil)
+}
+
+// AddRecoveryWorkerWithPrepare is AddRecoveryWorker with the same
+// preparation phase as AddWorkerWithPrepare, so recovery recruitment obeys
+// the two-phase security protocol too: a replacement landing on an
+// untrusted node gets its binding secured before any stranded task can
+// reach it.
+func (f *Farm) AddRecoveryWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.resultsClosed {
+		f.mu.Unlock()
 		return "", ErrStreamEnded
 	}
 	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
 	if err != nil {
+		f.mu.Unlock()
 		return "", err
 	}
 	w := f.newWorkerLocked(node, security.Plain{})
+	f.mu.Unlock()
+
+	if prepare != nil {
+		// Not yet visible to the dispatcher or RecoverWorker, so the
+		// handshake cannot race with task sends.
+		if err := prepare(w.id, node, w.setCodec); err != nil {
+			node.Release()
+			return "", fmt.Errorf("skel: prepare for %s: %w", w.id, err)
+		}
+	}
+
+	f.mu.Lock()
+	if f.resultsClosed {
+		f.mu.Unlock()
+		node.Release()
+		return "", ErrStreamEnded
+	}
 	f.workers = append(f.workers, w)
 	f.active++
+	f.mu.Unlock()
 	go f.runWorker(w)
+	f.flushPending(w)
 	return w.id, nil
 }
 

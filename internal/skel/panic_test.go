@@ -1,0 +1,117 @@
+package skel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runtime/leaktest"
+)
+
+// TestWorkerPanicContained proves the panic-containment invariant: a worker
+// function that panics mid-task crashes only its worker — the process stays
+// up, the in-flight task is requeued, and after recovery every task of the
+// stream is collected exactly once.
+func TestWorkerPanicContained(t *testing.T) {
+	defer leaktest.Check(t)()
+	f, err := NewFarm(FarmConfig{
+		Name: "pc", Env: fastEnv(), RM: smpRM(4), InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tripped atomic.Bool
+	f.SetWorkerFault(func(string, *Task) WorkerFault {
+		if tripped.CompareAndSwap(false, true) {
+			return WorkerFault{Panic: true}
+		}
+		return WorkerFault{}
+	})
+
+	const n = 30
+	tasks := mkTasks(n, 100*time.Millisecond)
+	in := make(chan *Task, n)
+	for _, task := range tasks {
+		in <- task
+	}
+	close(in)
+	out := make(chan *Task, n+8)
+	runDone := make(chan struct{})
+	go func() { f.Run(context.Background(), in, out); close(runDone) }()
+
+	// Stand-in for the fault manager: recover the crashed worker's
+	// stranded tasks (including the requeued in-flight one) onto the
+	// survivor as soon as the crash surfaces.
+	recovered := make(chan string, 1)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, w := range f.Workers() {
+				if w.Failed {
+					if _, err := f.RecoverWorker(w.ID); err == nil {
+						recovered <- w.ID
+						return
+					}
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(recovered)
+	}()
+
+	seen := map[uint64]int{}
+	for r := range out {
+		seen[r.ID]++
+	}
+	<-runDone
+
+	victim, ok := <-recovered
+	if !ok {
+		t.Fatal("no worker crash surfaced within the deadline")
+	}
+	if len(seen) != n {
+		t.Fatalf("collected %d distinct tasks, want %d", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d collected %d times (exactly-once violated)", id, c)
+		}
+	}
+	// The panic must have been reported as a worker error, not swallowed.
+	select {
+	case err := <-f.Errors():
+		if err == nil {
+			t.Fatal("nil error reported for the panic")
+		}
+	default:
+		t.Fatalf("panic of %s produced no error report", victim)
+	}
+}
+
+// TestWorkerStallFault checks the stall injection path: a stalled worker
+// holds its task for the injected duration but the stream still completes
+// with every task collected.
+func TestWorkerStallFault(t *testing.T) {
+	defer leaktest.Check(t)()
+	f, err := NewFarm(FarmConfig{
+		Name: "st", Env: fastEnv(), RM: smpRM(4), InitialWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tripped atomic.Bool
+	f.SetWorkerFault(func(string, *Task) WorkerFault {
+		if tripped.CompareAndSwap(false, true) {
+			return WorkerFault{Stall: 2 * time.Second} // 2ms real at scale 1000
+		}
+		return WorkerFault{}
+	})
+	results := runStage(t, f, mkTasks(20, 50*time.Millisecond))
+	if len(results) != 20 {
+		t.Fatalf("collected %d/20 with a stalled worker", len(results))
+	}
+	if !tripped.Load() {
+		t.Fatal("stall fault never delivered")
+	}
+}

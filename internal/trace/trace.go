@@ -44,6 +44,7 @@ const (
 	Recovered   Kind = "recovered"   // stranded tasks redistributed after a crash
 	Migrated    Kind = "migrated"    // worker moved to a faster/less loaded node
 	ErrsDropped Kind = "errsDropped" // runtime errors lost to a full error buffer
+	Quarantine  Kind = "quarantine"  // node circuit breaker tripped after repeated crashes
 )
 
 // Event is one timestamped autonomic event emitted by a manager.
