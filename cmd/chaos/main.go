@@ -13,12 +13,18 @@
 //
 // Usage:
 //
-//	chaos [-seed N] [-storm N] [-scale N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D]
+//	chaos [-seed N] [-storm N] [-scale N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
 //
-// Exit status 1 on error, 2 when any soak invariant is violated.
+// -golden FILE compares the run's replay-identity artifact (the fault
+// schedule plus the canonical invariant summary) byte for byte against a
+// committed golden file; -write-golden FILE (re)generates one.
+//
+// Exit status 1 on error, 2 when any soak invariant is violated, 3 when
+// the run diverges from the golden file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +39,8 @@ func main() {
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
+	golden := flag.String("golden", "", "compare the deterministic schedule+summary against this golden file")
+	writeGolden := flag.String("write-golden", "", "write the deterministic schedule+summary to this golden file")
 	timeout := flags.RegisterTimeout()
 	telemetry := flags.RegisterTelemetry()
 	flag.Parse()
@@ -64,7 +72,24 @@ func main() {
 		fmt.Println("\n--- event timeline ---")
 		fmt.Print(res.Log.Timeline())
 	}
+	if *writeGolden != "" {
+		if err := os.WriteFile(*writeGolden, []byte(res.Golden()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos: writing golden:", err)
+			os.Exit(1)
+		}
+	}
 	if v := res.Summary.Invariants(); len(v) > 0 {
 		os.Exit(2)
+	}
+	if *golden != "" {
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		if got := []byte(res.Golden()); !bytes.Equal(got, want) {
+			fmt.Fprintf(os.Stderr, "chaos: run diverged from golden %s\n--- want ---\n%s--- got ---\n%s", *golden, want, got)
+			os.Exit(3)
+		}
 	}
 }

@@ -22,6 +22,14 @@ import (
 // violation upward (P_rol) and lets the next control cycle re-sense.
 var ErrActuatorTimeout = errors.New("abc: actuator operation timed out")
 
+// ErrManagerDown is returned through the actuator path when a coordinating
+// manager required by the operation (the two-phase security participant)
+// is down. It is permanent from the Guard's point of view — retrying
+// inside one Execute cannot outlast a manager restart; instead the
+// coordinator records the aborted intent and re-issues it once the
+// participant is back.
+var ErrManagerDown = errors.New("abc: coordinating manager is down")
+
 // GuardConfig parameterizes a Guard.
 type GuardConfig struct {
 	// Clock times the per-operation deadline and the backoff sleeps
@@ -94,6 +102,7 @@ func (g *Guard) Timeouts() uint64 { return g.timeouts.Load() }
 func permanentExecErr(err error) bool {
 	return errors.Is(err, ErrUnsupported) ||
 		errors.Is(err, ErrActuatorTimeout) ||
+		errors.Is(err, ErrManagerDown) ||
 		errors.Is(err, grid.ErrExhausted) ||
 		errors.Is(err, skel.ErrLastWorker) ||
 		errors.Is(err, skel.ErrNoWorker) ||

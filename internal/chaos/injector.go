@@ -54,6 +54,29 @@ type Targets struct {
 	// (default 60s). A storm whose recovery exceeds it counts as
 	// unrecovered — an invariant violation in the soak harness.
 	MaxRecover time.Duration
+	// Managers are the management-plane victims of the manager fault
+	// kinds. Victims are picked round-robin in slice order across all
+	// manager events, so coverage is deterministic per plan: list them in
+	// a fixed order. Durations passed to the closures are modelled time;
+	// the closures scale them onto their manager's clock.
+	Managers []ManagerTarget
+}
+
+// ManagerTarget binds one management loop as a chaos victim. Crash is
+// mandatory for the slot to be usable; Panic and Stall are optional —
+// when the loop cannot express them the injector falls back to Crash, so
+// every manager event lands on its victim.
+type ManagerTarget struct {
+	Name string
+	// Crash kills the loop; window is the modelled down-window for
+	// participants that refuse requests until their restart completes
+	// (loop-style managers may ignore it — their downtime is the
+	// supervisor's backoff). Returns false when undeliverable.
+	Crash func(window time.Duration) bool
+	// Panic makes the loop panic mid-cycle (supervisor converts).
+	Panic func() bool
+	// Stall freezes the loop for the modelled duration d.
+	Stall func(d time.Duration) bool
 }
 
 // Report summarizes one Injector.Run. Applied counts can depend on runtime
@@ -90,6 +113,12 @@ type Injector struct {
 
 	injectedActs     atomic.Uint64
 	injectedRecruits atomic.Uint64
+	injectedMgr      atomic.Uint64
+
+	// mgrRR is the round-robin cursor over Targets.Managers; advanced on
+	// every manager fault event (even skipped ones), keeping victim
+	// selection a pure function of the plan.
+	mgrRR int
 
 	wg     sync.WaitGroup // window-restore goroutines
 	closed chan struct{}
@@ -141,6 +170,20 @@ func (in *Injector) InjectedActuatorFailures() uint64 { return in.injectedActs.L
 
 // InjectedRecruitFailures returns how many recruitments the plane vetoed.
 func (in *Injector) InjectedRecruitFailures() uint64 { return in.injectedRecruits.Load() }
+
+// InjectedManagerFaults returns how many manager faults were delivered.
+func (in *Injector) InjectedManagerFaults() uint64 { return in.injectedMgr.Load() }
+
+// nextManager returns the next manager victim round-robin, advancing the
+// cursor unconditionally so selection depends only on the plan.
+func (in *Injector) nextManager() *ManagerTarget {
+	if len(in.t.Managers) == 0 {
+		return nil
+	}
+	t := &in.t.Managers[in.mgrRR%len(in.t.Managers)]
+	in.mgrRR++
+	return t
+}
 
 // real converts a modelled duration to wall time under the env time scale.
 func (in *Injector) real(d time.Duration) time.Duration {
@@ -320,6 +363,44 @@ func (in *Injector) apply(ev Event) bool {
 		in.actDelay.Store(int64(time.Duration(ev.Param * float64(time.Millisecond))))
 		in.openWindow(&in.actSlowUntil, ev.Dur)
 		in.record(ev, fmt.Sprintf("+%.0fms for %v", ev.Param, ev.Dur))
+	case ManagerCrash:
+		t := in.nextManager()
+		if t == nil || t.Crash == nil || !t.Crash(ev.Dur) {
+			return false
+		}
+		in.injectedMgr.Add(1)
+		in.record(ev, fmt.Sprintf("%s down %v", t.Name, ev.Dur))
+	case ManagerPanic:
+		t := in.nextManager()
+		if t == nil {
+			return false
+		}
+		// Loops that cannot panic fall back to a crash: the event must
+		// land on its victim either way.
+		switch {
+		case t.Panic != nil && t.Panic():
+			in.record(ev, t.Name)
+		case t.Crash != nil && t.Crash(0):
+			in.record(ev, t.Name+" (as crash)")
+		default:
+			return false
+		}
+		in.injectedMgr.Add(1)
+	case ManagerStall:
+		t := in.nextManager()
+		if t == nil {
+			return false
+		}
+		d := time.Duration(ev.Param * float64(time.Second))
+		switch {
+		case t.Stall != nil && t.Stall(d):
+			in.record(ev, fmt.Sprintf("%s stalls %.1fs", t.Name, ev.Param))
+		case t.Crash != nil && t.Crash(0):
+			in.record(ev, t.Name+" (as crash)")
+		default:
+			return false
+		}
+		in.injectedMgr.Add(1)
 	default:
 		return false
 	}

@@ -45,6 +45,15 @@ const (
 	ActuatorFail Kind = "actuatorFail"
 	// ActuatorSlow delays every ABC Execute by Param ms for Dur.
 	ActuatorSlow Kind = "actuatorSlow"
+	// ManagerCrash kills a management loop (round-robin over the manager
+	// targets); windowed participants (the two-phase security manager)
+	// stay down for Dur before their supervised restart answers again.
+	ManagerCrash Kind = "managerCrash"
+	// ManagerPanic makes a management loop panic mid-cycle; the supervisor
+	// converts it to a restart.
+	ManagerPanic Kind = "managerPanic"
+	// ManagerStall freezes a management loop for Param modelled seconds.
+	ManagerStall Kind = "managerStall"
 )
 
 // Kinds lists the full taxonomy in canonical order.
@@ -52,6 +61,7 @@ func Kinds() []Kind {
 	return []Kind{
 		WorkerCrash, WorkerPanic, WorkerStall, ExtLoad, LinkDegrade,
 		RecruitFlaky, RecruitOutage, ActuatorFail, ActuatorSlow,
+		ManagerCrash, ManagerPanic, ManagerStall,
 	}
 }
 
@@ -168,6 +178,12 @@ func NewPlan(seed int64, cfg StormConfig) Plan {
 			case ActuatorSlow:
 				ev.Param = float64(200 + rng.Intn(401)) // 200–600 ms
 				ev.Dur = millis(rng, 5000, 10000)
+			case ManagerCrash:
+				ev.Dur = millis(rng, 2000, 6000) // participant down-window
+			case ManagerPanic:
+				// instantaneous, no magnitude
+			case ManagerStall:
+				ev.Param = float64(2+rng.Intn(5)) + float64(rng.Intn(1000))/1000 // 2–7 s
 			}
 			events = append(events, ev)
 		}

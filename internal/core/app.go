@@ -74,6 +74,11 @@ type App struct {
 	Fault     *manager.FaultManager
 	Migration *manager.MigrationManager
 
+	// Supervisors holds the restart supervisor of every management loop,
+	// keyed by manager name (see supervision.go). The chaos soak and the
+	// telemetry plane read restart counts and causes from it.
+	Supervisors map[string]*runtime.Supervisor
+
 	// SamplePeriod is the sampling period of the result series in clock
 	// time (already scaled). Default 50ms.
 	SamplePeriod time.Duration
@@ -90,6 +95,11 @@ type App struct {
 	telemetry       *telemetry.Registry
 	tracer          *telemetry.Tracer
 	telemetryServer *telemetry.Server
+
+	// Self-healing plane (see supervision.go): per-loop supervisors for
+	// the concern managers and the shared restart-downtime histogram.
+	gmSuper, secSuper, faultSuper, migSuper *runtime.Supervisor
+	mttr                                    *metrics.Histogram
 }
 
 // Contract installs the top-level SLA on the root manager (propagating
@@ -165,15 +175,15 @@ func (a *App) RunContext(ctx context.Context) (*Result, error) {
 	}
 	switch {
 	case a.GM != nil:
-		mgmt.Go(a.GM.Run)
+		mgmt.Go(supervised(a.gmSuper, a.GM.Run))
 	case a.Security != nil && a.startSecurity:
-		mgmt.Go(a.Security.Run)
+		mgmt.Go(supervised(a.secSuper, a.Security.Run))
 	}
 	if a.Fault != nil {
-		mgmt.Go(a.Fault.Run)
+		mgmt.Go(supervised(a.faultSuper, a.Fault.Run))
 	}
 	if a.Migration != nil {
-		mgmt.Go(a.Migration.Run)
+		mgmt.Go(supervised(a.migSuper, a.Migration.Run))
 	}
 	mgmt.Go(func(ctx context.Context) error { // sampler
 		ticker := clock.NewTicker(sample)

@@ -113,6 +113,14 @@ type FarmAppConfig struct {
 	// transient actuator failures with bounded jittered backoff.
 	ActuatorTimeout time.Duration
 
+	// JitterSeed, when non-zero, seeds one shared PRNG that every backoff
+	// in the app draws its jitter from — the actuator guard's retries, the
+	// fault manager's recruitment retries and the manager-restart
+	// supervisors — so a run's whole retry plane replays deterministically
+	// from (JitterSeed, fault plan). Zero keeps the default global-rand
+	// jitter.
+	JitterSeed int64
+
 	// WithMigration attaches a migration manager that moves workers off
 	// nodes whose external load exceeds MigrationMaxLoad (default 0.5).
 	WithMigration    bool
@@ -207,6 +215,11 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		}
 	}
 
+	var jit func() float64
+	if cfg.JitterSeed != 0 {
+		jit = runtime.NewSeededJitter(cfg.JitterSeed)
+	}
+
 	payload := make([]byte, cfg.Payload)
 	for i := range payload {
 		payload[i] = byte(i)
@@ -247,7 +260,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 	guard := abc.NewGuard(farmABC, abc.GuardConfig{
 		Clock:   clock,
 		Timeout: scaled(env, actTimeout),
-		Backoff: runtime.Backoff{Clock: clock},
+		Backoff: runtime.Backoff{Clock: clock, Rand: jit},
 	})
 	amF, err := manager.NewFarmManager("AM_F", guard, cfg.Log, clock,
 		scaled(env, cfg.Period), cfg.Limits)
@@ -321,7 +334,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 			Period:          scaled(env, fp),
 			RM:              cfg.Platform.RM,
 			QuarantineAfter: cfg.FaultQuarantineAfter,
-			Retry:           runtime.Backoff{Clock: clock},
+			Retry:           runtime.Backoff{Clock: clock, Rand: jit},
 		}
 		// scaled() floors at 1ms, so modelled knobs translate only when set.
 		if cfg.FaultSuspectAfter > 0 {
@@ -359,6 +372,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		app.Migration = mig
 	}
 
+	app.initSupervision(jit)
 	app.initTelemetry(farmIns)
 	if err := app.Contract(cfg.Contract); err != nil {
 		return nil, err
@@ -557,6 +571,7 @@ func NewPipelineApp(cfg PipelineAppConfig) (*App, error) {
 	app.Root = pipeBS
 	_ = prodNode // held for the duration of the app (resource accounting)
 
+	app.initSupervision(nil)
 	app.initTelemetry(farmIns)
 	if err := app.Contract(cfg.Contract); err != nil {
 		return nil, err

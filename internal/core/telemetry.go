@@ -26,7 +26,14 @@ type ManagerNode struct {
 	State        string                    `json:"state"`
 	Contract     string                    `json:"contract,omitempty"`
 	LastDecision *telemetry.DecisionRecord `json:"last_decision,omitempty"`
-	Children     []*ManagerNode            `json:"children,omitempty"`
+	// Self-healing surfaces: supervised restarts of this manager's loop,
+	// the cause of the most recent one, and the child-side violation
+	// buffer state across parent outages.
+	Restarts           uint64         `json:"restarts,omitempty"`
+	LastRestartCause   string         `json:"last_restart_cause,omitempty"`
+	BufferedViolations int            `json:"buffered_violations,omitempty"`
+	ViolationDrops     uint64         `json:"violation_drops,omitempty"`
+	Children           []*ManagerNode `json:"children,omitempty"`
 }
 
 // ManagersView is the /managers payload: the performance hierarchy plus
@@ -88,7 +95,23 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 			"Actuator operations that failed after the hardened path gave up.",
 			telemetry.Labels{"manager": m.Name()},
 			func() float64 { return float64(mm.ActuatorFailures()) })
+		reg.AddCounter("repro_violations_dropped_total",
+			"Buffered child violations dropped oldest-first during a parent outage.",
+			telemetry.Labels{"manager": m.Name()},
+			func() float64 { return float64(mm.ViolationDrops()) })
 	})
+	for name, sup := range a.Supervisors {
+		s := sup
+		reg.AddCounter("repro_manager_restarts_total",
+			"Supervised restarts of a management loop after a crash or panic.",
+			telemetry.Labels{"manager": name},
+			func() float64 { return float64(s.Restarts()) })
+	}
+	if a.mttr != nil {
+		reg.AddHistogram("repro_manager_mttr_seconds",
+			"Downtime between a management-loop failure and its supervised restart.",
+			nil, a.mttr)
+	}
 	if a.GM != nil {
 		a.GM.SetTracer(tracer)
 	} else if a.Security != nil {
@@ -187,11 +210,17 @@ func (a *App) managersView() *ManagersView {
 		if rec, ok := last[name]; ok {
 			n.LastDecision = &rec
 		}
+		if sup := a.Supervisors[name]; sup != nil {
+			n.Restarts = sup.Restarts()
+			n.LastRestartCause = sup.LastCause()
+		}
 		return n
 	}
 	var build func(m *manager.Manager) *ManagerNode
 	build = func(m *manager.Manager) *ManagerNode {
 		n := node(m.Name(), m.Concern(), m.State().String(), m.Contract().Describe())
+		n.BufferedViolations = m.BufferedViolations()
+		n.ViolationDrops = m.ViolationDrops()
 		for _, c := range m.Children() {
 			n.Children = append(n.Children, build(c))
 		}
@@ -208,6 +237,14 @@ func (a *App) managersView() *ManagersView {
 	if a.Security != nil {
 		view.Concerns = append(view.Concerns,
 			node(a.Security.Name(), "security", "active", ""))
+	}
+	if a.Fault != nil {
+		view.Concerns = append(view.Concerns,
+			node(a.Fault.Name(), "faultTolerance", "active", ""))
+	}
+	if a.Migration != nil {
+		view.Concerns = append(view.Concerns,
+			node(a.Migration.Name(), "migration", "active", ""))
 	}
 	return view
 }

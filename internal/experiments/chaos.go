@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
@@ -62,6 +63,14 @@ type ChaosSummary struct {
 	Unrecovered   int
 	GoroutineLeak bool
 	MTTRSampled   bool
+	// ManagerHealed: at least one management loop was killed and
+	// supervised back to life (restart count and manager-MTTR histogram
+	// both non-zero). Every plan schedules manager faults, so a run that
+	// never restarts a manager means the self-healing plane is not wired.
+	ManagerHealed bool
+	// ReissueBounded: the GM never re-issued more two-phase intents than
+	// it aborted — the at-most-once guarantee of the abort/reissue path.
+	ReissueBounded bool
 }
 
 // String renders the summary in a canonical byte-stable form.
@@ -74,8 +83,9 @@ func (s ChaosSummary) String() string {
 		fmt.Fprintf(&b, " %s=%d", k, s.ByKind[k])
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "invariants: lost=%d dups=%d leaks=%d unrecovered=%d goroutine_leak=%v mttr_sampled=%v\n",
-		s.Lost, s.Duplicates, s.Leaks, s.Unrecovered, s.GoroutineLeak, s.MTTRSampled)
+	fmt.Fprintf(&b, "invariants: lost=%d dups=%d leaks=%d unrecovered=%d goroutine_leak=%v mttr_sampled=%v manager_healed=%v reissue_bounded=%v\n",
+		s.Lost, s.Duplicates, s.Leaks, s.Unrecovered, s.GoroutineLeak, s.MTTRSampled,
+		s.ManagerHealed, s.ReissueBounded)
 	return b.String()
 }
 
@@ -101,6 +111,12 @@ func (s ChaosSummary) Invariants() []string {
 	if !s.MTTRSampled {
 		v = append(v, "MTTR histogram is empty (no recovery was measured)")
 	}
+	if !s.ManagerHealed {
+		v = append(v, "no management loop was restarted (self-healing not exercised)")
+	}
+	if !s.ReissueBounded {
+		v = append(v, "GM re-issued more intents than it aborted (at-most-once broken)")
+	}
 	return v
 }
 
@@ -118,6 +134,15 @@ type ChaosResult struct {
 	// actually delivered through the hooks.
 	InjectedActuator uint64
 	InjectedRecruit  uint64
+	// InjectedManager counts delivered manager faults; ManagerRestarts the
+	// supervised restarts they caused across every management loop.
+	InjectedManager uint64
+	ManagerRestarts uint64
+	// AbortedIntents / ReissuedIntents trace the GM's two-phase abort
+	// path: topology intents rolled back because the security participant
+	// was down, and their re-issues after its recovery.
+	AbortedIntents  uint64
+	ReissuedIntents uint64
 	// Tracer is the run's decision tracer, for JSONL export of the MAPE
 	// decision trace (the CI artifact).
 	Tracer *telemetry.Tracer
@@ -188,6 +213,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		FaultPeriod:        500 * time.Millisecond,
 		FaultSuspectAfter:  6 * time.Second,
 		ActuatorTimeout:    10 * time.Second,
+		JitterSeed:         copts.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +231,66 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		snap := fa.Snapshot()
 		return snap.StreamDone || con.Check(snap).OK()
 	}
+
+	// Management-plane victims, in fixed order so the injector's
+	// round-robin selection stays a pure function of the plan: the
+	// performance root (exercising checkpoint/restore), the fault-tolerance
+	// loop, the two-phase security participant (a down-window, so intents
+	// prepared against it abort) and the GM coordinator. Modelled durations
+	// are scaled onto the app clock here.
+	real := func(d time.Duration) time.Duration {
+		s := env.TimeScale
+		if s <= 0 {
+			s = 1
+		}
+		out := time.Duration(float64(d) / s)
+		if out <= 0 {
+			out = time.Millisecond
+		}
+		return out
+	}
+	var amfCrash, amfPanic atomic.Int32
+	var amfStall atomic.Int64 // pending stall, clock ns
+	app.RootManager.SetRunFault(func() manager.RunFault {
+		var f manager.RunFault
+		if d := amfStall.Swap(0); d > 0 {
+			f.Stall = time.Duration(d)
+		}
+		switch {
+		case takeFault(&amfPanic):
+			f.Panic = true
+		case takeFault(&amfCrash):
+			f.Crash = true
+		}
+		return f
+	})
+	mgrs := []chaos.ManagerTarget{
+		{
+			Name:  app.RootManager.Name(),
+			Crash: func(time.Duration) bool { amfCrash.Add(1); return true },
+			Panic: func() bool { amfPanic.Add(1); return true },
+			Stall: func(d time.Duration) bool { amfStall.Store(int64(real(d))); return true },
+		},
+		{
+			Name:  app.Fault.Name(),
+			Crash: func(time.Duration) bool { return app.Fault.InjectCrash() },
+		},
+		{
+			Name: app.Security.Name(),
+			Crash: func(w time.Duration) bool {
+				if w <= 0 {
+					w = 2 * time.Second
+				}
+				app.Security.FailFor(real(w))
+				return true
+			},
+		},
+		{
+			Name:  app.GM.Name(),
+			Crash: func(time.Duration) bool { return app.GM.InjectCrash() },
+		},
+	}
+
 	inj := chaos.NewInjector(chaos.Targets{
 		Farm:       fa.Farm(),
 		Exec:       fa,
@@ -218,6 +304,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		Health:     health,
 		MTTR:       mttr,
 		MaxRecover: copts.MaxRecover,
+		Managers:   mgrs,
 	})
 
 	injCtx, cancelInj := context.WithCancel(ctx)
@@ -264,6 +351,11 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 	if app.Auditor != nil {
 		leaks = app.Auditor.Leaks()
 	}
+	var restarts uint64
+	for _, s := range app.Supervisors {
+		restarts += s.Restarts()
+	}
+	mgrMTTRSampled := app.ManagerMTTR() != nil && app.ManagerMTTR().Count() > 0
 	summary := ChaosSummary{
 		Seed:          copts.Seed,
 		Fingerprint:   plan.Fingerprint(),
@@ -273,9 +365,11 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		Lost:          tasks - distinct,
 		Duplicates:    collected - distinct,
 		Leaks:         leaks,
-		Unrecovered:   rep.Unrecovered,
-		GoroutineLeak: leaked,
-		MTTRSampled:   mttr.Count() > 0,
+		Unrecovered:    rep.Unrecovered,
+		GoroutineLeak:  leaked,
+		MTTRSampled:    mttr.Count() > 0,
+		ManagerHealed:  restarts > 0 && mgrMTTRSampled,
+		ReissueBounded: app.GM.ReissuedIntents() <= app.GM.AbortedIntents(),
 	}
 
 	var farmErrs []string
@@ -297,6 +391,10 @@ drainErrs:
 		MTTR:             mttr,
 		InjectedActuator: inj.InjectedActuatorFailures(),
 		InjectedRecruit:  inj.InjectedRecruitFailures(),
+		InjectedManager:  inj.InjectedManagerFaults(),
+		ManagerRestarts:  restarts,
+		AbortedIntents:   app.GM.AbortedIntents(),
+		ReissuedIntents:  app.GM.ReissuedIntents(),
 		Tracer:           app.Tracer(),
 		FarmErrors:       farmErrs,
 	}
@@ -307,6 +405,33 @@ drainErrs:
 		writeChaos(opts.Out, out)
 	}
 	return out, nil
+}
+
+// Golden renders the replay-identity artifact of a soak run: the full
+// fault schedule plus the canonical summary, both pure functions of the
+// seed and the invariant verdicts. Two same-seed runs must produce this
+// byte-identically; CI diffs it against the committed goldens.
+func (r *ChaosResult) Golden() string {
+	var b strings.Builder
+	for _, line := range r.Plan.Schedule() {
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	b.WriteString(r.Summary.String())
+	return b.String()
+}
+
+// takeFault atomically consumes one pending one-shot manager fault.
+func takeFault(c *atomic.Int32) bool {
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
 }
 
 // writeChaos renders the soak outcome.
@@ -327,9 +452,11 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 	// Run-dependent diagnostics: unlike the schedule and the summary above,
 	// these counts depend on what the live system was doing inside each
 	// fault window and may differ between same-seed runs.
-	fmt.Fprintf(w, "diagnostics: completed=%d recovered=%d/%d mttr_samples=%d actuator_failures=%d injected: act=%d recruit=%d\n",
+	fmt.Fprintf(w, "diagnostics: completed=%d recovered=%d/%d mttr_samples=%d actuator_failures=%d injected: act=%d recruit=%d mgr=%d\n",
 		r.Completed, r.Report.Recovered, r.Report.Storms, r.MTTR.Count(),
-		r.ActuatorFailures, r.InjectedActuator, r.InjectedRecruit)
+		r.ActuatorFailures, r.InjectedActuator, r.InjectedRecruit, r.InjectedManager)
+	fmt.Fprintf(w, "self-healing: restarts=%d intents aborted=%d reissued=%d\n",
+		r.ManagerRestarts, r.AbortedIntents, r.ReissuedIntents)
 	if v := r.Summary.Invariants(); len(v) > 0 {
 		for _, line := range v {
 			fmt.Fprintf(w, "VIOLATION: %s\n", line)

@@ -74,6 +74,26 @@ func TestQuarantineExtendsWindow(t *testing.T) {
 	}
 }
 
+func TestQuarantineRearmNeverShrinksWindow(t *testing.T) {
+	rm, _, _ := twoNodeRM()
+	clock := simclock.NewManual(time.Unix(0, 0))
+	rm.SetClock(clock)
+	rm.Quarantine("a", 20*time.Second)
+	clock.Advance(5 * time.Second)
+	// Re-trip with a shorter cooldown: the new deadline (now+2s) lies
+	// inside the existing window (now+15s), so the longer window must win —
+	// a flapping node cannot talk its way out of quarantine early.
+	rm.Quarantine("a", 2*time.Second)
+	clock.Advance(3 * time.Second) // the short window would have expired
+	if got := rm.Quarantined(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("shorter re-arm shrank the quarantine window: %v", got)
+	}
+	clock.Advance(13 * time.Second) // 21s after the first trip
+	if got := rm.Quarantined(); len(got) != 0 {
+		t.Fatalf("quarantine outlived its original window: %v", got)
+	}
+}
+
 func TestRecruitFaultHook(t *testing.T) {
 	rm, _, _ := twoNodeRM()
 	boom := errors.New("injected")

@@ -96,6 +96,11 @@ type FaultManager struct {
 	degraded        bool
 	recruitFailures uint64
 
+	// crashFlag marks a pending injected crash: the detection loop dies on
+	// its next wake and the supervisor restarts it. Detector state (crash
+	// charges, progress marks) survives in the struct.
+	crashFlag atomic.Bool
+
 	running atomic.Bool
 	life    runtime.Lifecycle
 }
@@ -434,8 +439,20 @@ func (m *FaultManager) Run(ctx context.Context) error {
 		case <-ticker.C():
 		case <-wake.C():
 		}
+		if m.crashFlag.CompareAndSwap(true, false) {
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Crashed, "injected")
+			return fmt.Errorf("manager %s: %w", m.cfg.Name, ErrInjectedCrash)
+		}
 		m.RunOnce()
 	}
+}
+
+// InjectCrash marks the detection loop for an injected crash on its next
+// wake; the supervisor restarts it with the detector state intact.
+// Returns true (the fault is always deliverable).
+func (m *FaultManager) InjectCrash() bool {
+	m.crashFlag.Store(true)
+	return true
 }
 
 // Start launches the detection loop on a background goroutine. A second

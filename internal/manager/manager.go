@@ -156,6 +156,22 @@ type Manager struct {
 	// actFailures counts actuator executions that failed (and were turned
 	// into violations); exported at /metrics as actuator_failures.
 	actFailures atomic.Uint64
+	// escalations counts violations reported to the parent.
+	escalations atomic.Uint64
+
+	// Self-healing state (selfheal.go): the chaos fault hook, the crashed
+	// flag set between a crash wipe and the checkpoint replay, the last
+	// checkpoint, the bounded buffer of violations raised while the parent
+	// was down, and the lazily built restart supervisor.
+	runFault      atomic.Pointer[func() RunFault]
+	crashed       atomic.Bool
+	checkpoint    Checkpoint // guarded by mu
+	hasCheckpoint bool       // guarded by mu
+	violBuf       []Violation
+	violDrops     atomic.Uint64
+	superMu       sync.Mutex
+	superCfg      runtime.SupervisorConfig
+	super         *runtime.Supervisor
 
 	// per-RunOnce scratch (single goroutine)
 	cycleLocalAction bool
@@ -287,6 +303,14 @@ func (m *Manager) SetWarmUp(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// warmUpDeadline is the instant the rule engine may start firing; Restore
+// re-bases it so a restart observes exactly the checkpointed remainder.
+func (m *Manager) warmUpDeadline() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.created.Add(m.cfg.WarmUp)
+}
+
 // SetEngine replaces the manager's rule engine (used when a new contract
 // re-parameterizes the rules).
 func (m *Manager) SetEngine(e *rules.Engine) {
@@ -374,6 +398,8 @@ func (m *Manager) noteAction(op, detail string, err error) {
 // root) and marks this cycle as violation-raising. With tracing on, the
 // violation carries the cycle's causality id (allocating one if this
 // cycle has none yet), so the parent's reaction records chain to ours.
+// While the parent is down (crashed and not yet restored), the violation
+// is parked in the bounded buffer instead and re-delivered on recovery.
 func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
 	m.cycleViolation = true
 	if m.cycleOpen && m.cycleCause == 0 && m.tracer != nil {
@@ -381,12 +407,19 @@ func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
 	}
 	m.event(trace.RaiseViol, tag)
 	parent := m.Parent()
-	if parent != nil {
-		parent.deliver(Violation{
-			From: m.cfg.Name, Tag: tag, Snapshot: snap,
-			When: m.clock.Now(), CauseID: m.cycleCause,
-		})
+	if parent == nil {
+		return
 	}
+	m.escalations.Add(1)
+	v := Violation{
+		From: m.cfg.Name, Tag: tag, Snapshot: snap,
+		When: m.clock.Now(), CauseID: m.cycleCause,
+	}
+	if parent.Crashed() {
+		m.bufferViolation(v)
+		return
+	}
+	parent.deliver(v)
 }
 
 // Escalate forwards a violation up the hierarchy. Intermediate managers —
@@ -458,6 +491,10 @@ func (m *Manager) RunOnce() error {
 	wakeNS := m.cycleWakeNS
 	m.cycleWakeNS = 0
 
+	// Re-deliver violations parked during a parent outage before reacting
+	// to the live ones, preserving arrival order at the parent.
+	m.flushBuffered()
+
 	// React to child violations first (hierarchical coordination). The
 	// first child violation's causality id is inherited, so the reaction's
 	// decision record chains to the child's.
@@ -510,7 +547,7 @@ drained:
 	var ruleEvals []telemetry.RuleEval
 	engStart := time.Now()
 	engine := m.Engine()
-	if engine != nil && !m.clock.Now().Before(m.created.Add(m.WarmUp())) {
+	if engine != nil && !m.clock.Now().Before(m.warmUpDeadline()) {
 		if m.tracer != nil {
 			_, verdicts, err := engine.CycleExplain(m.cfg.Controller.Beans(), m, 0)
 			for _, v := range verdicts {
@@ -585,6 +622,9 @@ drained:
 		}
 		m.tracer.Record(rec)
 	}
+	// Persist the autonomic state this cycle ended in: the restart path
+	// replays the latest completed MAPE cycle, never a partial one.
+	m.takeCheckpoint()
 	return nil
 }
 
@@ -605,6 +645,11 @@ func (m *Manager) Run(ctx context.Context) error {
 	}
 	defer m.running.Store(false)
 
+	// Restart path: replay the checkpoint before the first cycle so the
+	// loop resumes enforcing the pre-crash contract, re-attached to its
+	// parent.
+	m.recoverIfCrashed()
+
 	var wake runtime.Notifier
 	if ws, ok := m.cfg.Controller.(abc.WakeSource); ok && !m.cfg.PollOnly {
 		// Stamp the oldest unserviced edge so RunOnce can report the
@@ -624,6 +669,25 @@ func (m *Manager) Run(ctx context.Context) error {
 		case <-ticker.C():
 		case <-wake.C():
 		}
+		// Chaos fault hook (nil-gated): stall freezes the loop, panic and
+		// crash kill it — the supervisor converts, restarts and replays.
+		if fp := m.runFault.Load(); fp != nil {
+			f := (*fp)()
+			if f.Stall > 0 {
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-m.clock.After(f.Stall):
+				}
+			}
+			if f.Panic {
+				panic(fmt.Sprintf("manager %s: injected panic", m.cfg.Name))
+			}
+			if f.Crash {
+				m.Crash()
+				return fmt.Errorf("manager %s: %w", m.cfg.Name, ErrInjectedCrash)
+			}
+		}
 		if ns := m.wakeStamp.Swap(0); ns != 0 {
 			m.cycleWakeNS = ns
 		}
@@ -634,8 +698,11 @@ func (m *Manager) Run(ctx context.Context) error {
 }
 
 // RunTree runs the control loops of m and all its descendants as one
-// supervised group under ctx: the first loop to fail cancels its siblings,
-// and RunTree returns once all loops have exited.
+// supervised group under ctx. Every loop runs under the manager's restart
+// Supervisor, so a crashed or panicking member is restarted (replaying its
+// checkpoint) instead of taking the tree down; only a terminal give-up —
+// the restart budget exhausted — cancels the siblings. RunTree returns
+// once all loops have exited.
 func (m *Manager) RunTree(ctx context.Context) error {
 	g, _ := runtime.NewGroup(ctx)
 	m.treeGo(g)
@@ -643,7 +710,7 @@ func (m *Manager) RunTree(ctx context.Context) error {
 }
 
 func (m *Manager) treeGo(g *runtime.Group) {
-	g.Go(m.Run)
+	g.Go(m.Supervisor().Run)
 	for _, c := range m.Children() {
 		c.treeGo(g)
 	}

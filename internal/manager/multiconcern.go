@@ -2,6 +2,7 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/abc"
 	"repro/internal/grid"
+	"repro/internal/rules"
 	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/simclock"
@@ -85,6 +87,14 @@ type SecurityManager struct {
 	farms   []*abc.FarmABC
 	secured int
 
+	// downUntil (clock UnixNano) is the end of the current crash window:
+	// while set in the future the manager is "dead" — prepare requests are
+	// refused with abc.ErrManagerDown and the reactive scan is suspended.
+	// The window models the gap between the process dying and its
+	// supervised replacement accepting requests again.
+	downUntil atomic.Int64
+	crashes   atomic.Uint64
+
 	running atomic.Bool
 	life    runtime.Lifecycle
 }
@@ -136,6 +146,29 @@ func (s *SecurityManager) newCodec() (security.Codec, error) {
 	return security.NewAESGCM(s.cfg.Key, s.clock, s.cfg.Handshake)
 }
 
+// FailFor kills the manager for d of clock time: the chaos plane's
+// manager-crash fault for the two-phase participant. Until the window
+// elapses (the supervised restart coming back up), every prepare request
+// is refused with abc.ErrManagerDown and the reactive scan is suspended.
+func (s *SecurityManager) FailFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.downUntil.Store(s.clock.Now().Add(d).UnixNano())
+	s.crashes.Add(1)
+	s.log.Record(s.clock.Now(), s.cfg.Name, trace.Crashed,
+		fmt.Sprintf("down for %v", d))
+}
+
+// Available reports whether the manager is up (not inside a crash window).
+func (s *SecurityManager) Available() bool {
+	until := s.downUntil.Load()
+	return until == 0 || s.clock.Now().UnixNano() >= until
+}
+
+// Crashes returns how many crash windows have been injected.
+func (s *SecurityManager) Crashes() uint64 { return s.crashes.Load() }
+
 // PrepareWorker is the manager's contribution to the two-phase protocol:
 // called between recruitment and first dispatch, it secures the binding if
 // the policy requires it.
@@ -146,12 +179,21 @@ func (s *SecurityManager) PrepareWorker(id string, node *grid.Node, setCodec fun
 // prepareWorker is PrepareWorker carrying the coordinator's causality id,
 // so the AM_sec prepare record chains to the GM intent/commit records.
 func (s *SecurityManager) prepareWorker(cause uint64, id string, node *grid.Node, setCodec func(security.Codec)) error {
+	if !s.Available() {
+		return fmt.Errorf("manager %s: preparing %s: %w", s.cfg.Name, id, abc.ErrManagerDown)
+	}
 	if !s.cfg.Policy.RequireSecure(s.cfg.DispatchNode, node) {
 		return nil
 	}
 	codec, err := s.newCodec()
 	if err != nil {
 		return fmt.Errorf("manager %s: securing %s: %w", s.cfg.Name, id, err)
+	}
+	if !s.Available() {
+		// Died mid-handshake: the binding must not be half-secured — the
+		// codec is discarded, the coordinator aborts, the farm rolls the
+		// worker back before it could receive a single task.
+		return fmt.Errorf("manager %s: died securing %s: %w", s.cfg.Name, id, abc.ErrManagerDown)
 	}
 	setCodec(codec)
 	s.mu.Lock()
@@ -178,6 +220,9 @@ func (s *SecurityManager) prepareWorker(cause uint64, id string, node *grid.Node
 // the policy requires to be secure but is not gets rebound onto the secure
 // codec. It returns the number of bindings secured this cycle.
 func (s *SecurityManager) RunOnce() int {
+	if !s.Available() {
+		return 0
+	}
 	s.mu.Lock()
 	farms := make([]*abc.FarmABC, len(s.farms))
 	copy(farms, s.farms)
@@ -262,9 +307,28 @@ type GeneralManager struct {
 	mode   CoordinationMode
 	tracer *telemetry.Tracer
 
+	// period paces the GM's own control loop (crash-flag checks and
+	// re-issue of aborted intents). Default 100ms clock time.
+	period time.Duration
+	// pending counts two-phase intents aborted because the participant was
+	// down, per farm; the GM's loop re-issues them once the participant is
+	// back. This is the GM's durable intent log: an injected GM crash does
+	// not wipe it, the supervised restart resumes the re-issue duty.
+	pendingMu sync.Mutex
+	pending   map[*abc.FarmABC]int
+	aborted   atomic.Uint64
+	reissued  atomic.Uint64
+	crashFlag atomic.Bool
+
 	running atomic.Bool
 	life    runtime.Lifecycle
 }
+
+// maxPendingIntents caps the per-farm re-issue backlog: during a long
+// participant outage the performance manager keeps re-sensing and
+// re-intending, and replaying every one of those after recovery would
+// overshoot the topology the contract actually needs.
+const maxPendingIntents = 4
 
 // NewGeneralManager builds a GM over the given security manager.
 func NewGeneralManager(name string, sec *SecurityManager, log *trace.Log, clock simclock.Clock, mode CoordinationMode) (*GeneralManager, error) {
@@ -280,7 +344,19 @@ func NewGeneralManager(name string, sec *SecurityManager, log *trace.Log, clock 
 	if sec == nil && mode != Unmanaged {
 		return nil, fmt.Errorf("manager: %s coordination needs a security manager", mode)
 	}
-	return &GeneralManager{name: name, clock: clock, log: log, sec: sec, mode: mode}, nil
+	return &GeneralManager{
+		name: name, clock: clock, log: log, sec: sec, mode: mode,
+		period:  100 * time.Millisecond,
+		pending: map[*abc.FarmABC]int{},
+	}, nil
+}
+
+// SetPeriod changes the GM loop period (clock time, already scaled by the
+// caller). Call before Run.
+func (g *GeneralManager) SetPeriod(d time.Duration) {
+	if d > 0 {
+		g.period = d
+	}
 }
 
 // Name returns the GM's name.
@@ -328,8 +404,15 @@ func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 			g.log.Record(g.clock.Now(), g.name, trace.Intent, detail)
 			g.decision(cause, trace.Intent, detail)
 			if err := g.sec.prepareWorker(cause, id, node, setCodec); err != nil {
+				// Abort: the farm rolls the prepared worker back (node
+				// released, never dispatched to), so no plaintext binding
+				// can survive the failure. A participant-down abort is
+				// additionally recorded for re-issue after recovery.
 				g.log.Record(g.clock.Now(), g.name, trace.Aborted, err.Error())
 				g.decision(cause, trace.Aborted, err.Error())
+				if errors.Is(err, abc.ErrManagerDown) {
+					g.recordAbort(farm)
+				}
 				return err
 			}
 			g.log.Record(g.clock.Now(), g.name, trace.Committed, id)
@@ -343,10 +426,120 @@ func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 	}
 }
 
+// recordAbort notes one participant-down abort for farm, bounded by
+// maxPendingIntents per farm.
+func (g *GeneralManager) recordAbort(farm *abc.FarmABC) {
+	g.aborted.Add(1)
+	g.pendingMu.Lock()
+	if g.pending[farm] < maxPendingIntents {
+		g.pending[farm]++
+	}
+	g.pendingMu.Unlock()
+}
+
+// AbortedIntents returns how many two-phase intents were aborted because
+// the participant manager was down.
+func (g *GeneralManager) AbortedIntents() uint64 { return g.aborted.Load() }
+
+// ReissuedIntents returns how many aborted intents were re-issued (and
+// committed) after the participant recovered. Always ≤ AbortedIntents.
+func (g *GeneralManager) ReissuedIntents() uint64 { return g.reissued.Load() }
+
+// PendingIntents returns how many aborted intents still await re-issue.
+func (g *GeneralManager) PendingIntents() int {
+	g.pendingMu.Lock()
+	defer g.pendingMu.Unlock()
+	n := 0
+	for _, k := range g.pending {
+		n += k
+	}
+	return n
+}
+
+// InjectCrash marks the GM for an injected crash: its loop dies on the
+// next tick and the supervisor restarts it. The pending-intent log
+// survives in the struct — the restarted GM resumes the re-issue duty.
+// Returns true (the fault is always deliverable).
+func (g *GeneralManager) InjectCrash() bool {
+	g.crashFlag.Store(true)
+	return true
+}
+
+// ReissueOnce re-drives aborted intents while the participant is up: each
+// one re-runs the full intent -> prepare -> commit ladder through the
+// farm's actuator path (recruiting a fresh node — the rolled-back one may
+// be gone). A participant flapping down again stops the round; intents the
+// farm can no longer service (stream ended, pool exhausted) are dropped.
+// It returns how many intents committed.
+func (g *GeneralManager) ReissueOnce() int {
+	if g.mode != TwoPhase || (g.sec != nil && !g.sec.Available()) {
+		return 0
+	}
+	g.pendingMu.Lock()
+	farms := make([]*abc.FarmABC, 0, len(g.pending))
+	for f, n := range g.pending {
+		if n > 0 {
+			farms = append(farms, f)
+		}
+	}
+	g.pendingMu.Unlock()
+	total := 0
+	for _, f := range farms {
+		for {
+			g.pendingMu.Lock()
+			n := g.pending[f]
+			g.pendingMu.Unlock()
+			if n <= 0 {
+				break
+			}
+			detail, err := f.Execute(rules.OpAddExecutor)
+			if err != nil {
+				if errors.Is(err, abc.ErrManagerDown) {
+					return total // participant flapped; retry next tick
+				}
+				g.pendingMu.Lock()
+				g.pending[f]--
+				g.pendingMu.Unlock()
+				g.log.Record(g.clock.Now(), g.name, trace.Aborted,
+					"re-issue dropped: "+err.Error())
+				continue
+			}
+			g.pendingMu.Lock()
+			g.pending[f]--
+			g.pendingMu.Unlock()
+			g.reissued.Add(1)
+			g.log.Record(g.clock.Now(), g.name, trace.Reissued, detail)
+			g.decision(0, trace.Reissued, detail)
+			total++
+		}
+	}
+	return total
+}
+
+// loop is the GM's own control loop: it watches for injected crashes and
+// re-issues aborted two-phase intents once the participant is back.
+func (g *GeneralManager) loop(ctx context.Context) error {
+	ticker := g.clock.NewTicker(g.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C():
+		}
+		if g.crashFlag.CompareAndSwap(true, false) {
+			g.log.Record(g.clock.Now(), g.name, trace.Crashed, "injected")
+			return fmt.Errorf("manager %s: %w", g.name, ErrInjectedCrash)
+		}
+		g.ReissueOnce()
+	}
+}
+
 // Run supervises the GM's concern managers until ctx is canceled, then
-// returns nil. Only Reactive mode owns a loop (the security manager's
-// scanning cycle); TwoPhase coordination acts synchronously inside the
-// actuator path and Unmanaged has nothing to run, so in those modes Run
+// returns nil. The GM owns a small loop of its own in every managed mode:
+// it checks the injected-crash flag and re-issues aborted two-phase
+// intents once the participant recovers. Reactive mode additionally runs
+// the security manager's scanning cycle in the same group. Unmanaged mode
 // just blocks until cancelation. Run returns an error immediately if the
 // GM is already running.
 func (g *GeneralManager) Run(ctx context.Context) error {
@@ -358,13 +551,20 @@ func (g *GeneralManager) Run(ctx context.Context) error {
 	}
 	defer g.running.Store(false)
 
-	if g.mode == Reactive && g.sec != nil {
+	switch g.mode {
+	case Reactive:
 		grp, _ := runtime.NewGroup(ctx)
-		grp.Run(g.sec)
+		if g.sec != nil {
+			grp.Run(g.sec)
+		}
+		grp.Go(g.loop)
 		return grp.Wait()
+	case TwoPhase:
+		return g.loop(ctx)
+	default:
+		<-ctx.Done()
+		return nil
 	}
-	<-ctx.Done()
-	return nil
 }
 
 // Start launches the GM's supervision on a background goroutine. A second

@@ -1,0 +1,82 @@
+package manager
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/contract"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+)
+
+// BenchmarkManagerRunOnce measures one full MAPE cycle on the manual-drive
+// path — since the self-healing layer this includes taking the post-cycle
+// checkpoint, so the delta against BenchmarkTakeCheckpoint isolates the
+// checkpoint's share of the control-loop budget.
+func BenchmarkManagerRunOnce(b *testing.B) {
+	ctrl := &stub{}
+	ctrl.setSnap(contract.Snapshot{Throughput: 0.5})
+	m, err := New(Config{
+		Name: "AM", Controller: ctrl, Log: trace.NewLog(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.AssignContract(contract.ThroughputRange{Lo: 0.3, Hi: 0.7}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTakeCheckpoint measures the checkpoint snapshot alone: the only
+// per-cycle cost the self-healing layer adds to a healthy control loop.
+func BenchmarkTakeCheckpoint(b *testing.B) {
+	ctrl := &stub{}
+	m, err := New(Config{
+		Name: "AM", Controller: ctrl, Log: trace.NewLog(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.AssignContract(contract.ThroughputRange{Lo: 0.3, Hi: 0.7}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.takeCheckpoint()
+	}
+}
+
+// BenchmarkSupervisorWrap measures the one-time cost of running a Runnable
+// under a Supervisor instead of bare: construction plus one clean
+// run-to-completion. Supervision adds nothing per loop iteration — the
+// wrapper sits outside the inner Run — so this start-up cost is the whole
+// overhead of a supervised manager that never fails.
+func BenchmarkSupervisorWrap(b *testing.B) {
+	ctx := context.Background()
+	run := func(context.Context) error { return nil }
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("supervised", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := runtime.Supervise(run, runtime.SupervisorConfig{Name: "bench"})
+			if err := s.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

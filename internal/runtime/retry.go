@@ -3,10 +3,27 @@ package runtime
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/simclock"
 )
+
+// NewSeededJitter returns a jitter source in [0,1) drawn from one seeded
+// PRNG behind a mutex, safe for concurrent use from several Backoff
+// consumers. The chaos plane hands the same source to every retrying and
+// restarting component so that same-seed replays are byte-identical
+// including retry and restart timing; the default (the global math/rand
+// source) would differ between runs.
+func NewSeededJitter(seed int64) func() float64 {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64()
+	}
+}
 
 // Backoff describes a bounded, jittered exponential retry policy. The zero
 // value is usable: every field defaults to a conservative setting suited to

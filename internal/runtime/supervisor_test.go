@@ -1,0 +1,220 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func superClock(t *testing.T) *simclock.Manual {
+	t.Helper()
+	clock := simclock.NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
+	go advance(done, clock)
+	return clock
+}
+
+func TestSupervisorRestartsUntilClean(t *testing.T) {
+	clock := superClock(t)
+	boom := errors.New("cycle blew up")
+	runs := 0
+	s := Supervise(func(ctx context.Context) error {
+		runs++
+		if runs < 3 {
+			return boom
+		}
+		return nil
+	}, SupervisorConfig{Name: "am", Clock: clock, Backoff: Backoff{Jitter: -1}})
+
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run = %v, want nil after eventual clean exit", err)
+	}
+	if runs != 3 {
+		t.Fatalf("inner ran %d times, want 3", runs)
+	}
+	if got := s.Restarts(); got != 2 {
+		t.Fatalf("Restarts = %d, want 2", got)
+	}
+	if got := s.LastCause(); !strings.Contains(got, "cycle blew up") {
+		t.Fatalf("LastCause = %q, want the failure cause", got)
+	}
+}
+
+func TestSupervisorConvertsPanic(t *testing.T) {
+	clock := superClock(t)
+	runs := 0
+	s := Supervise(func(ctx context.Context) error {
+		runs++
+		if runs == 1 {
+			panic("analysis exploded")
+		}
+		return nil
+	}, SupervisorConfig{Name: "am", Clock: clock, Backoff: Backoff{Jitter: -1}})
+
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run = %v, want panic converted and restarted", err)
+	}
+	if runs != 2 {
+		t.Fatalf("inner ran %d times, want 2", runs)
+	}
+	if got := s.LastCause(); !strings.Contains(got, "panic: analysis exploded") {
+		t.Fatalf("LastCause = %q, want the converted panic", got)
+	}
+}
+
+func TestSupervisorGivesUpAfterBudget(t *testing.T) {
+	clock := superClock(t)
+	boom := errors.New("permanently broken")
+	runs := 0
+	s := Supervise(func(ctx context.Context) error { runs++; return boom },
+		SupervisorConfig{Name: "am", Clock: clock,
+			Backoff: Backoff{Jitter: -1}, MaxRestarts: 3, Window: time.Hour})
+
+	err := s.Run(context.Background())
+	if !errors.Is(err, ErrSupervisorGaveUp) {
+		t.Fatalf("Run = %v, want ErrSupervisorGaveUp", err)
+	}
+	if !strings.Contains(err.Error(), "permanently broken") {
+		t.Fatalf("give-up error %q does not carry the last cause", err)
+	}
+	// MaxRestarts=3 allows 3 restarts: 4 runs total.
+	if runs != 4 {
+		t.Fatalf("inner ran %d times, want 4 (initial + 3 restarts)", runs)
+	}
+
+	// The terminal error must surface through a Group.
+	g, _ := NewGroup(context.Background())
+	g.Go(Supervise(func(ctx context.Context) error { return boom },
+		SupervisorConfig{Clock: clock, Backoff: Backoff{Jitter: -1},
+			MaxRestarts: 1, Window: time.Hour}).Run)
+	if err := g.Wait(); !errors.Is(err, ErrSupervisorGaveUp) {
+		t.Fatalf("Group.Wait = %v, want the give-up error", err)
+	}
+}
+
+func TestSupervisorWindowForgivesOldFailures(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	boom := errors.New("flaky")
+	runs := 0
+	s := Supervise(func(ctx context.Context) error {
+		runs++
+		if runs <= 4 {
+			return boom
+		}
+		return nil
+	}, SupervisorConfig{Clock: clock,
+		Backoff: Backoff{Base: 10 * time.Millisecond, Jitter: -1},
+		// Budget of 1 restart per 50ms window: four failures in a row
+		// would exceed it unless the window slides past older ones.
+		MaxRestarts: 1, Window: 50 * time.Millisecond})
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Run(context.Background()) }()
+	// Each backoff sleep is ~10-20ms; advancing in 60ms steps spaces the
+	// failures further apart than the window, so the budget never fills.
+	for {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("Run = %v, want window to forgive spaced failures", err)
+			}
+			if runs != 5 {
+				t.Fatalf("inner ran %d times, want 5", runs)
+			}
+			return
+		default:
+		}
+		if clock.PendingWaiters() > 0 {
+			clock.Advance(60 * time.Millisecond)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestSupervisorCancelDuringBackoff(t *testing.T) {
+	clock := simclock.NewManual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("transient")
+	s := Supervise(func(ctx context.Context) error { return boom },
+		SupervisorConfig{Clock: clock, Backoff: Backoff{Base: time.Hour, Jitter: -1}})
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Run(ctx) }()
+	for clock.PendingWaiters() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("Run = %v, want nil on cancelation during backoff", err)
+	}
+}
+
+func TestSupervisorCleanShutdownNotRestarted(t *testing.T) {
+	runs := 0
+	s := Supervise(func(ctx context.Context) error { runs++; return nil },
+		SupervisorConfig{})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if runs != 1 {
+		t.Fatalf("clean exit restarted: %d runs", runs)
+	}
+	if s.Restarts() != 0 {
+		t.Fatalf("Restarts = %d, want 0", s.Restarts())
+	}
+}
+
+func TestSupervisorSeededJitterReplays(t *testing.T) {
+	// Two supervisors sharing nothing but a seed must produce identical
+	// restart delay schedules — the property the chaos plane's
+	// byte-identical replay invariant rests on.
+	schedule := func(seed int64) []time.Duration {
+		b := Backoff{Base: 10 * time.Millisecond, Max: time.Second,
+			Rand: NewSeededJitter(seed)}
+		var ds []time.Duration
+		for i := 0; i < 6; i++ {
+			ds = append(ds, b.Delay(i))
+		}
+		return ds
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestSeededJitterConcurrentSafe(t *testing.T) {
+	jit := NewSeededJitter(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if v := jit(); v < 0 || v >= 1 {
+					t.Errorf("jitter out of range: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -45,6 +45,10 @@ const (
 	Migrated    Kind = "migrated"    // worker moved to a faster/less loaded node
 	ErrsDropped Kind = "errsDropped" // runtime errors lost to a full error buffer
 	Quarantine  Kind = "quarantine"  // node circuit breaker tripped after repeated crashes
+	Crashed     Kind = "crashed"     // a management loop died (injected fault or panic)
+	Restarted   Kind = "restarted"   // the supervisor relaunched a dead management loop
+	Restored    Kind = "restored"    // manager state replayed from its checkpoint
+	Reissued    Kind = "reissued"    // two-phase intent re-issued after participant recovery
 )
 
 // Event is one timestamped autonomic event emitted by a manager.
