@@ -13,11 +13,17 @@
 //
 // Usage:
 //
-//	chaos [-seed N] [-storm N] [-scale N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
+//	chaos [-seed N] [-storm N] [-scale N] [-remote] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
 //
 // -golden FILE compares the run's replay-identity artifact (the fault
 // schedule plus the canonical invariant summary) byte for byte against a
 // committed golden file; -write-golden FILE (re)generates one.
+//
+// -remote attaches a live cross-process dispatch plane: in-process workerd
+// servers on localhost join the untrusted pool and the fault plan extends
+// to the remote-link taxonomy (connection drops, latency injection,
+// partitions on the framed TCP links). Remote goldens are distinct files:
+// the extended taxonomy changes the seeded plan.
 //
 // Exit status 1 on error, 2 when any soak invariant is violated, 3 when
 // the run diverges from the golden file.
@@ -37,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-plan seed; same seed, same storm schedule")
 	storms := flag.Int("storm", 3, "number of fault storms")
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
+	remote := flag.Bool("remote", false, "soak the cross-process dispatch plane: localhost workerd servers + remote-link faults")
 	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	golden := flag.String("golden", "", "compare the deterministic schedule+summary against this golden file")
@@ -50,7 +57,7 @@ func main() {
 
 	res, err := experiments.ChaosSoak(ctx,
 		experiments.Options{Scale: *scale, Out: os.Stdout, Telemetry: *telemetry},
-		experiments.ChaosOptions{Seed: *seed, Storms: *storms})
+		experiments.ChaosOptions{Seed: *seed, Storms: *storms, Remote: *remote})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)

@@ -1,0 +1,110 @@
+// Command coordinator is the local end of the cross-process dispatch
+// plane. It probes a fleet of workerd endpoints, registers their
+// advertised nodes (name, trust domain, cores, placement labels) with the
+// resource manager next to its own trusted local cores, and runs the
+// standard secured, fault-tolerant farm application over the mixed pool.
+// Placement goes through the unified dispatch decision path: -labels and
+// -trusted-only constrain it, -local is the escape hatch pinning every
+// task in-process even while remote nodes stay registered. Payloads that
+// cross to an untrusted workerd are sealed end to end by the security
+// plane (AES-GCM under per-binding epoch keys shipped in rekey frames) —
+// the coordinator exits non-zero if the auditor records a single leak.
+//
+// Usage:
+//
+//	coordinator -workers HOST:PORT[,HOST:PORT...] -psk SECRET
+//	            [-tasks N] [-scale N] [-local-cores N]
+//	            [-labels k=v,...] [-trusted-only] [-local]
+//	            [-trace FILE] [-require-remote]
+//	            [-timeout D] [-telemetry ADDR]
+//
+// Exit status 1 on error, 2 when the security auditor recorded a leak,
+// 3 when -require-remote is set and no task crossed the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cmd/internal/flags"
+	"repro/internal/experiments"
+	"repro/internal/skel"
+)
+
+func main() {
+	workers := flag.String("workers", "", "comma-separated workerd dial addresses (required)")
+	psk := flag.String("psk", "", "shared link secret; must match the workerds' (required)")
+	tasks := flag.Int("tasks", 200, "length of the task stream")
+	scale := flag.Float64("scale", 200, "time scale: modelled seconds per wall-clock second")
+	localCores := flag.Int("local-cores", 2, "trusted in-process cores the farm starts on")
+	labels := flag.String("labels", "", "comma-separated k=v labels a node must carry to receive tasks")
+	trustedOnly := flag.Bool("trusted-only", false, "dispatch only to workers in trusted domains")
+	local := flag.Bool("local", false, "escape hatch: pin every task to in-process workers")
+	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
+	requireRemote := flag.Bool("require-remote", false, "exit non-zero unless at least one task executed remotely")
+	timeout := flags.RegisterTimeout()
+	telemetryAddr := flags.RegisterTelemetry()
+	flag.Parse()
+
+	if *workers == "" || *psk == "" {
+		fmt.Fprintln(os.Stderr, "coordinator: -workers and -psk are required")
+		os.Exit(1)
+	}
+	labelMap, err := flags.ParseLabels(*labels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	res, err := experiments.RemoteFarm(ctx,
+		experiments.Options{Scale: *scale, Out: os.Stdout, Telemetry: *telemetryAddr},
+		experiments.DispatchOptions{
+			Workers:    addrs,
+			PSK:        *psk,
+			Tasks:      *tasks,
+			LocalCores: *localCores,
+			Selector: skel.Selector{
+				Labels:      labelMap,
+				TrustedOnly: *trustedOnly,
+				Local:       *local,
+			},
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+			os.Exit(1)
+		}
+		if err := res.Tracer.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator: writing trace:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+		}
+	}
+
+	if res.SecurityLeaks > 0 {
+		fmt.Fprintf(os.Stderr, "coordinator: %d plaintext leaks on secured bindings\n", res.SecurityLeaks)
+		os.Exit(2)
+	}
+	if *requireRemote && res.RemoteStats.Execs == 0 {
+		fmt.Fprintln(os.Stderr, "coordinator: no task crossed the wire (-require-remote)")
+		os.Exit(3)
+	}
+}

@@ -8,8 +8,10 @@ package flags
 import (
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -28,6 +30,25 @@ func RegisterTimeout() *time.Duration {
 func RegisterTelemetry() *string {
 	return flag.String("telemetry", "",
 		"serve /healthz, /metrics, /trace, /managers and pprof on this address (e.g. :9090); empty disables")
+}
+
+// ParseLabels parses the comma-separated k=v list used by the -labels
+// flag ("zone=edge,gpu=a100") into a map. The empty string parses to nil;
+// a missing '=' or empty key is an error.
+func ParseLabels(s string) (map[string]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || strings.TrimSpace(k) == "" {
+			return nil, fmt.Errorf("flags: bad label %q (want k=v)", pair)
+		}
+		out[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return out, nil
 }
 
 // Context derives the binary's run context: canceled on SIGINT/SIGTERM

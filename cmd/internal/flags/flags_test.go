@@ -1,0 +1,34 @@
+package flags
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLabels(t *testing.T) {
+	cases := []struct {
+		in   string
+		want map[string]string
+		err  bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"zone=edge", map[string]string{"zone": "edge"}, false},
+		{"zone=edge,gpu=a100", map[string]string{"zone": "edge", "gpu": "a100"}, false},
+		{" zone = edge , gpu = a100 ", map[string]string{"zone": "edge", "gpu": "a100"}, false},
+		{"flag=", map[string]string{"flag": ""}, false},
+		{"noequals", nil, true},
+		{"=value", nil, true},
+		{"zone=edge,,", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseLabels(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseLabels(%q) err = %v, want err %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseLabels(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command workerd is the remote end of the cross-process dispatch plane:
+// a standalone worker daemon serving the framed TCP protocol of
+// internal/wire. On every connection it advertises its identity — node
+// name, trust domain, capacity, free-form placement labels — sealed under
+// the link's pre-shared master key, then executes sealed task envelopes:
+// binding codecs arrive in rekey frames (key material never crosses in
+// clear), payloads are opened with the epoch codec they were sealed under,
+// the modelled work is slept at -scale, and the result returns under the
+// same seal. Unauthenticated or malformed frames cut the connection:
+// fail-secure, never fail-open.
+//
+// Usage:
+//
+//	workerd -psk SECRET [-listen ADDR] [-name N] [-domain D] [-trusted]
+//	        [-cores N] [-speed F] [-labels k=v,k=v] [-scale N]
+//	        [-timeout D] [-telemetry ADDR]
+//
+// The daemon runs until SIGINT/SIGTERM (graceful: in-flight execs finish,
+// listener closes) or until -timeout expires. -telemetry serves /metrics
+// with the served/rejected frame counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/cmd/internal/flags"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to serve the framed dispatch protocol on")
+	psk := flag.String("psk", "", "shared link secret; must match the coordinator's (required)")
+	name := flag.String("name", "workerd0", "node name advertised in the handshake")
+	domain := flag.String("domain", "edge.remote", "trust domain advertised in the handshake")
+	trusted := flag.Bool("trusted", false, "advertise the domain as trusted (default: untrusted, so bindings are sealed)")
+	cores := flag.Int("cores", 2, "core slots advertised in the handshake")
+	speed := flag.Float64("speed", 1.0, "relative core speed advertised in the handshake")
+	labels := flag.String("labels", "", "comma-separated k=v placement labels advertised in the handshake")
+	scale := flag.Float64("scale", 200, "time scale dividing the modelled work carried by exec frames")
+	timeout := flags.RegisterTimeout()
+	telemetryAddr := flags.RegisterTelemetry()
+	flag.Parse()
+
+	if *psk == "" {
+		fmt.Fprintln(os.Stderr, "workerd: -psk is required")
+		os.Exit(1)
+	}
+	labelMap, err := flags.ParseLabels(*labels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workerd:", err)
+		os.Exit(1)
+	}
+
+	srv, err := wire.NewServer(wire.ServerConfig{
+		PSK: wire.DerivePSK(*psk),
+		Hello: wire.Hello{
+			Name:    *name,
+			Domain:  *domain,
+			Trusted: *trusted,
+			Cores:   *cores,
+			Speed:   *speed,
+			Labels:  labelMap,
+		},
+		TimeScale: *scale,
+		Log:       log.New(os.Stderr, "workerd: ", log.LstdFlags),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workerd:", err)
+		os.Exit(1)
+	}
+	if err := srv.Listen(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "workerd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workerd %s: serving on %s (domain %s, %d cores, labels %s)\n",
+		*name, srv.Addr(), *domain, *cores, *labels)
+
+	ctx, cancel := flags.Context(*timeout)
+	defer cancel()
+
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.AddCounter("repro_workerd_served_total",
+			"Exec frames served by this workerd.", nil,
+			func() float64 { return float64(srv.Served()) })
+		reg.AddCounter("repro_workerd_rejected_total",
+			"Connections cut after unauthenticated or malformed frames.", nil,
+			func() float64 { return float64(srv.Rejected()) })
+		tsrv := telemetry.NewServer(*telemetryAddr, reg)
+		if err := tsrv.Listen(); err != nil {
+			fmt.Fprintln(os.Stderr, "workerd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workerd %s: telemetry on %s\n", *name, tsrv.Addr())
+		go func() { _ = tsrv.Run(ctx) }()
+	}
+
+	<-ctx.Done()
+	srv.Close()
+	fmt.Printf("workerd %s: served %d execs, rejected %d peers\n",
+		*name, srv.Served(), srv.Rejected())
+}

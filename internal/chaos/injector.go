@@ -60,6 +60,24 @@ type Targets struct {
 	// a fixed order. Durations passed to the closures are modelled time;
 	// the closures scale them onto their manager's clock.
 	Managers []ManagerTarget
+	// Remote binds the cross-process dispatch plane's link as a victim of
+	// the remote fault kinds. Nil (the loopback default) skips them.
+	Remote *RemoteTarget
+}
+
+// RemoteTarget binds a remote dispatch link (an internal/wire.Factory in
+// practice, expressed as closures so chaos stays transport-agnostic) as a
+// chaos victim. Durations passed to the closures are WALL time: the wire
+// plane runs on real connections, so the injector converts the plan's
+// modelled windows before calling.
+type RemoteTarget struct {
+	Name string
+	// Drop severs every live framed connection now; returns how many died.
+	Drop func() int
+	// Delay adds latency to every exec starting within the window.
+	Delay func(latency, window time.Duration)
+	// Partition stalls all traffic for the window.
+	Partition func(window time.Duration)
 }
 
 // ManagerTarget binds one management loop as a chaos victim. Crash is
@@ -401,6 +419,25 @@ func (in *Injector) apply(ev Event) bool {
 			return false
 		}
 		in.injectedMgr.Add(1)
+	case RemoteDrop:
+		if in.t.Remote == nil || in.t.Remote.Drop == nil {
+			return false
+		}
+		n := in.t.Remote.Drop()
+		in.record(ev, fmt.Sprintf("%s cut %d connections", in.t.Remote.Name, n))
+	case RemoteDelay:
+		if in.t.Remote == nil || in.t.Remote.Delay == nil {
+			return false
+		}
+		lat := time.Duration(ev.Param * float64(time.Millisecond))
+		in.t.Remote.Delay(lat, in.real(ev.Dur))
+		in.record(ev, fmt.Sprintf("%s +%.0fms for %v", in.t.Remote.Name, ev.Param, ev.Dur))
+	case RemotePartition:
+		if in.t.Remote == nil || in.t.Remote.Partition == nil {
+			return false
+		}
+		in.t.Remote.Partition(in.real(ev.Dur))
+		in.record(ev, fmt.Sprintf("%s partitioned %v", in.t.Remote.Name, ev.Dur))
 	default:
 		return false
 	}

@@ -56,13 +56,39 @@ const (
 	ManagerStall Kind = "managerStall"
 )
 
-// Kinds lists the full taxonomy in canonical order.
+// The remote-link fault taxonomy: faults of the cross-process dispatch
+// plane's framed connections (internal/wire). It is deliberately a
+// SEPARATE taxonomy, enabled per-plan by StormConfig.IncludeRemote: the
+// base Kinds() list feeds the seeded plan generator, so extending it would
+// silently rewrite every committed golden schedule. Remote kinds only ever
+// appear in plans that asked for them.
+const (
+	// RemoteDrop severs every live framed connection of the link at once —
+	// a cable pull. Affected workers crash, their queues strand, and
+	// recovery recruitment re-dials.
+	RemoteDrop Kind = "remoteDrop"
+	// RemoteDelay adds Param ms of real latency to every remote exec
+	// starting within Dur.
+	RemoteDelay Kind = "remoteDelay"
+	// RemotePartition stalls the link for Dur: frames neither flow nor
+	// die, and execs resume when the partition heals.
+	RemotePartition Kind = "remotePartition"
+)
+
+// Kinds lists the base taxonomy in canonical order. Committed golden
+// schedules derive from this list: it must only ever grow behind a new
+// StormConfig flag (see RemoteKinds).
 func Kinds() []Kind {
 	return []Kind{
 		WorkerCrash, WorkerPanic, WorkerStall, ExtLoad, LinkDegrade,
 		RecruitFlaky, RecruitOutage, ActuatorFail, ActuatorSlow,
 		ManagerCrash, ManagerPanic, ManagerStall,
 	}
+}
+
+// RemoteKinds lists the remote-link taxonomy in canonical order.
+func RemoteKinds() []Kind {
+	return []Kind{RemoteDrop, RemoteDelay, RemotePartition}
 }
 
 // Event is one scheduled fault.
@@ -115,6 +141,11 @@ type StormConfig struct {
 	// Quiet is the modelled recovery window after each storm
 	// (default 30s).
 	Quiet time.Duration
+	// IncludeRemote extends the taxonomy with RemoteKinds(), for runs with
+	// a live cross-process dispatch plane. Plans generated without it are
+	// bit-for-bit what they were before the remote taxonomy existed, which
+	// is what keeps the committed loopback goldens valid.
+	IncludeRemote bool
 }
 
 func (c StormConfig) normalized() StormConfig {
@@ -123,6 +154,9 @@ func (c StormConfig) normalized() StormConfig {
 	}
 	if c.EventsPerStorm <= 0 {
 		c.EventsPerStorm = len(Kinds())
+		if c.IncludeRemote {
+			c.EventsPerStorm += len(RemoteKinds())
+		}
 	}
 	if c.Warmup <= 0 {
 		c.Warmup = 10 * time.Second
@@ -148,6 +182,9 @@ func NewPlan(seed int64, cfg StormConfig) Plan {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(seed))
 	kinds := Kinds()
+	if cfg.IncludeRemote {
+		kinds = append(kinds, RemoteKinds()...)
+	}
 	p := Plan{Seed: seed}
 	base := cfg.Warmup
 	for s := 0; s < cfg.Storms; s++ {
@@ -184,6 +221,13 @@ func NewPlan(seed int64, cfg StormConfig) Plan {
 				// instantaneous, no magnitude
 			case ManagerStall:
 				ev.Param = float64(2+rng.Intn(5)) + float64(rng.Intn(1000))/1000 // 2–7 s
+			case RemoteDrop:
+				// instantaneous, no magnitude
+			case RemoteDelay:
+				ev.Param = float64(20 + rng.Intn(81)) // +20–100 ms
+				ev.Dur = millis(rng, 3000, 8000)
+			case RemotePartition:
+				ev.Dur = millis(rng, 1000, 4000)
 			}
 			events = append(events, ev)
 		}

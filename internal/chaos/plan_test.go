@@ -44,6 +44,34 @@ func TestPlanCoversTaxonomy(t *testing.T) {
 	}
 }
 
+// TestPlanRemoteTaxonomyIsOptIn pins the two load-bearing properties of the
+// remote-kind extension: a base plan never schedules a remote kind (so the
+// committed loopback goldens cannot shift), and an IncludeRemote plan covers
+// the extended taxonomy while leaving the base plan's draws untouched only
+// where it must — the flag changes the stream, so it is all-or-nothing per
+// golden file.
+func TestPlanRemoteTaxonomyIsOptIn(t *testing.T) {
+	base := NewPlan(7, StormConfig{Storms: 1})
+	for _, k := range RemoteKinds() {
+		if base.Contains(k) {
+			t.Errorf("base plan schedules remote kind %s", k)
+		}
+	}
+	remote := NewPlan(7, StormConfig{Storms: 1, IncludeRemote: true})
+	for _, k := range append(Kinds(), RemoteKinds()...) {
+		if !remote.Contains(k) {
+			t.Errorf("IncludeRemote storm misses kind %s", k)
+		}
+	}
+	if got, want := remote.Events(), len(Kinds())+len(RemoteKinds()); got != want {
+		t.Errorf("IncludeRemote Events() = %d, want %d", got, want)
+	}
+	// Same seed + same config stays deterministic with the flag set.
+	if remote.Fingerprint() != NewPlan(7, StormConfig{Storms: 1, IncludeRemote: true}).Fingerprint() {
+		t.Error("IncludeRemote plans are not deterministic")
+	}
+}
+
 func TestPlanEventsOrderedAndWindowed(t *testing.T) {
 	cfg := StormConfig{Storms: 2, EventsPerStorm: 20,
 		Warmup: 5 * time.Second, Span: 8 * time.Second, Quiet: 12 * time.Second}

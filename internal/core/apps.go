@@ -59,6 +59,15 @@ type FarmAppConfig struct {
 	// degradation becomes observable to the managers. Default off.
 	ChargeLinkLatency bool
 
+	// Executors, when set, lets the farm reach recruited nodes through a
+	// cross-process transport (internal/wire): nodes the factory claims get
+	// a remote executor, all others stay loopback. Selector constrains
+	// which admitted workers the unified dispatch decision path may pick
+	// (labels, trust domain, the local escape hatch); the zero value admits
+	// everything.
+	Executors skel.ExecutorFactory
+	Selector  skel.Selector
+
 	InitialWorkers int
 	// AutoDegree derives InitialWorkers from the task-farm performance
 	// model (internal/planner) instead of starting cold: the §3 "initial
@@ -241,6 +250,8 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Policy:         pol,
 		Auditor:        auditor,
 		Instruments:    farmIns,
+		Executors:      cfg.Executors,
+		Selector:       cfg.Selector,
 	}
 	if cfg.ChargeLinkLatency && len(cfg.Platform.Domains) > 0 {
 		farmCfg.Network = cfg.Platform.Network

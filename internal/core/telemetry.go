@@ -175,6 +175,21 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 				return 0
 			})
 	}
+	if a.Auditor != nil {
+		aud := a.Auditor
+		reg.AddCounter("repro_security_leaks_total",
+			"Plaintext sends on bindings the policy requires to be secure.", nil,
+			func() float64 { return float64(aud.Leaks()) })
+		reg.AddCounter("repro_security_secured_total",
+			"Sends that crossed their binding sealed.", nil,
+			func() float64 { return float64(aud.Secured()) })
+	}
+	if a.FarmABC != nil {
+		farm := a.FarmABC.Farm()
+		reg.AddGauge("repro_farm_remote_workers",
+			"Workers reached through a cross-process transport.", nil,
+			func() float64 { return float64(farm.Stats().RemoteWorkers) })
+	}
 	if a.Platform != nil {
 		rm := a.Platform.RM
 		reg.AddGauge("repro_cores_in_use", "Allocated core slots on the platform.", nil,

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/skel"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // ChaosOptions parameterizes the chaos soak on top of the shared Options.
@@ -31,6 +32,15 @@ type ChaosOptions struct {
 	// (default 60s); exceeding it marks the storm unrecovered, an
 	// invariant violation.
 	MaxRecover time.Duration
+	// Remote runs the soak with a live cross-process dispatch plane:
+	// RemoteWorkers in-process workerd servers on localhost join the
+	// untrusted domain's pool, the fault plan extends to the remote-link
+	// taxonomy (drop, delay, partition on the framed connections), and the
+	// soak invariants additionally cover recovery from severed links —
+	// stranded envelopes re-dispatched, replacement recruitment re-dialing.
+	Remote bool
+	// RemoteWorkers is the number of workerd endpoints (default 2).
+	RemoteWorkers int
 }
 
 func (c ChaosOptions) normalized() ChaosOptions {
@@ -42,6 +52,9 @@ func (c ChaosOptions) normalized() ChaosOptions {
 	}
 	if c.MaxRecover <= 0 {
 		c.MaxRecover = 60 * time.Second
+	}
+	if c.RemoteWorkers <= 0 {
+		c.RemoteWorkers = 2
 	}
 	return c
 }
@@ -55,7 +68,11 @@ type ChaosSummary struct {
 	Fingerprint string
 	Tasks       int
 	Storms      int
-	ByKind      map[chaos.Kind]int
+	// Remote records that the plan covered the remote-link taxonomy; it
+	// widens the canonical "plan:" line, so a remote golden never collides
+	// with a loopback one.
+	Remote bool
+	ByKind map[chaos.Kind]int
 
 	Lost          int
 	Duplicates    int
@@ -79,7 +96,11 @@ func (s ChaosSummary) String() string {
 	fmt.Fprintf(&b, "chaos seed=%d fingerprint=%s tasks=%d storms=%d\n",
 		s.Seed, s.Fingerprint, s.Tasks, s.Storms)
 	b.WriteString("plan:")
-	for _, k := range chaos.Kinds() {
+	kinds := chaos.Kinds()
+	if s.Remote {
+		kinds = append(kinds, chaos.RemoteKinds()...)
+	}
+	for _, k := range kinds {
 		fmt.Fprintf(&b, " %s=%d", k, s.ByKind[k])
 	}
 	b.WriteString("\n")
@@ -150,6 +171,10 @@ type ChaosResult struct {
 	// (dropped tasks, codec failures) — the first place to look when the
 	// exactly-once invariant is violated.
 	FarmErrors []string
+	// RemoteStats snapshots the wire factory's transport counters after a
+	// remote run (zero value on loopback runs): dials count the initial
+	// recruitments plus every re-dial after an injected drop.
+	RemoteStats wire.StatsSnapshot
 }
 
 // ChaosSoak is the robustness acceptance harness: a secured two-domain
@@ -166,7 +191,10 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 	}
 	env := opts.env()
 
-	plan := chaos.NewPlan(copts.Seed, chaos.StormConfig{Storms: copts.Storms})
+	plan := chaos.NewPlan(copts.Seed, chaos.StormConfig{
+		Storms:        copts.Storms,
+		IncludeRemote: copts.Remote,
+	})
 
 	// The stream must outlast the plan (plus recovery probes), or late
 	// storms would hit an already-drained farm: warmup 10s + 40s per storm
@@ -181,13 +209,70 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 	con := contract.Conjunction{contract.SecureComms{}, contract.MinThroughput(1.2)}
 	platform := grid.NewTwoDomainGrid(4, 12)
 
+	// With the remote plane on, workerd endpoints join the untrusted
+	// domain's pool: the security concern must seal their bindings exactly
+	// as it does for simulated untrusted nodes, except the seal now crosses
+	// a real localhost connection. The servers start before the goroutine
+	// baseline so their accept loops do not count as a leak.
+	var factory *wire.Factory
+	var servers []*wire.Server
+	if copts.Remote {
+		psk := wire.DerivePSK("chaos-soak")
+		untrusted := platform.Domains[1]
+		var remoteNodes []*grid.Node
+		for i := 0; i < copts.RemoteWorkers; i++ {
+			srv, err := wire.NewServer(wire.ServerConfig{
+				PSK: psk,
+				Hello: wire.Hello{
+					Name:    fmt.Sprintf("edge%d", i),
+					Domain:  untrusted.Name,
+					Trusted: untrusted.Trusted,
+					Cores:   2,
+					Speed:   1.0,
+					Labels:  map[string]string{"zone": "edge"},
+				},
+				TimeScale: env.TimeScale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				return nil, err
+			}
+			servers = append(servers, srv)
+		}
+		defer func() {
+			for _, srv := range servers {
+				srv.Close()
+			}
+		}()
+		f, err := wire.NewFactory(psk, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		factory = f
+		for _, srv := range servers {
+			node, err := factory.Probe(srv.Addr())
+			if err != nil {
+				return nil, err
+			}
+			remoteNodes = append(remoteNodes, node)
+		}
+		platform.RM = grid.NewResourceManager(append(platform.RM.Nodes(), remoteNodes...)...)
+	}
+
 	// Exactly-once accounting: the sink function sees every collected task.
 	var seenMu sync.Mutex
 	seen := map[uint64]int{}
 	baseline := gort.NumGoroutine()
 
+	var execFactory skel.ExecutorFactory
+	if factory != nil {
+		execFactory = factory.Executor
+	}
 	app, err := core.NewFarmApp(core.FarmAppConfig{
 		Name:           "chaos",
+		Executors:      execFactory,
 		Env:            env,
 		Platform:       platform,
 		Tasks:          tasks,
@@ -291,8 +376,18 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		},
 	}
 
+	var remoteTarget *chaos.RemoteTarget
+	if factory != nil {
+		remoteTarget = &chaos.RemoteTarget{
+			Name:      "wire",
+			Drop:      factory.InjectDrop,
+			Delay:     factory.InjectDelay,
+			Partition: factory.InjectPartition,
+		}
+	}
 	inj := chaos.NewInjector(chaos.Targets{
 		Farm:       fa.Farm(),
+		Remote:     remoteTarget,
 		Exec:       fa,
 		RM:         platform.RM,
 		Nodes:      platform.RM.Nodes(),
@@ -361,6 +456,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		Fingerprint:   plan.Fingerprint(),
 		Tasks:         tasks,
 		Storms:        copts.Storms,
+		Remote:        copts.Remote,
 		ByKind:        plan.ByKind(),
 		Lost:          tasks - distinct,
 		Duplicates:    collected - distinct,
@@ -400,6 +496,9 @@ drainErrs:
 	}
 	if app.RootManager != nil {
 		out.ActuatorFailures = app.RootManager.ActuatorFailures()
+	}
+	if factory != nil {
+		out.RemoteStats = factory.Snapshot()
 	}
 	if opts.Out != nil {
 		writeChaos(opts.Out, out)
@@ -441,8 +540,12 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 		fmt.Fprintf(w, "  %s\n", line)
 	}
 	fmt.Fprint(w, r.Summary)
+	kinds := chaos.Kinds()
+	if r.Summary.Remote {
+		kinds = append(kinds, chaos.RemoteKinds()...)
+	}
 	applied := make([]string, 0, len(r.Report.Applied))
-	for _, k := range chaos.Kinds() {
+	for _, k := range kinds {
 		if n := r.Report.Applied[k]; n > 0 {
 			applied = append(applied, fmt.Sprintf("%s=%d", k, n))
 		}
@@ -457,6 +560,14 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 		r.ActuatorFailures, r.InjectedActuator, r.InjectedRecruit, r.InjectedManager)
 	fmt.Fprintf(w, "self-healing: restarts=%d intents aborted=%d reissued=%d\n",
 		r.ManagerRestarts, r.AbortedIntents, r.ReissuedIntents)
+	if r.Summary.Remote {
+		fmt.Fprintf(w, "remote link: dials=%d execs=%d rekeys=%d frames=%d drops=%d\n",
+			r.RemoteStats.Dials, r.RemoteStats.Execs, r.RemoteStats.Rekeys,
+			r.RemoteStats.FramesOut, r.RemoteStats.Drops)
+	}
+	for _, e := range r.FarmErrors {
+		fmt.Fprintf(w, "farm error: %s\n", e)
+	}
 	if v := r.Summary.Invariants(); len(v) > 0 {
 		for _, line := range v {
 			fmt.Fprintf(w, "VIOLATION: %s\n", line)

@@ -36,9 +36,30 @@ type Node struct {
 	Cores  int
 	Speed  float64 // relative speed; 1.0 is the reference core
 
+	// Labels are free-form placement attributes ("zone": "a", "gpu":
+	// "none"). Remote workerd processes advertise them in the dispatch
+	// handshake and recruitment requests can constrain on them, so a
+	// deployment planner can target specific nodes. Set before the node is
+	// shared; never mutated afterwards.
+	Labels map[string]string
+
 	mu       sync.Mutex
 	busy     int     // allocated core slots
 	external float64 // externally injected load in [0,1)
+}
+
+// Label returns the node's value for the given label key ("" when unset).
+func (n *Node) Label(key string) string { return n.Labels[key] }
+
+// HasLabels reports whether every key/value pair of want is present in the
+// node's labels (subset match; an empty want matches every node).
+func (n *Node) HasLabels(want map[string]string) bool {
+	for k, v := range want {
+		if n.Labels[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // NewNode returns a node with the given identity and capacity. Speed must
@@ -178,11 +199,17 @@ type Request struct {
 	// external load exceeds it (the migration manager uses it to avoid
 	// moving a worker onto another overloaded node).
 	MaxExternalLoad float64
+	// Labels constrains recruitment to nodes carrying every listed
+	// key/value pair (subset match). Nil imposes no label constraint.
+	Labels map[string]string
 }
 
 // matches reports whether node n satisfies the request.
 func (r Request) matches(n *Node) bool {
 	if r.TrustedOnly && !n.Domain.Trusted {
+		return false
+	}
+	if !n.HasLabels(r.Labels) {
 		return false
 	}
 	if r.MinSpeed > 0 && n.Speed < r.MinSpeed {

@@ -218,3 +218,33 @@ func TestRecruitProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLabelConstrainedRecruitment(t *testing.T) {
+	dom := Domain{Name: "d", Trusted: true}
+	a := NewNode("a", dom, 2, 1.0)
+	a.Labels = map[string]string{"zone": "east", "gpu": "none"}
+	b := NewNode("b", dom, 2, 1.0)
+	b.Labels = map[string]string{"zone": "west"}
+	rm := NewResourceManager(a, b)
+
+	if !a.HasLabels(nil) || !a.HasLabels(map[string]string{"zone": "east"}) {
+		t.Fatal("subset label match failed")
+	}
+	if a.HasLabels(map[string]string{"zone": "west"}) {
+		t.Fatal("mismatched label value matched")
+	}
+	if got := a.Label("gpu"); got != "none" {
+		t.Fatalf("Label(gpu) = %q, want none", got)
+	}
+
+	n, err := rm.Recruit(Request{Labels: map[string]string{"zone": "west"}})
+	if err != nil || n.ID != "b" {
+		t.Fatalf("Recruit(zone=west) = %v, %v, want node b", n, err)
+	}
+	if free := rm.CapacityFree(Request{Labels: map[string]string{"zone": "east"}}); free != 2 {
+		t.Fatalf("CapacityFree(zone=east) = %d, want 2", free)
+	}
+	if _, err := rm.Recruit(Request{Labels: map[string]string{"zone": "north"}}); err == nil {
+		t.Fatal("Recruit with unmatched label should exhaust")
+	}
+}

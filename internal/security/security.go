@@ -62,6 +62,7 @@ func (Plain) Decode(wire []byte) ([]byte, error) {
 // use, mirroring SSL session establishment.
 type AESGCM struct {
 	aead      cipher.AEAD
+	key       []byte
 	clock     simclock.Clock
 	handshake time.Duration
 	once      sync.Once
@@ -82,7 +83,7 @@ func NewAESGCM(key []byte, clock simclock.Clock, handshake time.Duration) (*AESG
 	if err != nil {
 		return nil, err
 	}
-	return &AESGCM{aead: aead, clock: clock, handshake: handshake}, nil
+	return &AESGCM{aead: aead, key: append([]byte(nil), key...), clock: clock, handshake: handshake}, nil
 }
 
 // MustAESGCM is NewAESGCM that panics on error, for static configuration.
@@ -105,6 +106,12 @@ func NewRandomKey() []byte {
 
 // Name implements Codec.
 func (*AESGCM) Name() string { return "aes-gcm" }
+
+// Key returns a copy of the codec's key material. The cross-process
+// dispatch plane needs it to re-key a remote binding: the new key travels
+// to the workerd process inside a rekey frame sealed under the link's
+// master codec, so the raw key never crosses the wire in clear.
+func (c *AESGCM) Key() []byte { return append([]byte(nil), c.key...) }
 
 // Secure implements Codec.
 func (*AESGCM) Secure() bool { return true }

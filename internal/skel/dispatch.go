@@ -1,0 +1,137 @@
+package skel
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/security"
+)
+
+// Executor abstracts where a worker's compute step runs — the transport
+// seam of the cross-process dispatch plane. A nil Executor on a worker
+// means loopback: the task is decoded, slept and transformed in-process,
+// exactly as before the plane existed. A non-nil Executor ships the sealed
+// envelope to another process (internal/wire implements it over a framed
+// TCP connection) and blocks for the sealed result, so the bytes that
+// cross the machine boundary are precisely the bytes the binding codec
+// produced — the AES-GCM frames the security concern is about.
+//
+// Failure contract: any Exec error (connection dropped, remote rejected
+// the frame, result did not authenticate) is reported by the farm as a
+// worker crash, which strands the worker's queue for the fault-tolerance
+// manager to recover — a broken link and a dead machine are the same
+// fault.
+type Executor interface {
+	// Exec runs one envelope remotely: sealed is the payload encoded with
+	// the binding codec (passed alongside so the transport can recover its
+	// key epoch), work the task's nominal service time. It returns the
+	// result payload, still sealed with the same binding codec.
+	Exec(taskID uint64, work time.Duration, codec security.Codec, sealed []byte) ([]byte, error)
+	// Rekey makes c the binding codec on the remote end before any task
+	// sealed with it can arrive (the two-phase rekey across the wire: the
+	// new key travels inside a control frame sealed under the link's
+	// master codec). It returns the codec the farm must seal with from now
+	// on — a wrapper carrying the transport's key epoch.
+	Rekey(c security.Codec) (security.Codec, error)
+	// Close releases the session. It must be idempotent.
+	Close() error
+}
+
+// ExecutorFactory supplies per-node executors at recruitment time. It
+// returns (nil, nil) for nodes that execute in-process — the loopback
+// default — and a live session for nodes advertised by a remote workerd.
+// An error aborts the worker addition and releases the recruited node.
+type ExecutorFactory func(node *grid.Node) (Executor, error)
+
+// Selector is the worker-admission constraint of the unified dispatch
+// decision path (the RFC-010 worker-selector shape): a task may only be
+// routed to workers whose placement satisfies it. The zero Selector
+// admits every worker.
+type Selector struct {
+	// Labels admits only workers on nodes carrying every listed key/value
+	// pair (subset match against grid.Node.Labels).
+	Labels map[string]string
+	// TrustedOnly admits only workers in trusted domains.
+	TrustedOnly bool
+	// Local is the escape hatch: admit only in-process (loopback) workers,
+	// pinning the farm to the coordinator even when remote capacity is
+	// registered.
+	Local bool
+}
+
+// admits reports whether worker w may receive tasks under the selector.
+func (s Selector) admits(w *worker) bool {
+	if s.Local && w.exec != nil {
+		return false
+	}
+	if s.TrustedOnly && !w.node.Domain.Trusted {
+		return false
+	}
+	return w.node.HasLabels(s.Labels)
+}
+
+// decideTarget is the unified dispatch decision function: every task-send
+// entry path routes through it — the dispatcher's streaming route, the
+// reroute slow path when a target vanishes mid-send, park-flush after a
+// crash storm, and post-recovery sends. avail must already be filtered to
+// live, selector-admitted workers (admittedLocked); decideTarget only
+// picks among them by policy. rr is the round-robin cursor to advance;
+// only the dispatcher goroutine owns one, every other entry path passes
+// nil and falls back to shortest-queue, which is always safe. A nil
+// return means no admissible worker exists and the caller must park or
+// drop the task. Broadcast callers fan out over avail themselves.
+func (f *Farm) decideTarget(avail []*worker, rr *int) *worker {
+	if len(avail) == 0 {
+		return nil
+	}
+	if f.cfg.Dispatch == RoundRobin && rr != nil {
+		target := avail[*rr%len(avail)]
+		*rr++
+		return target
+	}
+	// OnDemand (and every non-dispatcher entry path): shortest queue, by
+	// the lock-free length mirrors.
+	target := avail[0]
+	for _, w := range avail[1:] {
+		if w.queue.len() < target.queue.len() {
+			target = w
+		}
+	}
+	return target
+}
+
+// admittedLocked appends the live, selector-admitted workers (excluding
+// skip, which may be nil) to buf and returns it. Callers hold f.mu.
+func (f *Farm) admittedLocked(buf []*worker, skip *worker) []*worker {
+	for _, w := range f.workers {
+		if w == skip || w.failed || w.exited {
+			continue
+		}
+		if !f.cfg.Selector.admits(w) {
+			continue
+		}
+		buf = append(buf, w)
+	}
+	return buf
+}
+
+// restoreTargetsLocked picks the live workers eligible to receive
+// redistributed envelopes (rebalance, remove, recover), excluding skip.
+// Redistribution is a routing decision like any other, so it prefers
+// selector-admitted workers; but if the selector admits no live worker the
+// full live set is used — exactly-once outranks placement preference, and
+// stranding recovered tasks on a constraint would deadlock the run.
+// Callers hold f.mu.
+func (f *Farm) restoreTargetsLocked(skip *worker) []*worker {
+	if targets := f.admittedLocked(nil, skip); len(targets) > 0 {
+		return targets
+	}
+	var live []*worker
+	for _, w := range f.workers {
+		if w == skip || w.failed || w.exited {
+			continue
+		}
+		live = append(live, w)
+	}
+	return live
+}

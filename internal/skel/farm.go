@@ -96,8 +96,18 @@ type FarmConfig struct {
 	// of the link between HomeDomain (where dispatcher and collector run)
 	// and the worker's domain, on top of the task's service time. Optional;
 	// it makes link degradation between domains observable to the managers.
+	// The charge applies to loopback workers only: remote workers pay the
+	// real latency of their framed connection instead.
 	Network    *grid.Network
 	HomeDomain string
+	// Executors supplies per-node transport sessions at recruitment time.
+	// Nil (the default) keeps every worker in-process — zero change to the
+	// loopback hot path. See ExecutorFactory.
+	Executors ExecutorFactory
+	// Selector constrains which workers the unified dispatch decision path
+	// may route tasks to (labels, trust domain, the `local` escape hatch).
+	// The zero value admits every worker.
+	Selector Selector
 }
 
 // envelope is one message on a worker binding: the task plus its payload
@@ -114,6 +124,11 @@ type worker struct {
 	node  *grid.Node
 	queue *queue
 
+	// exec, when non-nil, executes this worker's envelopes in another
+	// process (the remote transport); nil means loopback. Immutable after
+	// construction; closed when the worker leaves the pool.
+	exec Executor
+
 	// codec is the binding codec, swapped atomically by the SECURE_BINDING
 	// actuator so the dispatcher can snapshot it without any lock.
 	codec atomic.Pointer[security.Codec]
@@ -126,6 +141,15 @@ type worker struct {
 func (w *worker) getCodec() security.Codec { return *w.codec.Load() }
 
 func (w *worker) setCodec(c security.Codec) { w.codec.Store(&c) }
+
+// closeExec releases the worker's transport session, if any. Idempotent
+// (the Executor contract requires it); called whenever the worker leaves
+// the pool for good.
+func (w *worker) closeExec() {
+	if w.exec != nil {
+		_ = w.exec.Close()
+	}
+}
 
 // Farm is the task-farm skeleton: a dispatcher, a reconfigurable pool of
 // workers with private queues, and a collector. It implements Stage and
@@ -285,46 +309,34 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 	f.wgOut.Wait()
 }
 
-// dispatch routes one task according to the policy, considering only
-// workers that are neither crashed nor exited. Farm.mu is held just long
-// enough to snapshot the dispatchable workers; target selection, payload
-// encoding and the queue push all run off-lock, so the sensors (Stats,
-// Workers) and the actuators never queue behind encryption.
+// dispatch routes one task through the unified decision path, considering
+// only live, selector-admitted workers. Farm.mu is held just long enough
+// to snapshot the dispatchable workers; target selection, payload encoding
+// and the queue push all run off-lock, so the sensors (Stats, Workers) and
+// the actuators never queue behind encryption.
 func (f *Farm) dispatch(t *Task) {
 	if ins := f.cfg.Instruments; ins != nil {
 		start := time.Now()
 		defer func() { ins.Dispatch.ObserveDuration(time.Since(start)) }()
 	}
 	f.mu.Lock()
-	f.scratch = f.scratch[:0]
-	for _, w := range f.workers {
-		if !w.failed && !w.exited {
-			f.scratch = append(f.scratch, w)
-		}
-	}
+	f.scratch = f.admittedLocked(f.scratch[:0], nil)
 	f.mu.Unlock()
 	avail := f.scratch
-	if len(avail) == 0 {
-		f.parkOrDrop(t)
-		return
-	}
-	var target *worker
-	switch f.cfg.Dispatch {
-	case Broadcast:
+	if f.cfg.Dispatch == Broadcast {
+		if len(avail) == 0 {
+			f.sendRouted(t, nil)
+			return
+		}
 		for _, w := range avail {
 			f.send(w, t.Clone())
 		}
 		return
-	case RoundRobin:
-		target = avail[f.rrIndex%len(avail)]
-		f.rrIndex++
-	default: // OnDemand: shortest queue, by the lock-free length mirrors
-		target = avail[0]
-		for _, w := range avail[1:] {
-			if w.queue.len() < target.queue.len() {
-				target = w
-			}
-		}
+	}
+	target := f.decideTarget(avail, &f.rrIndex)
+	if target == nil {
+		f.sendRouted(t, nil)
+		return
 	}
 	f.send(target, t)
 }
@@ -335,7 +347,10 @@ func (f *Farm) dispatch(t *Task) {
 // next send, and an envelope always carries the codec it was encoded with.
 // If the worker disappeared between selection and push (removed, migrated
 // or crashed-and-recovered — its queue refuses the push either way), the
-// already-encoded envelope is requeued under f.mu.
+// task is re-routed through the decision path and re-encoded there: the
+// stale envelope's codec belongs to the vanished worker's binding (for a
+// remote worker, to its dead session's key epochs) and must not follow the
+// task to a different one.
 func (f *Farm) send(w *worker, t *Task) {
 	codec := w.getCodec()
 	var sealStart time.Time
@@ -360,79 +375,67 @@ func (f *Farm) send(w *worker, t *Task) {
 	}
 	env := &envelope{task: t, wire: wire, codec: codec}
 	if !w.queue.push(env) {
-		f.requeue(w, env)
+		// t still carries its original payload (compute replaces it only
+		// after a pop), so it can be re-routed and re-encoded.
+		f.sendRouted(t, w)
 	}
 }
 
-// requeue places an envelope whose target vanished onto any other live
-// worker. It is the slow path of send and the only part of it that takes
-// f.mu.
-func (f *Farm) requeue(skip *worker, env *envelope) {
+// sendRouted routes one already-accepted task through the unified decision
+// path from outside the dispatcher goroutine: the reroute slow path of
+// send (skip is the worker whose push just failed), park-flush after a
+// worker joins, and the empty-pool branch of dispatch. If no admissible
+// worker exists but a crashed one is still in the pool, recovery is coming
+// (the crash edge has fired), so the task is parked until a worker joins;
+// parked tasks keep the result stream open exactly like a crashed worker's
+// stranded queue. Without any crashed worker nobody will be summoned —
+// recruitment failed or the selector admits nothing — and the task is
+// dropped with an error rather than deadlocking the run.
+func (f *Farm) sendRouted(t *Task, skip *worker) {
 	f.mu.Lock()
-	for _, other := range f.workers {
-		if other == skip || other.failed || other.exited {
-			continue
-		}
-		if other.queue.push(env) {
-			f.mu.Unlock()
-			return
-		}
-	}
-	f.mu.Unlock()
-	// env.task still carries its original payload (compute replaces it only
-	// after a pop), so the task can be parked and re-encoded on flush.
-	f.parkOrDrop(env.task)
-}
-
-// parkOrDrop handles a task that found no live worker. If a crashed worker
-// is still in the pool, recovery is coming (the crash edge has fired), so
-// the task is parked until a worker joins; parked tasks keep the result
-// stream open exactly like a crashed worker's stranded queue. Without any
-// crashed worker nobody will be summoned — initial recruitment failed —
-// and the task is dropped with an error rather than deadlocking the run.
-func (f *Farm) parkOrDrop(t *Task) {
-	f.mu.Lock()
-	var hasFailed bool
-	var target *worker
+	avail := f.admittedLocked(nil, skip)
+	hasFailed := false
 	for _, w := range f.workers {
-		if !w.failed && !w.exited && target == nil {
-			target = w
+		if w.failed {
+			hasFailed = true
+			break
 		}
-		hasFailed = hasFailed || w.failed
 	}
 	// The park shares the critical section with the scan: a worker joining
-	// after this point sees the task in pending and flushes it.
-	if target == nil && hasFailed {
+	// after this point sees the task in pending and flushes it. An empty
+	// pool parks too — it can only arise from a recovery that is about to
+	// recruit (an unmanaged farm never removes its last worker), and
+	// parked tasks hold the result stream open until the recruit lands.
+	if len(avail) == 0 && (hasFailed || len(f.workers) == 0) {
 		f.pending = append(f.pending, t)
 		f.mu.Unlock()
 		return
 	}
 	f.mu.Unlock()
-	if target != nil {
-		// A worker joined between the dispatch scan and now (its
-		// flushPending may already have run and missed this task): send it
-		// there directly. Not via dispatch — scratch and rrIndex belong to
-		// the dispatcher goroutine, and parkOrDrop also runs on manager
-		// goroutines via flushPending.
-		f.send(target, t)
+	target := f.decideTarget(avail, nil)
+	if target == nil {
+		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no admissible worker", f.cfg.Name, t.ID))
 		return
 	}
-	f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: no workers", f.cfg.Name, t.ID))
+	// send re-encodes with the target's own binding codec; if the target is
+	// already gone again, send's reroute parks the task anew. A worker
+	// whose push failed is already marked failed/exited/removed under f.mu
+	// by then, so the reroute cannot spin on it.
+	f.send(target, t)
 }
 
-// flushPending hands every parked task to the worker that just joined the
-// pool; the add paths call it once the worker is dispatchable. The send
-// re-encodes with the new binding's codec, so a task parked during a crash
-// storm cannot leave with a codec negotiated for a worker that no longer
-// exists. If the new worker is already gone again, send's requeue path
-// parks the task anew.
-func (f *Farm) flushPending(w *worker) {
+// flushPending re-dispatches every parked task now that a worker joined
+// the pool; the add paths call it once the worker is dispatchable. Each
+// task goes through the unified decision path again and is re-encoded with
+// its new binding's codec, so a task parked during a crash storm cannot
+// leave with a codec negotiated for a worker that no longer exists.
+func (f *Farm) flushPending() {
 	f.mu.Lock()
 	parked := f.pending
 	f.pending = nil
 	f.mu.Unlock()
 	for _, t := range parked {
-		f.send(w, t)
+		f.sendRouted(t, nil)
 	}
 }
 
@@ -487,9 +490,19 @@ func (f *Farm) runWorker(w *worker) {
 			f.active--
 			f.maybeCloseResultsLocked()
 			f.mu.Unlock()
+			// Sole worker-termination path: every exit — drain, removal,
+			// crash, migration retirement — releases the transport session
+			// here, so a session can never outlive its worker.
+			w.closeExec()
 			return
 		}
-		res, crashed := f.computeTask(w, env)
+		var res *Task
+		var crashed bool
+		if w.exec != nil {
+			res, crashed = f.computeRemote(w, env)
+		} else {
+			res, crashed = f.computeTask(w, env)
+		}
 		if crashed {
 			f.containPanic(w, env)
 			continue // the failed queue makes the next pop report done
@@ -544,19 +557,90 @@ func (f *Farm) computeTask(w *worker, env *envelope) (res *Task, crashed bool) {
 	return applyFn(f.cfg.Fn, t), false
 }
 
+// computeRemote ships one envelope across the worker's transport session
+// and blocks for the sealed result. The bytes handed to the session are
+// exactly the bytes the binding codec produced in send — the transport
+// never sees the plaintext. Any transport error (connection dropped,
+// remote rejected the frame, result failed to authenticate) is mapped onto
+// the worker-crash contract: the envelope strands on the worker's failed
+// queue for the fault-tolerance manager to recover, because a broken link
+// and a dead machine are the same fault. Unlike the loopback path there is
+// no modelled link-latency charge: a remote worker pays the real latency
+// of its framed connection.
+func (f *Farm) computeRemote(w *worker, env *envelope) (res *Task, crashed bool) {
+	t := env.task
+	work := t.Work
+	if f.cfg.WorkOverride > 0 {
+		work = f.cfg.WorkOverride
+	}
+	if fp := f.workerFault.Load(); fp != nil {
+		if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
+			if fault.Stall > 0 {
+				f.env.SleepScaled(fault.Stall)
+			}
+			if fault.Panic {
+				// A remote worker cannot contain a panic in-process; the
+				// injected fault lands as the crash it models.
+				f.reportErr(fmt.Errorf("skel: farm %s worker %s injected fault on task %d",
+					f.cfg.Name, w.id, t.ID))
+				return nil, true
+			}
+		}
+	}
+	sealedRes, err := w.exec.Exec(t.ID, work, env.codec, env.wire)
+	if err != nil {
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
+			f.cfg.Name, w.id, t.ID, err))
+		return nil, true
+	}
+	payload, err := env.codec.Decode(sealedRes)
+	if err != nil {
+		// A result that does not authenticate is a link fault, not a task
+		// fault: crash the worker so the envelope is recovered, never
+		// emitted corrupt.
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
+			f.cfg.Name, w.id, err))
+		return nil, true
+	}
+	t.Payload = payload
+	return t, false
+}
+
 // containPanic turns a panicked worker into a crashed one, exactly as
 // KillWorker would: the in-flight envelope is restored into the worker's
 // own queue, the queue is failed so its tasks strand for the fault manager
 // to recover, and the crash edge fires. The process never dies.
+//
+// A worker that has already been recovered — killed by the stall detector
+// and drained by RecoverWorker while its task was still in flight, which a
+// remote exec blocked in a link fault makes routine — is no longer in the
+// pool, so restoring into its queue would strand the envelope invisibly.
+// That late envelope is instead re-routed through the unified dispatch
+// decision path, exactly like a parked task.
 func (f *Farm) containPanic(w *worker, env *envelope) {
 	f.mu.Lock()
 	if !w.failed && !w.exited {
 		w.failed = true
 		w.queue.fail()
 	}
-	w.queue.restore([]*envelope{env})
+	inPool := false
+	for _, x := range f.workers {
+		if x == w {
+			inPool = true
+			break
+		}
+	}
+	if inPool {
+		// RecoverWorker drains under f.mu, so a restore landing here is
+		// guaranteed a future drain.
+		w.queue.restore([]*envelope{env})
+		f.mu.Unlock()
+		f.hooks.fire()
+		return
+	}
 	f.mu.Unlock()
 	f.hooks.fire()
+	f.sendRouted(env.task, w)
 }
 
 // newWorkerLocked builds a worker on the given node with the given binding
@@ -570,6 +654,36 @@ func (f *Farm) newWorkerLocked(node *grid.Node, codec security.Codec) *worker {
 	w.setCodec(codec)
 	f.nextID++
 	return w
+}
+
+// executorFor dials a transport session for the node through the
+// configured factory. A nil factory — the loopback default — pins every
+// worker in-process at zero cost. Callers must not hold f.mu: dialing is
+// real network I/O.
+func (f *Farm) executorFor(node *grid.Node) (Executor, error) {
+	if f.cfg.Executors == nil {
+		return nil, nil
+	}
+	return f.cfg.Executors(node)
+}
+
+// bindCodec installs c as w's binding codec. For a remote worker the new
+// key must reach the workerd process before any task sealed with it can
+// (the two-phase rekey crossing the wire inside a control frame sealed
+// under the link's master codec), so the codec is pushed through the
+// session first and the wrapper it returns — carrying the transport's key
+// epoch — becomes the binding codec. Callers must not hold f.mu: the
+// rekey is a real network write.
+func (f *Farm) bindCodec(w *worker, c security.Codec) error {
+	if w.exec != nil {
+		wrapped, err := w.exec.Rekey(c)
+		if err != nil {
+			return err
+		}
+		c = wrapped
+	}
+	w.setCodec(c)
+	return nil
 }
 
 // AddWorker recruits a node and adds a worker to the pool. It returns the
@@ -600,12 +714,32 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	w := f.newWorkerLocked(node, security.Plain{})
 	f.mu.Unlock()
 
+	if err := f.attachExecutor(w, node); err != nil {
+		return "", err
+	}
+
 	if prepare != nil {
 		// The worker is not yet visible to the dispatcher, so the prepare
-		// phase (e.g. an SSL handshake) cannot race with task sends.
-		if err := prepare(w.id, node, w.setCodec); err != nil {
+		// phase (e.g. an SSL handshake) cannot race with task sends. For a
+		// remote worker the codec install crosses the wire (bindCodec);
+		// a failed rekey aborts the addition so a worker whose binding the
+		// security manager could not secure never becomes dispatchable —
+		// the two-phase guarantee holds across processes.
+		var bindErr error
+		setCodec := func(c security.Codec) {
+			if err := f.bindCodec(w, c); err != nil && bindErr == nil {
+				bindErr = err
+			}
+		}
+		if err := prepare(w.id, node, setCodec); err != nil {
 			node.Release()
+			w.closeExec()
 			return "", fmt.Errorf("skel: prepare for %s: %w", w.id, err)
+		}
+		if bindErr != nil {
+			node.Release()
+			w.closeExec()
+			return "", fmt.Errorf("skel: prepare rekey for %s: %w", w.id, bindErr)
 		}
 	}
 
@@ -613,14 +747,28 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	if f.inputDone {
 		f.mu.Unlock()
 		node.Release()
+		w.closeExec()
 		return "", ErrStreamEnded
 	}
 	f.workers = append(f.workers, w)
 	f.active++
 	f.mu.Unlock()
 	go f.runWorker(w)
-	f.flushPending(w)
+	f.flushPending()
 	return w.id, nil
+}
+
+// attachExecutor dials and attaches the transport session for a worker
+// still invisible to the dispatcher. On error the recruited node is
+// released and the addition aborted.
+func (f *Farm) attachExecutor(w *worker, node *grid.Node) error {
+	exec, err := f.executorFor(node)
+	if err != nil {
+		node.Release()
+		return fmt.Errorf("skel: dial executor for %s: %w", w.id, err)
+	}
+	w.exec = exec
+	return nil
 }
 
 // AddRecoveryWorker recruits a worker even after the input stream has
@@ -658,12 +806,29 @@ func (f *Farm) AddRecoveryWorkerWithPrepare(prepare PrepareFunc) (string, error)
 	w := f.newWorkerLocked(node, security.Plain{})
 	f.mu.Unlock()
 
+	if err := f.attachExecutor(w, node); err != nil {
+		return "", err
+	}
+
 	if prepare != nil {
 		// Not yet visible to the dispatcher or RecoverWorker, so the
-		// handshake cannot race with task sends.
-		if err := prepare(w.id, node, w.setCodec); err != nil {
+		// handshake cannot race with task sends; remote bindings obey the
+		// same abort-on-failed-rekey rule as AddWorkerWithPrepare.
+		var bindErr error
+		setCodec := func(c security.Codec) {
+			if err := f.bindCodec(w, c); err != nil && bindErr == nil {
+				bindErr = err
+			}
+		}
+		if err := prepare(w.id, node, setCodec); err != nil {
 			node.Release()
+			w.closeExec()
 			return "", fmt.Errorf("skel: prepare for %s: %w", w.id, err)
+		}
+		if bindErr != nil {
+			node.Release()
+			w.closeExec()
+			return "", fmt.Errorf("skel: prepare rekey for %s: %w", w.id, bindErr)
 		}
 	}
 
@@ -671,13 +836,14 @@ func (f *Farm) AddRecoveryWorkerWithPrepare(prepare PrepareFunc) (string, error)
 	if f.resultsClosed {
 		f.mu.Unlock()
 		node.Release()
+		w.closeExec()
 		return "", ErrStreamEnded
 	}
 	f.workers = append(f.workers, w)
 	f.active++
 	f.mu.Unlock()
 	go f.runWorker(w)
-	f.flushPending(w)
+	f.flushPending()
 	return w.id, nil
 }
 
@@ -705,17 +871,13 @@ func (f *Farm) RemoveWorker() (string, error) {
 	f.workers = f.workers[:len(f.workers)-1]
 	orphans := w.queue.drain()
 	w.queue.close()
-	i := 0
-	for _, other := range f.workers {
-		if other.exited || other.failed {
-			continue
-		}
+	targets := f.restoreTargetsLocked(nil)
+	for i, other := range targets {
 		var share []*envelope
-		for j := i; j < len(orphans); j += live {
+		for j := i; j < len(orphans); j += len(targets) {
 			share = append(share, orphans[j])
 		}
 		other.queue.restore(share)
-		i++
 	}
 	return w.id, nil
 }
@@ -732,16 +894,17 @@ func (f *Farm) Rebalance() {
 			live = append(live, w)
 		}
 	}
-	if len(live) == 0 {
+	targets := f.restoreTargetsLocked(nil)
+	if len(targets) == 0 {
 		return
 	}
 	var all []*envelope
 	for _, w := range live {
 		all = append(all, w.queue.drain()...)
 	}
-	for i, w := range live {
+	for i, w := range targets {
 		var share []*envelope
-		for j := i; j < len(all); j += len(live) {
+		for j := i; j < len(all); j += len(targets) {
 			share = append(share, all[j])
 		}
 		w.queue.restore(share)
@@ -795,12 +958,7 @@ func (f *Farm) RecoverWorker(workerID string) (recovered int, err error) {
 	if !dead.failed {
 		return 0, fmt.Errorf("skel: worker %s has not failed", workerID)
 	}
-	var live []*worker
-	for _, w := range f.workers {
-		if w != dead && !w.failed && !w.exited {
-			live = append(live, w)
-		}
-	}
+	live := f.restoreTargetsLocked(dead)
 	orphans := dead.queue.drain()
 	if len(orphans) > 0 && len(live) == 0 {
 		// Nothing to recover onto: put the tasks back and refuse, so the
@@ -835,26 +993,71 @@ func (f *Farm) RecoverWorker(workerID string) (recovered int, err error) {
 // worker's ID.
 func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	idx := -1
 	var old *worker
-	for i, w := range f.workers {
+	for _, w := range f.workers {
 		if w.id == workerID {
-			idx, old = i, w
+			old = w
 			break
 		}
 	}
 	if old == nil {
+		f.mu.Unlock()
 		return "", fmt.Errorf("%w: %s", ErrNoWorker, workerID)
 	}
 	if old.failed || old.exited {
+		f.mu.Unlock()
 		return "", fmt.Errorf("skel: worker %s is down; use RecoverWorker", workerID)
 	}
+	// The migration carries the binding codec observed here; a SetCodec
+	// racing with the migration may land on the retiring worker and be
+	// superseded, which is the same §3.2 reactive hazard SetCodec already
+	// documents for in-flight envelopes.
+	codec := old.getCodec()
 	node, err := f.cfg.RM.Recruit(req)
 	if err != nil {
+		f.mu.Unlock()
 		return "", err
 	}
-	fresh := f.newWorkerLocked(node, old.getCodec())
+	f.mu.Unlock()
+
+	// Dialing the replacement's session and re-keying it are real network
+	// I/O, so both run off-lock; the pool is re-validated before the swap.
+	exec, err := f.executorFor(node)
+	if err != nil {
+		node.Release()
+		return "", fmt.Errorf("skel: migrate %s: %w", workerID, err)
+	}
+	if exec != nil {
+		wrapped, err := exec.Rekey(codec)
+		if err != nil {
+			node.Release()
+			_ = exec.Close()
+			return "", fmt.Errorf("skel: migrate %s rekey: %w", workerID, err)
+		}
+		codec = wrapped
+	}
+
+	f.mu.Lock()
+	idx := -1
+	for i, w := range f.workers {
+		if w == old {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 || old.failed || old.exited {
+		// The worker crashed or left while we were dialing: abandon the
+		// migration rather than resurrect it behind the fault manager's
+		// back.
+		f.mu.Unlock()
+		node.Release()
+		if exec != nil {
+			_ = exec.Close()
+		}
+		return "", fmt.Errorf("skel: worker %s went down during migration", workerID)
+	}
+	fresh := f.newWorkerLocked(node, codec)
+	fresh.exec = exec
 	items := old.queue.drain()
 	old.queue.close() // the old worker finishes its current task and exits
 	fresh.queue.restore(items)
@@ -863,6 +1066,7 @@ func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) 
 	}
 	f.workers[idx] = fresh
 	f.active++
+	f.mu.Unlock()
 	go f.runWorker(fresh)
 	return fresh.id, nil
 }
@@ -880,14 +1084,26 @@ func (f *Farm) SetCodec(workerID string, c security.Codec) error {
 		return errors.New("skel: nil codec")
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	var target *worker
 	for _, w := range f.workers {
 		if w.id == workerID {
-			w.setCodec(c)
-			return nil
+			target = w
+			break
 		}
 	}
-	return fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	f.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("%w: %s", ErrNoWorker, workerID)
+	}
+	// bindCodec runs off-lock: for a remote binding it writes the rekey
+	// frame to the wire, and the actuator must not stall sensors behind
+	// network I/O. If the worker vanishes concurrently the bind is
+	// harmless (nobody dispatches to it any more) or surfaces as a rekey
+	// error from the closing session.
+	if err := f.bindCodec(target, c); err != nil {
+		return fmt.Errorf("skel: rekey %s: %w", workerID, err)
+	}
+	return nil
 }
 
 // WorkerInfo describes one worker for monitoring and the security manager.
@@ -898,6 +1114,9 @@ type WorkerInfo struct {
 	Served   int
 	Secure   bool
 	Failed   bool
+	// Remote reports that the worker executes in another process over a
+	// transport session instead of in-process.
+	Remote bool
 }
 
 // Workers returns a snapshot of the current worker pool.
@@ -913,6 +1132,7 @@ func (f *Farm) Workers() []WorkerInfo {
 			Served:   int(w.served.Load()),
 			Secure:   w.getCodec().Secure(),
 			Failed:   w.failed,
+			Remote:   w.exec != nil,
 		}
 	}
 	return out
@@ -932,14 +1152,20 @@ type FarmStats struct {
 	// most harnesses never drain that channel, so silent overflow would
 	// hide dropped-task errors from every observer.
 	ErrorsDropped uint64
+	// RemoteWorkers counts pool members executing over a transport session.
+	RemoteWorkers int
 }
 
 // Stats returns the current sensor snapshot.
 func (f *Farm) Stats() FarmStats {
 	f.mu.Lock()
 	lens := make([]int, len(f.workers))
+	remote := 0
 	for i, w := range f.workers {
 		lens[i] = w.queue.len()
+		if w.exec != nil {
+			remote++
+		}
 	}
 	workers := len(f.workers)
 	done := f.inputDone
@@ -954,6 +1180,7 @@ func (f *Farm) Stats() FarmStats {
 		Dispatched:    f.arrival.Total(),
 		Completed:     f.departure.Total(),
 		ErrorsDropped: f.errsDropped.Load(),
+		RemoteWorkers: remote,
 	}
 }
 

@@ -1,0 +1,26 @@
+package skel_test
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/runtime/leaktest"
+	"repro/internal/skel"
+	"repro/internal/skel/skeltest"
+)
+
+// TestFarmDispatchActuatorStress runs the shared actuator-storm harness
+// against the loopback transport — the dispatch plane's default, where
+// every worker computes in-process. The framed-TCP counterpart lives in
+// internal/wire (TestFarmDispatchActuatorStressTCP) and runs the same
+// harness over real localhost connections; together they pin the unified
+// dispatch decision path on both sides of the transport seam.
+func TestFarmDispatchActuatorStress(t *testing.T) {
+	defer leaktest.Check(t)()
+	skeltest.Stress(t, skel.FarmConfig{
+		Name:           "stress",
+		Env:            skel.Env{TimeScale: 1000},
+		RM:             grid.NewSMP(64).RM,
+		InitialWorkers: 4,
+	}, 800)
+}

@@ -1,119 +1,9 @@
 package skel
 
 import (
-	"context"
 	"errors"
-	"runtime"
-	"sync"
 	"testing"
-	"time"
-
-	"repro/internal/runtime/leaktest"
-	"repro/internal/security"
 )
-
-// TestFarmDispatchActuatorStress hammers every sensor and actuator —
-// Stats, Rebalance, SetCodec, AddWorker/RemoveWorker — while the
-// dispatcher pumps a stream, and asserts exactly-once delivery. Under
-// -race this is the safety net for the off-lock dispatch path: payload
-// encoding and the queue push happen outside Farm.mu, so target workers
-// can be removed, rebalanced or re-keyed between selection and push and
-// every such interleaving must still conserve the stream.
-func TestFarmDispatchActuatorStress(t *testing.T) {
-	defer leaktest.Check(t)()
-	const total = 800
-	f, err := NewFarm(FarmConfig{
-		Name: "stress", Env: fastEnv(), RM: smpRM(64), InitialWorkers: 4,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	in := make(chan *Task, 64)
-	out := make(chan *Task, total)
-	seen := make(chan map[uint64]int, 1)
-	go func() {
-		m := map[uint64]int{}
-		for tsk := range out {
-			m[tsk.ID]++
-		}
-		seen <- m
-	}()
-	done := make(chan struct{})
-	go func() { f.Run(context.Background(), in, out); close(done) }()
-	waitFor(t, func() bool { return len(f.Workers()) == 4 })
-
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	hammer := func(fn func()) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-					fn()
-					runtime.Gosched()
-				}
-			}
-		}()
-	}
-	hammer(func() { _ = f.Stats() })
-	hammer(func() { _ = f.Workers() })
-	hammer(func() { f.Rebalance() })
-	secure := security.MustAESGCM(security.NewRandomKey(), nil, 0)
-	codecFlip := 0
-	hammer(func() {
-		ws := f.Workers()
-		if len(ws) == 0 {
-			return
-		}
-		var c security.Codec = security.Plain{}
-		if codecFlip%2 == 0 {
-			c = secure
-		}
-		codecFlip++
-		_ = f.SetCodec(ws[codecFlip%len(ws)].ID, c) // worker may be gone; ignore
-	})
-	grow := true
-	hammer(func() {
-		if grow {
-			f.AddWorker() // may fail post-stream or on exhaustion; ignore
-		} else {
-			f.RemoveWorker() // may hit ErrLastWorker; ignore
-		}
-		grow = !grow
-	})
-
-	ids := make(map[uint64]bool, total)
-	for i := 0; i < total; i++ {
-		id := NextTaskID()
-		ids[id] = true
-		in <- &Task{ID: id, Payload: []byte("stress-payload")}
-	}
-	close(in)
-	select {
-	case <-done:
-	case <-time.After(60 * time.Second):
-		t.Fatal("farm did not terminate under actuator stress")
-	}
-	close(stop)
-	wg.Wait()
-
-	m := <-seen
-	if len(m) != total {
-		t.Fatalf("%d distinct tasks delivered, want %d", len(m), total)
-	}
-	for id, n := range m {
-		if !ids[id] || n != 1 {
-			t.Fatalf("task %d delivered %d times", id, n)
-		}
-	}
-	if dropped := f.Stats().ErrorsDropped; dropped != 0 {
-		t.Fatalf("ErrorsDropped = %d under stress, want 0", dropped)
-	}
-}
 
 // TestFarmErrorDropCounting checks that errors overflowing the 16-slot
 // Errors() buffer are counted and surfaced via Stats instead of vanishing:

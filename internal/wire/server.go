@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/security"
+)
+
+// WorkerFn transforms one task payload on the workerd side. Coordinator
+// and workerd agree on the function by deployment (the workerd applies the
+// function it was started with), mirroring how the skeleton's functional
+// code is compiled into every process of a distributed run.
+type WorkerFn func(payload []byte) []byte
+
+// ServerConfig parameterizes a workerd endpoint.
+type ServerConfig struct {
+	// PSK is the link's pre-shared 32-byte master key; connections that
+	// cannot authenticate against it are cut.
+	PSK []byte
+	// Hello is the node advertisement sent on every connection.
+	Hello Hello
+	// Fn is the functional code applied to each task payload (nil: identity).
+	Fn WorkerFn
+	// TimeScale divides the modelled work carried by exec frames into real
+	// sleep, exactly like skel.Env.TimeScale on the coordinator side. Zero
+	// or negative skips the sleep entirely (the unit-test setting).
+	TimeScale float64
+	// Log receives connection-level events. Nil discards them.
+	Log *log.Logger
+}
+
+// Server is the workerd side of the transport: it accepts framed
+// connections, installs binding codecs shipped by rekey frames into a
+// per-connection epoch keyring, and executes task envelopes — decode,
+// sleep the modelled work, apply the worker function, seal the result
+// under the same epoch. Malformed or unauthenticated frames close the
+// connection: fail-secure, never fail-open.
+type Server struct {
+	cfg    ServerConfig
+	master security.Codec
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	served   atomic.Uint64
+	rejected atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// NewServer validates cfg and builds the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	master, err := NewMasterCodec(cfg.PSK)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Hello.Name == "" {
+		return nil, errors.New("wire: server needs a node name to advertise")
+	}
+	return &Server{cfg: cfg, master: master, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine; it returns once the listener is live so callers
+// can read Addr. Close shuts everything down.
+func (s *Server) Listen(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("wire: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(l)
+	}()
+	return nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Served returns the number of tasks executed across all connections.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Rejected returns the number of frames refused (bad epoch, failed
+// authentication, malformed body).
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+
+// Close stops the listener and severs every live connection. Idempotent;
+// it returns once all connection goroutines have exited.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// serveConn runs one connection: hello out, then a serial frame loop. The
+// loop is deliberately synchronous — one task at a time per connection —
+// because the peer is one farm worker, and a worker is serial by
+// definition; parallelism comes from more workers, i.e. more connections.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	hello, err := sealHello(s.master, s.cfg.Hello)
+	if err != nil {
+		s.logf("wire: sealing hello: %v", err)
+		return
+	}
+	if err := writeFrame(conn, frameHello, hello); err != nil {
+		return
+	}
+	// keyring maps binding epochs to codecs; epoch 0 is Plain on both ends.
+	// Old epochs stay resolvable so frames sealed before a rekey landed
+	// (the §3.2 hazard window, stretched across a wire) still decode.
+	keyring := map[uint32]security.Codec{0: security.Plain{}}
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			return // peer gone or frame malformed; either way the link is done
+		}
+		switch typ {
+		case frameRekey:
+			plain, err := s.master.Decode(body)
+			if err != nil {
+				s.rejected.Add(1)
+				s.logf("wire: %s: rekey did not authenticate: %v", conn.RemoteAddr(), err)
+				return // fail-secure: an unauthenticated rekey kills the link
+			}
+			epoch, codec, err := parseRekey(plain)
+			if err != nil {
+				s.rejected.Add(1)
+				s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			keyring[epoch] = codec
+		case frameExec:
+			epoch, taskID, workNanos, sealed, err := parseExec(body)
+			if err != nil {
+				s.rejected.Add(1)
+				return
+			}
+			codec, ok := keyring[epoch]
+			if !ok {
+				s.rejected.Add(1)
+				s.reply(conn, taskID, resultErr, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
+				continue
+			}
+			payload, err := codec.Decode(sealed)
+			if err != nil {
+				// The envelope does not authenticate under its declared
+				// epoch: refuse it, never execute it. The error text names
+				// the failure only — payload bytes must not echo back.
+				s.rejected.Add(1)
+				s.reply(conn, taskID, resultErr, []byte("payload did not authenticate"))
+				continue
+			}
+			if scale := s.cfg.TimeScale; scale > 0 && workNanos > 0 {
+				time.Sleep(time.Duration(float64(workNanos) / scale))
+			}
+			if s.cfg.Fn != nil {
+				payload = s.cfg.Fn(payload)
+			}
+			resealed, err := codec.Encode(payload)
+			if err != nil {
+				s.reply(conn, taskID, resultErr, []byte("result seal failed"))
+				continue
+			}
+			s.served.Add(1)
+			if !s.reply(conn, taskID, resultOK, resealed) {
+				return
+			}
+		default:
+			s.rejected.Add(1)
+			s.logf("wire: %s: unknown frame type %#x", conn.RemoteAddr(), typ)
+			return
+		}
+	}
+}
+
+// reply writes one result frame; false means the connection is dead.
+func (s *Server) reply(conn net.Conn, taskID uint64, status byte, rest []byte) bool {
+	return writeFrame(conn, frameResult, resultBody(taskID, status, rest)) == nil
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/security"
+)
+
+// ErrSessionClosed is returned by Exec and Rekey once the session's
+// connection is gone — closed by the farm, cut by an injected link drop,
+// or broken by the peer.
+var ErrSessionClosed = errors.New("wire: session closed")
+
+// Session is one coordinator-side transport connection to a workerd,
+// implementing skel.Executor for exactly one farm worker. A session
+// carries a single outstanding exec at a time (the farm's worker loop is
+// serial, which is what makes the protocol need no response demux) plus
+// fire-and-forget rekey frames serialized on the same mutex.
+type Session struct {
+	hello  Hello
+	master security.Codec
+	faults *linkFaults
+	stats  *Stats
+
+	mu      sync.Mutex // serializes the exec roundtrip and rekey writes
+	conn    net.Conn
+	epoch   uint32
+	binding security.Codec // codec of the current epoch, for foreign reseals
+
+	closed atomic.Bool
+}
+
+// dialSession connects, authenticates the workerd's hello and returns the
+// live session. The zero binding epoch is Plain on both ends.
+func dialSession(addr string, master security.Codec, timeout time.Duration, faults *linkFaults, stats *Stats) (*Session, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	typ, body, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: reading hello from %s: %w", addr, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if typ != frameHello {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s sent frame %#x before hello", addr, typ)
+	}
+	hello, err := openHello(master, body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	stats.dials.Add(1)
+	return &Session{
+		hello:   hello,
+		master:  master,
+		faults:  faults,
+		stats:   stats,
+		conn:    conn,
+		binding: security.Plain{},
+	}, nil
+}
+
+// Hello returns the node advertisement received at dial time.
+func (s *Session) Hello() Hello { return s.hello }
+
+// epochCodec is the binding codec the farm holds after a remote rekey: it
+// delegates Encode/Decode to the inner codec (so envelopes remain fully
+// usable in-process — restores onto loopback workers keep working) and
+// tags the session + epoch the key was installed under, which is how Exec
+// knows the sealed bytes can go out as-is.
+type epochCodec struct {
+	s     *Session
+	epoch uint32
+	inner security.Codec
+}
+
+func (e *epochCodec) Name() string                        { return e.inner.Name() }
+func (e *epochCodec) Secure() bool                        { return e.inner.Secure() }
+func (e *epochCodec) Encode(plain []byte) ([]byte, error) { return e.inner.Encode(plain) }
+func (e *epochCodec) Decode(wire []byte) ([]byte, error)  { return e.inner.Decode(wire) }
+
+// Rekey implements skel.Executor: it ships codec c to the workerd inside a
+// control frame sealed under the link's master codec — the raw key never
+// crosses in clear — and returns the epoch-tagged wrapper the farm must
+// seal with from now on. The write is fire-and-forget: frames are
+// processed in order on the remote end, so the rekey is installed before
+// any later exec frame that uses its epoch. A codec that is already an
+// epoch wrapper (e.g. a binding migrated from another session) is
+// unwrapped and re-shipped under a fresh epoch of this session.
+func (s *Session) Rekey(c security.Codec) (security.Codec, error) {
+	if ec, ok := c.(*epochCodec); ok {
+		c = ec.inner
+	}
+	name, key, err := transportable(c)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	epoch := s.epoch + 1
+	plain, err := rekeyBody(epoch, name, key)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := s.master.Encode(plain)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeLocked(frameRekey, sealed); err != nil {
+		return nil, err
+	}
+	s.epoch = epoch
+	s.binding = c
+	s.stats.rekeys.Add(1)
+	return &epochCodec{s: s, epoch: epoch, inner: c}, nil
+}
+
+// Exec implements skel.Executor: one task envelope out, one result frame
+// back. When codec is this session's current epoch wrapper the sealed
+// bytes go out verbatim — the transport never sees the plaintext. A
+// foreign codec (an envelope restored from another worker's queue by
+// rebalance, recovery or migration) is opened locally and re-sealed under
+// this session's own binding, so a moved task still crosses the wire under
+// a key its destination knows, at the same security level the farm
+// installed here.
+func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, sealed []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	if err := s.faults.apply(s); err != nil {
+		return nil, err
+	}
+	epoch := uint32(0)
+	var foreign security.Codec
+	if ec, ok := codec.(*epochCodec); ok && ec.s == s {
+		epoch = ec.epoch
+	} else {
+		// The reply will come back sealed under this session's binding;
+		// remember the foreign codec so the result can be handed back
+		// sealed the way the caller expects (the Executor contract).
+		foreign = codec
+		plain, err := codec.Decode(sealed)
+		if err != nil {
+			return nil, fmt.Errorf("wire: reseal for session: %w", err)
+		}
+		sealed, err = s.binding.Encode(plain)
+		if err != nil {
+			return nil, fmt.Errorf("wire: reseal for session: %w", err)
+		}
+		epoch = s.epoch
+	}
+	if err := s.writeLocked(frameExec, execBody(epoch, taskID, int64(work), sealed)); err != nil {
+		return nil, err
+	}
+	typ, body, err := readFrame(s.conn)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: reading result: %w", err)
+	}
+	if typ != frameResult {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting result", typ)
+	}
+	gotID, status, rest, err := parseResult(body)
+	if err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	if gotID != taskID {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: result for task %d while awaiting %d", gotID, taskID)
+	}
+	if status != resultOK {
+		// A remote rejection (unknown epoch, unauthenticated payload) is a
+		// link-level fault: fail the session so the farm crashes the worker
+		// and the stranded envelopes are recovered.
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: remote: %s", rest)
+	}
+	if foreign != nil {
+		// Translate the reply from this session's binding back to the
+		// codec the envelope was sealed with, so the caller's decode sees
+		// the seal it expects.
+		plain, err := s.binding.Decode(rest)
+		if err != nil {
+			s.closeLocked()
+			return nil, fmt.Errorf("wire: result reseal: %w", err)
+		}
+		if rest, err = foreign.Encode(plain); err != nil {
+			return nil, fmt.Errorf("wire: result reseal: %w", err)
+		}
+	}
+	s.stats.execs.Add(1)
+	return rest, nil
+}
+
+// writeLocked writes one frame; any error poisons the session. Callers
+// hold s.mu.
+func (s *Session) writeLocked(typ byte, body []byte) error {
+	if err := writeFrame(s.conn, typ, body); err != nil {
+		s.closeLocked()
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	s.stats.framesOut.Add(1)
+	return nil
+}
+
+// closeLocked marks the session dead and closes the connection. Callers
+// hold s.mu or are the fault injector (which must not take it: a drop has
+// to cut a connection mid-exec, exactly like yanking a cable).
+func (s *Session) closeLocked() {
+	if s.closed.CompareAndSwap(false, true) {
+		_ = s.conn.Close()
+	}
+}
+
+// Close implements skel.Executor. Idempotent.
+func (s *Session) Close() error {
+	s.closeLocked()
+	s.faults.forget(s)
+	return nil
+}

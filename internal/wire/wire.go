@@ -1,0 +1,267 @@
+// Package wire is the cross-process transport of the dispatch plane: a
+// framed, length-prefixed TCP protocol (stdlib net only) carrying the
+// farm's sealed envelopes between a coordinator process and workerd
+// processes. The package deliberately does not invent its own payload
+// cryptography — the bytes inside an exec frame are exactly the bytes the
+// binding codec of internal/security produced, so the security concern's
+// guarantees (AES-GCM sealing, the two-phase rekey, the leak audit) hold
+// unchanged across the machine boundary.
+//
+// Protocol, from the coordinator's point of view:
+//
+//	dial ──▶ hello (server→client, sealed under the link's master codec;
+//	         advertises node name, labels, trust domain, capacity)
+//	rekey ─▶ installs binding codec epoch N on the remote end; the frame
+//	         body — codec name and key — is sealed under the master codec,
+//	         so key material never crosses in clear
+//	exec ──▶ epoch + task id + nominal work + sealed payload
+//	◀─ result  task id + sealed result payload (same epoch), or an error
+//
+// The master codec is AES-GCM under a pre-shared 32-byte link key: a peer
+// that cannot produce an authenticating hello or rekey frame is cut off.
+// Task payloads are sealed under whatever binding codec the farm chose —
+// Plain on a trusted private link, AES-GCM where the security policy
+// demands it — and the epoch lets the workerd hold both sides of a rekey
+// hazard window at once (frames sealed under the old binding are still in
+// flight when the new one lands).
+//
+// Failure model: any transport error surfaces from Session.Exec and the
+// farm maps it onto its worker-crash contract — the worker's queue
+// strands, the fault-tolerance manager recovers the tasks and replacement
+// recruitment re-dials. A broken link and a dead machine are the same
+// fault, which is what makes remote links a first-class chaos surface
+// (Factory.InjectDrop and friends).
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/security"
+)
+
+// Frame types of the protocol.
+const (
+	frameHello  byte = 0x01 // server→client node advertisement
+	frameRekey  byte = 0x02 // client→server binding codec install
+	frameExec   byte = 0x03 // client→server task envelope
+	frameResult byte = 0x04 // server→client task result or error
+)
+
+// maxFrame bounds a frame body so a corrupt or hostile length prefix
+// cannot make a peer allocate unbounded memory.
+const maxFrame = 16 << 20
+
+// Frame layout: uint32 big-endian length, then one type byte, then the
+// body; length counts the type byte and the body. Truncations and
+// oversized lengths come back as errors, never panics or huge allocations.
+var (
+	errFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	errFrameEmpty    = errors.New("wire: zero-length frame")
+)
+
+// writeFrame writes one frame. Callers serialize access to w.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body)+1 > maxFrame {
+		return errFrameTooLarge
+	}
+	buf := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)+1))
+	buf[4] = typ
+	copy(buf[5:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame. Callers serialize access to r.
+func readFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, errFrameEmpty
+	}
+	if n > maxFrame {
+		return 0, nil, errFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, err
+	}
+	body = make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// Hello is the node advertisement a workerd sends on every new connection,
+// sealed under the link's master codec: authenticating it doubles as the
+// peer authentication of the handshake. The coordinator turns it into a
+// grid.Node (labels included), so remote capacity is recruited through the
+// same resource manager as simulated capacity.
+type Hello struct {
+	Name    string            `json:"name"`
+	Domain  string            `json:"domain"`
+	Trusted bool              `json:"trusted"`
+	Cores   int               `json:"cores"`
+	Speed   float64           `json:"speed"`
+	Labels  map[string]string `json:"labels,omitempty"`
+}
+
+// sealHello encodes and seals a hello under the master codec.
+func sealHello(master security.Codec, h Hello) ([]byte, error) {
+	plain, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	return master.Encode(plain)
+}
+
+// openHello authenticates and decodes a hello frame body.
+func openHello(master security.Codec, body []byte) (Hello, error) {
+	plain, err := master.Decode(body)
+	if err != nil {
+		return Hello{}, fmt.Errorf("wire: hello did not authenticate: %w", err)
+	}
+	var h Hello
+	if err := json.Unmarshal(plain, &h); err != nil {
+		return Hello{}, fmt.Errorf("wire: malformed hello: %w", err)
+	}
+	if h.Name == "" {
+		return Hello{}, errors.New("wire: hello without node name")
+	}
+	return h, nil
+}
+
+// Codec wire names a rekey frame may carry.
+const (
+	codecPlain  = "plain"
+	codecAESGCM = "aes-gcm"
+)
+
+// rekeyBody encodes epoch + codec for a rekey frame (pre-seal):
+// uint32 epoch | uint8 len(name) | name | key.
+func rekeyBody(epoch uint32, name string, key []byte) ([]byte, error) {
+	if len(name) > 255 {
+		return nil, fmt.Errorf("wire: codec name %q too long", name)
+	}
+	body := make([]byte, 0, 5+len(name)+len(key))
+	body = binary.BigEndian.AppendUint32(body, epoch)
+	body = append(body, byte(len(name)))
+	body = append(body, name...)
+	body = append(body, key...)
+	return body, nil
+}
+
+// parseRekey decodes a rekey frame body (post-open) into a codec.
+func parseRekey(plain []byte) (epoch uint32, c security.Codec, err error) {
+	if len(plain) < 5 {
+		return 0, nil, errors.New("wire: short rekey frame")
+	}
+	epoch = binary.BigEndian.Uint32(plain[:4])
+	nameLen := int(plain[4])
+	if len(plain) < 5+nameLen {
+		return 0, nil, errors.New("wire: short rekey frame")
+	}
+	name := string(plain[5 : 5+nameLen])
+	key := plain[5+nameLen:]
+	switch name {
+	case codecPlain:
+		return epoch, security.Plain{}, nil
+	case codecAESGCM:
+		codec, err := security.NewAESGCM(append([]byte(nil), key...), nil, 0)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: rekey: %w", err)
+		}
+		return epoch, codec, nil
+	default:
+		return 0, nil, fmt.Errorf("wire: rekey names unknown codec %q", name)
+	}
+}
+
+// transportable extracts the wire name and key material of a binding
+// codec. Only the codecs of internal/security travel; anything else is
+// refused before a frame is written, so a misconfigured binding fails
+// loudly at rekey time instead of silently downgrading on the wire.
+func transportable(c security.Codec) (name string, key []byte, err error) {
+	switch cc := c.(type) {
+	case security.Plain:
+		return codecPlain, nil, nil
+	case *security.Plain:
+		return codecPlain, nil, nil
+	case *security.AESGCM:
+		return codecAESGCM, cc.Key(), nil
+	default:
+		return "", nil, fmt.Errorf("wire: codec %q cannot cross the wire", c.Name())
+	}
+}
+
+// execBody encodes an exec frame body:
+// uint32 epoch | uint64 taskID | int64 workNanos | sealed payload.
+func execBody(epoch uint32, taskID uint64, workNanos int64, sealed []byte) []byte {
+	body := make([]byte, 0, 20+len(sealed))
+	body = binary.BigEndian.AppendUint32(body, epoch)
+	body = binary.BigEndian.AppendUint64(body, taskID)
+	body = binary.BigEndian.AppendUint64(body, uint64(workNanos))
+	return append(body, sealed...)
+}
+
+// parseExec decodes an exec frame body.
+func parseExec(body []byte) (epoch uint32, taskID uint64, workNanos int64, sealed []byte, err error) {
+	if len(body) < 20 {
+		return 0, 0, 0, nil, errors.New("wire: short exec frame")
+	}
+	epoch = binary.BigEndian.Uint32(body[:4])
+	taskID = binary.BigEndian.Uint64(body[4:12])
+	workNanos = int64(binary.BigEndian.Uint64(body[12:20]))
+	return epoch, taskID, workNanos, body[20:], nil
+}
+
+// Result statuses.
+const (
+	resultOK  byte = 0
+	resultErr byte = 1
+)
+
+// resultBody encodes a result frame body:
+// uint64 taskID | status | sealed result (OK) or error text (Err).
+func resultBody(taskID uint64, status byte, rest []byte) []byte {
+	body := make([]byte, 0, 9+len(rest))
+	body = binary.BigEndian.AppendUint64(body, taskID)
+	body = append(body, status)
+	return append(body, rest...)
+}
+
+// parseResult decodes a result frame body.
+func parseResult(body []byte) (taskID uint64, status byte, rest []byte, err error) {
+	if len(body) < 9 {
+		return 0, 0, nil, errors.New("wire: short result frame")
+	}
+	return binary.BigEndian.Uint64(body[:8]), body[8], body[9:], nil
+}
+
+// DerivePSK stretches a shared secret string into the 32-byte master key
+// both ends of a link need. It exists so operators can hand coordinator and
+// workerd the same -psk argument instead of 64 hex digits; the security of
+// the link is that of the secret's entropy.
+func DerivePSK(secret string) []byte {
+	sum := sha256.Sum256([]byte("repro/wire/psk:" + secret))
+	return sum[:]
+}
+
+// NewMasterCodec builds the link's master codec from the pre-shared key.
+// Every control frame (hello, rekey) is sealed under it; a peer without
+// the key cannot register capacity or install bindings.
+func NewMasterCodec(psk []byte) (security.Codec, error) {
+	c, err := security.NewAESGCM(psk, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wire: master codec: %w", err)
+	}
+	return c, nil
+}
