@@ -2,7 +2,10 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
+	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +18,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/skel"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Each evaluation artefact of the paper has a bench that regenerates it
@@ -400,4 +404,196 @@ func BenchmarkEventLog(b *testing.B) {
 		log.Record(now, "AM_F", trace.ContrLow, "tp=0.1")
 	}
 	io.Discard.Write(nil)
+}
+
+// --- dispatch hot-path saturation (the PR7 throughput work) ---
+
+// satHello advertises one workerd node for the TCP saturation benches.
+func satHello(name string) wire.Hello {
+	return wire.Hello{Name: name, Domain: "edge.remote", Trusted: true, Cores: 8, Speed: 1.0}
+}
+
+// runFarmSaturation drives a farm flat out with 256 B payloads and reports
+// sustained end-to-end tasks/s plus p50/p99 completion latency (sampled
+// every 1024th task; the sampled payload is 8 bytes longer and carries its
+// send timestamp). The farm is saturated by construction: the producer
+// never blocks on anything but the farm itself, and the clock stops only
+// after the last result has been collected.
+func runFarmSaturation(b *testing.B, tcp, secure bool, batch int) {
+	cfg := skel.FarmConfig{
+		Name:           "sat",
+		Env:            skel.Env{TimeScale: 1},
+		InitialWorkers: 4,
+		DispatchBatch:  batch,
+	}
+	if tcp {
+		psk := make([]byte, 32)
+		var nodes []*grid.Node
+		for i := 0; i < 2; i++ {
+			srv, err := wire.NewServer(wire.ServerConfig{PSK: psk, Hello: satHello(fmt.Sprintf("sat%d", i))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			nodes = append(nodes, wire.NodeFromHello(srv.Addr(), satHello(fmt.Sprintf("sat%d", i))))
+		}
+		factory, err := wire.NewFactory(psk, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.RM = grid.NewResourceManager(nodes...)
+		cfg.Executors = factory.Executor
+	} else {
+		cfg.RM = grid.NewSMP(8).RM
+	}
+	f, err := skel.NewFarm(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make(chan *skel.Task, 4096)
+	out := make(chan *skel.Task, 4096)
+	go f.Run(context.Background(), in, out)
+	hist := metrics.NewLatencyHistogram()
+	drained := make(chan struct{})
+	go func() {
+		for t := range out {
+			if len(t.Payload) == 264 {
+				sent := int64(binary.BigEndian.Uint64(t.Payload))
+				hist.Observe(time.Since(time.Unix(0, sent)).Seconds())
+			}
+		}
+		close(drained)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.Workers()) < cfg.InitialWorkers {
+		if time.Now().After(deadline) {
+			b.Fatal("workers never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if secure {
+		key := security.NewRandomKey()
+		for _, w := range f.Workers() {
+			if err := f.SetCodec(w.ID, security.MustAESGCM(key, nil, 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	base := make([]byte, 256)
+	b.SetBytes(int64(len(base)))
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t := &skel.Task{ID: uint64(i + 1), Payload: base}
+		if i&1023 == 0 {
+			p := make([]byte, 264)
+			binary.BigEndian.PutUint64(p, uint64(time.Now().UnixNano()))
+			t.Payload = p
+		}
+		in <- t
+	}
+	close(in)
+	<-drained
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tasks/s")
+	snap := hist.Snapshot()
+	b.ReportMetric(snap.Quantile(0.5)*1e6, "p50-µs")
+	b.ReportMetric(snap.Quantile(0.99)*1e6, "p99-µs")
+}
+
+// BenchmarkFarmSaturation is the end-to-end saturation grid of the batched
+// dispatch hot path: loopback and framed-TCP transports, plain and AES-GCM
+// bindings, batching off (the PR6 baseline shape) and on. tasks/s is
+// sustained completion throughput; p50/p99 are end-to-end latencies at
+// saturation, where queueing — the price batching pays for throughput — is
+// part of the number.
+func BenchmarkFarmSaturation(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"loopback", false}, {"tcp", true}} {
+		for _, sec := range []struct {
+			name   string
+			secure bool
+		}{{"plain", false}, {"aes-gcm", true}} {
+			for _, batch := range []int{0, 64} {
+				b.Run(fmt.Sprintf("%s/%s/batch=%d", tr.name, sec.name, batch), func(b *testing.B) {
+					runFarmSaturation(b, tr.tcp, sec.secure, batch)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFarmDispatchSteadyState measures allocations on the loopback
+// AES-GCM dispatch path in steady state: tasks are pre-built outside the
+// timed region and the envelope/buffer pools are warmed first, so what
+// remains is the farm's own per-task cost. With batching on, the one
+// decode-per-batch amortizes below one allocation per task — the reported
+// figure must be 0 allocs/op (CI greps for it).
+func BenchmarkFarmDispatchSteadyState(b *testing.B) {
+	for _, batch := range []int{0, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			f, err := skel.NewFarm(skel.FarmConfig{
+				Name: "steady", Env: skel.Env{TimeScale: 1}, RM: grid.NewSMP(8).RM,
+				InitialWorkers: 4, DispatchBatch: batch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := make(chan *skel.Task, 4096)
+			out := make(chan *skel.Task, 4096)
+			go f.Run(context.Background(), in, out)
+			var done atomic.Uint64
+			drained := make(chan struct{})
+			go func() {
+				for range out {
+					done.Add(1)
+				}
+				close(drained)
+			}()
+			deadline := time.Now().Add(10 * time.Second)
+			for len(f.Workers()) < 4 {
+				if time.Now().After(deadline) {
+					b.Fatal("workers never came up")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			key := security.NewRandomKey()
+			for _, w := range f.Workers() {
+				if err := f.SetCodec(w.ID, security.MustAESGCM(key, nil, 0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			payload := make([]byte, 256)
+			// Warm the pools: envelopes, wire buffers, queue rings and the
+			// pack buffer all reach steady-state capacity here.
+			const warm = 4096
+			warmTasks := make([]skel.Task, warm)
+			for i := range warmTasks {
+				warmTasks[i] = skel.Task{ID: uint64(i + 1), Payload: payload}
+				in <- &warmTasks[i]
+			}
+			for done.Load() < warm {
+				time.Sleep(time.Millisecond)
+			}
+			tasks := make([]skel.Task, b.N)
+			for i := range tasks {
+				tasks[i] = skel.Task{ID: uint64(warm + i + 1), Payload: payload}
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := range tasks {
+				in <- &tasks[i]
+			}
+			close(in)
+			<-drained
+			b.StopTimer()
+		})
+	}
 }

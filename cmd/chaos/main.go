@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	chaos [-seed N] [-storm N] [-scale N] [-remote] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
+//	chaos [-seed N] [-storm N] [-scale N] [-remote] [-batch N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
 //
 // -golden FILE compares the run's replay-identity artifact (the fault
 // schedule plus the canonical invariant summary) byte for byte against a
@@ -44,6 +44,7 @@ func main() {
 	storms := flag.Int("storm", 3, "number of fault storms")
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	remote := flag.Bool("remote", false, "soak the cross-process dispatch plane: localhost workerd servers + remote-link faults")
+	batch := flag.Int("batch", 0, "DispatchBatch: >1 soaks the batched dispatch hot path (batched goldens are distinct files)")
 	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
 	golden := flag.String("golden", "", "compare the deterministic schedule+summary against this golden file")
@@ -57,7 +58,7 @@ func main() {
 
 	res, err := experiments.ChaosSoak(ctx,
 		experiments.Options{Scale: *scale, Out: os.Stdout, Telemetry: *telemetry},
-		experiments.ChaosOptions{Seed: *seed, Storms: *storms, Remote: *remote})
+		experiments.ChaosOptions{Seed: *seed, Storms: *storms, Remote: *remote, Batch: *batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)

@@ -68,6 +68,13 @@ type FarmAppConfig struct {
 	Executors skel.ExecutorFactory
 	Selector  skel.Selector
 
+	// DispatchBatch > 1 turns on the farm's batched dispatch hot path (up
+	// to N tasks per worker per sealed envelope); BatchFlush bounds the
+	// latency a partial batch may wait for more input. Zero values keep the
+	// per-task path, byte-identical to the unbatched farm.
+	DispatchBatch int
+	BatchFlush    time.Duration
+
 	InitialWorkers int
 	// AutoDegree derives InitialWorkers from the task-farm performance
 	// model (internal/planner) instead of starting cold: the §3 "initial
@@ -252,6 +259,8 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Instruments:    farmIns,
 		Executors:      cfg.Executors,
 		Selector:       cfg.Selector,
+		DispatchBatch:  cfg.DispatchBatch,
+		BatchFlush:     cfg.BatchFlush,
 	}
 	if cfg.ChargeLinkLatency && len(cfg.Platform.Domains) > 0 {
 		farmCfg.Network = cfg.Platform.Network

@@ -41,6 +41,12 @@ type ChaosOptions struct {
 	Remote bool
 	// RemoteWorkers is the number of workerd endpoints (default 2).
 	RemoteWorkers int
+	// Batch > 1 runs the soak with the farm's batched dispatch hot path
+	// (DispatchBatch). The invariants are identical — exactly-once, zero
+	// leaks, recovery — only the envelope granularity changes; the summary
+	// gains a batch marker so batched goldens never collide with unbatched
+	// ones.
+	Batch int
 }
 
 func (c ChaosOptions) normalized() ChaosOptions {
@@ -72,6 +78,11 @@ type ChaosSummary struct {
 	// widens the canonical "plan:" line, so a remote golden never collides
 	// with a loopback one.
 	Remote bool
+	// Batch records the DispatchBatch the soak ran with (0/1 = off). When
+	// on it marks the canonical header line, so a batched golden never
+	// collides with an unbatched one — and an unbatched summary renders
+	// byte-identically to the pre-batching format.
+	Batch  int
 	ByKind map[chaos.Kind]int
 
 	Lost          int
@@ -93,8 +104,12 @@ type ChaosSummary struct {
 // String renders the summary in a canonical byte-stable form.
 func (s ChaosSummary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos seed=%d fingerprint=%s tasks=%d storms=%d\n",
+	fmt.Fprintf(&b, "chaos seed=%d fingerprint=%s tasks=%d storms=%d",
 		s.Seed, s.Fingerprint, s.Tasks, s.Storms)
+	if s.Batch > 1 {
+		fmt.Fprintf(&b, " batch=%d", s.Batch)
+	}
+	b.WriteString("\n")
 	b.WriteString("plan:")
 	kinds := chaos.Kinds()
 	if s.Remote {
@@ -299,6 +314,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		FaultSuspectAfter:  6 * time.Second,
 		ActuatorTimeout:    10 * time.Second,
 		JitterSeed:         copts.Seed,
+		DispatchBatch:      copts.Batch,
 	})
 	if err != nil {
 		return nil, err
@@ -457,6 +473,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		Tasks:         tasks,
 		Storms:        copts.Storms,
 		Remote:        copts.Remote,
+		Batch:         copts.Batch,
 		ByKind:        plan.ByKind(),
 		Lost:          tasks - distinct,
 		Duplicates:    collected - distinct,

@@ -170,3 +170,51 @@ func TestAuditor(t *testing.T) {
 		t.Fatalf("per-endpoint leaks wrong: w3=%d w1=%d", a.LeaksAt("w3"), a.LeaksAt("w1"))
 	}
 }
+
+// TestAppendDecode pins the allocation-free decode path: byte-compatible
+// with Decode, appends after existing dst content, reuses dst capacity, and
+// refuses tampered ciphertext without touching dst's committed bytes.
+func TestAppendDecode(t *testing.T) {
+	payload := []byte("append-decode payload")
+	for _, c := range []Codec{Plain{}, MustAESGCM(NewRandomKey(), nil, 0)} {
+		wire, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendDecode(c, nil, wire)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s: decoded %q", c.Name(), got)
+		}
+		// Appending after a prefix must preserve it.
+		withPrefix, err := AppendDecode(c, []byte("pre|"), wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(withPrefix) != "pre|"+string(payload) {
+			t.Fatalf("%s: prefix append %q", c.Name(), withPrefix)
+		}
+		// A reused buffer with capacity must not allocate (the farm's
+		// steady-state decode contract).
+		buf := make([]byte, 0, 4096)
+		allocs := testing.AllocsPerRun(100, func() {
+			out, err := AppendDecode(c, buf[:0], wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = out
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: AppendDecode allocates %v per op with warm buffer", c.Name(), allocs)
+		}
+	}
+	// Tampered ciphertext must fail exactly like Decode.
+	c := MustAESGCM(NewRandomKey(), nil, 0)
+	wire, _ := c.Encode(payload)
+	wire[len(wire)-1] ^= 0x01
+	if _, err := AppendDecode(c, nil, wire); err == nil {
+		t.Fatal("tampered ciphertext decoded")
+	}
+}

@@ -1,0 +1,375 @@
+package skel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/security"
+)
+
+// This file implements the batched dispatch hot path: up to DispatchBatch
+// tasks per worker coalesce into one sealed multi-task envelope — one codec
+// seal, one queue push and one result-channel hop per batch — with a
+// flush-on-idle deadline bounding latency under trickle load. Target
+// selection still runs per task through decideTarget, so routing semantics
+// are identical to unbatched dispatch.
+//
+// Batch blob layout (plaintext; the whole blob is then sealed once by the
+// binding codec):
+//
+//	uint32 count
+//	count × { uint64 id | int64 work(ns) | uint32 len | payload }
+//
+// Result blob layout (sealed the same way on the return path):
+//
+//	uint32 count
+//	count × { uint64 id | uint32 len | payload }
+//
+// All integers are big-endian, matching the wire package's framing.
+
+// BatchExecutor is the optional batch extension of Executor: a transport
+// session that implements it ships a whole sealed batch blob in one frame
+// and returns the sealed result blob, amortizing framing and sealing the
+// same way the loopback path does. Sessions without it fall back to
+// member-by-member Exec.
+type BatchExecutor interface {
+	// ExecBatch runs one sealed batch blob remotely. sealed is the blob
+	// encoded with the binding codec (passed alongside so the transport can
+	// recover its key epoch); the result blob comes back sealed with the
+	// same codec.
+	ExecBatch(codec security.Codec, sealed []byte) ([]byte, error)
+}
+
+// BatchEntry is one member of a decoded batch blob, as seen by the remote
+// execution server.
+type BatchEntry struct {
+	ID      uint64
+	Work    time.Duration
+	Payload []byte
+}
+
+// appendBatchBlob packs the tasks into a batch blob appended onto dst.
+// override, when positive, replaces every member's nominal work (the farm
+// applies WorkOverride at pack time so the remote server needs no config).
+func appendBatchBlob(dst []byte, tasks []*Task, override time.Duration) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(tasks)))
+	for _, t := range tasks {
+		work := t.Work
+		if override > 0 {
+			work = override
+		}
+		dst = binary.BigEndian.AppendUint64(dst, t.ID)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(work))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Payload)))
+		dst = append(dst, t.Payload...)
+	}
+	return dst
+}
+
+// errBlob reports a structurally invalid batch or result blob.
+func errBlob(what string) error { return fmt.Errorf("skel: malformed batch %s blob", what) }
+
+// unpackBatchInto decodes a batch blob in place: member payloads become
+// subslices of blob (zero copies) assigned onto the envelope's tasks, which
+// must match the blob's entries in order and ID.
+func unpackBatchInto(blob []byte, tasks []*Task) error {
+	if len(blob) < 4 {
+		return errBlob("task")
+	}
+	count := int(binary.BigEndian.Uint32(blob))
+	if count != len(tasks) {
+		return fmt.Errorf("skel: batch blob carries %d tasks, envelope %d", count, len(tasks))
+	}
+	off := 4
+	for _, t := range tasks {
+		if len(blob)-off < 20 {
+			return errBlob("task")
+		}
+		id := binary.BigEndian.Uint64(blob[off:])
+		n := int(binary.BigEndian.Uint32(blob[off+16:]))
+		off += 20
+		if id != t.ID {
+			return fmt.Errorf("skel: batch blob entry %d does not match envelope task %d", id, t.ID)
+		}
+		if n < 0 || len(blob)-off < n {
+			return errBlob("task")
+		}
+		t.Payload = blob[off : off+n : off+n]
+		off += n
+	}
+	if off != len(blob) {
+		return errBlob("task")
+	}
+	return nil
+}
+
+// ParseBatchBlob decodes a batch blob into its entries (payloads are
+// subslices of blob). It is the remote execution server's view of a batch
+// frame; internal/wire and workerd use it.
+func ParseBatchBlob(blob []byte) ([]BatchEntry, error) {
+	if len(blob) < 4 {
+		return nil, errBlob("task")
+	}
+	count := int(binary.BigEndian.Uint32(blob))
+	if count < 0 || count > maxDispatchBatch {
+		return nil, errBlob("task")
+	}
+	entries := make([]BatchEntry, 0, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		if len(blob)-off < 20 {
+			return nil, errBlob("task")
+		}
+		id := binary.BigEndian.Uint64(blob[off:])
+		work := time.Duration(binary.BigEndian.Uint64(blob[off+8:]))
+		n := int(binary.BigEndian.Uint32(blob[off+16:]))
+		off += 20
+		if n < 0 || len(blob)-off < n {
+			return nil, errBlob("task")
+		}
+		entries = append(entries, BatchEntry{ID: id, Work: work, Payload: blob[off : off+n : off+n]})
+		off += n
+	}
+	if off != len(blob) {
+		return nil, errBlob("task")
+	}
+	return entries, nil
+}
+
+// AppendBatchResult packs result entries (Work is ignored) into a result
+// blob appended onto dst — the server-side counterpart of unpackResultInto.
+func AppendBatchResult(dst []byte, results []BatchEntry) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(results)))
+	for _, r := range results {
+		dst = binary.BigEndian.AppendUint64(dst, r.ID)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Payload)))
+		dst = append(dst, r.Payload...)
+	}
+	return dst
+}
+
+// unpackResultInto validates a whole result blob against the envelope's
+// tasks and only then assigns the result payloads. The two-pass shape is
+// deliberate: a blob that fails validation halfway must leave every member
+// payload untouched, because the envelope strands for recovery and a later
+// recompute would otherwise start from half-transformed payloads.
+func unpackResultInto(blob []byte, tasks []*Task) error {
+	if len(blob) < 4 {
+		return errBlob("result")
+	}
+	count := int(binary.BigEndian.Uint32(blob))
+	if count != len(tasks) {
+		return fmt.Errorf("skel: batch result carries %d entries, envelope %d tasks", count, len(tasks))
+	}
+	off := 4
+	for _, t := range tasks {
+		if len(blob)-off < 12 {
+			return errBlob("result")
+		}
+		id := binary.BigEndian.Uint64(blob[off:])
+		n := int(binary.BigEndian.Uint32(blob[off+8:]))
+		off += 12
+		if id != t.ID {
+			return fmt.Errorf("skel: batch result entry %d does not match envelope task %d", id, t.ID)
+		}
+		if n < 0 || len(blob)-off < n {
+			return errBlob("result")
+		}
+		off += n
+	}
+	if off != len(blob) {
+		return errBlob("result")
+	}
+	off = 4
+	for _, t := range tasks {
+		n := int(binary.BigEndian.Uint32(blob[off+8:]))
+		off += 12
+		t.Payload = blob[off : off+n : off+n]
+		off += n
+	}
+	return nil
+}
+
+// runBatchedDispatcher is the DispatchBatch > 1 replacement for the plain
+// per-task dispatch loop in Run. It buffers tasks per worker against the
+// current routeTable snapshot and flushes a worker's buffer as one sealed
+// batch envelope when it reaches DispatchBatch, when the flush deadline
+// fires, when the route table is swapped (membership changed — the buffers
+// are keyed by the old snapshot), or when the input closes.
+func (f *Farm) runBatchedDispatcher(in <-chan *Task) {
+	size := f.cfg.DispatchBatch
+	flushEvery := f.cfg.BatchFlush
+
+	var (
+		tbl      *routeTable
+		pend     [][]*Task // parallel to tbl.workers
+		buffered int
+	)
+	timer := time.NewTimer(flushEvery)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerOn := false
+	defer timer.Stop()
+
+	flushIdx := func(i int) {
+		tasks := pend[i]
+		if len(tasks) == 0 {
+			return
+		}
+		buffered -= len(tasks)
+		f.flushBatch(tbl.workers[i], tasks)
+		pend[i] = tasks[:0]
+	}
+	flushAll := func() {
+		for i := range pend {
+			flushIdx(i)
+		}
+	}
+	// syncRoutes re-reads the snapshot; on a swap the old buffers flush to
+	// their old (possibly departed — their queues refuse, the members
+	// re-route) targets and fresh buffers are built. Membership changes are
+	// rare, so the rebuild allocation is off the steady-state path.
+	syncRoutes := func() {
+		cur := f.routes.Load()
+		if cur == tbl {
+			return
+		}
+		flushAll()
+		tbl = cur
+		if cap(pend) >= len(tbl.workers) {
+			pend = pend[:len(tbl.workers)]
+			for i := range pend {
+				pend[i] = pend[i][:0]
+			}
+		} else {
+			pend = make([][]*Task, len(tbl.workers))
+		}
+	}
+	dispatchOne := func(t *Task) {
+		var start time.Time
+		ins := f.cfg.Instruments
+		if ins != nil {
+			start = time.Now()
+		}
+		syncRoutes()
+		avail := tbl.workers
+		if f.cfg.Dispatch == Broadcast {
+			if len(avail) == 0 {
+				f.sendRouted(t, nil)
+			} else {
+				for i := range avail {
+					pend[i] = append(pend[i], t.Clone())
+					buffered++
+					if len(pend[i]) >= size {
+						flushIdx(i)
+					}
+				}
+			}
+		} else if idx := f.decideTargetIndex(avail, &f.rrIndex); idx < 0 {
+			f.sendRouted(t, nil)
+		} else {
+			pend[idx] = append(pend[idx], t)
+			buffered++
+			if len(pend[idx]) >= size {
+				flushIdx(idx)
+			}
+		}
+		if ins != nil {
+			ins.Dispatch.ObserveDuration(time.Since(start))
+		}
+	}
+
+	for {
+		select {
+		case t, ok := <-in:
+			if !ok {
+				flushAll()
+				return
+			}
+			arrivals := 1
+			dispatchOne(t)
+			// Greedy drain: while input is immediately available, stay on
+			// the cheap non-blocking path — no timer select, and the
+			// arrival meter is marked once per burst instead of per task.
+			// Size-triggered flushes still happen inside dispatchOne.
+		drain:
+			for {
+				select {
+				case t, ok := <-in:
+					if !ok {
+						f.arrival.MarkN(arrivals)
+						flushAll()
+						return
+					}
+					arrivals++
+					dispatchOne(t)
+				default:
+					break drain
+				}
+			}
+			f.arrival.MarkN(arrivals)
+			if buffered > 0 && !timerOn {
+				timer.Reset(flushEvery)
+				timerOn = true
+			}
+		case <-timer.C:
+			// The deadline flush: partial batches must not wait for input
+			// that may never come. A fire with nothing buffered (everything
+			// already flushed full) is a cheap no-op.
+			timerOn = false
+			syncRoutes()
+			flushAll()
+		}
+	}
+}
+
+// flushBatch seals one worker's buffered tasks into a single batch envelope
+// and pushes it. On a refused push (the worker vanished between buffering
+// and flush) every member re-enters the unified decision path — except
+// under Broadcast, where the members are clones whose siblings were already
+// delivered, so they are dropped exactly like a refused single clone.
+func (f *Farm) flushBatch(w *worker, tasks []*Task) {
+	codec := w.getCodec()
+	f.packBuf = appendBatchBlob(f.packBuf[:0], tasks, f.cfg.WorkOverride)
+	env := getEnv()
+	var sealStart time.Time
+	ins := f.cfg.Instruments
+	if ins != nil {
+		sealStart = time.Now()
+	}
+	wire, err := security.AppendEncode(codec, env.wire[:0], f.packBuf)
+	if ins != nil {
+		ins.Seal.ObserveDuration(time.Since(sealStart))
+	}
+	if err != nil {
+		putEnv(env)
+		f.reportErr(fmt.Errorf("skel: farm %s batch encode for %s: %w", f.cfg.Name, w.id, err))
+		return
+	}
+	env.tasks = append(env.tasks[:0], tasks...)
+	env.wire = wire
+	env.codec = codec
+	env.batch = true
+	if f.cfg.Auditor != nil {
+		// One audit record per member task, not per frame: leak accounting
+		// stays invariant under the batching knob, so the security
+		// experiments compare across modes.
+		must := false
+		if f.cfg.Policy != nil {
+			must = f.cfg.Policy.RequireSecure(f.cfg.DispatchNode, w.node)
+		}
+		for range tasks {
+			f.cfg.Auditor.RecordSend(w.id, must, codec.Secure())
+		}
+	}
+	if !w.queue.push(env) {
+		if f.cfg.Dispatch != Broadcast {
+			for _, t := range env.tasks {
+				f.sendRouted(t, w)
+			}
+		}
+		putEnv(env)
+	}
+}

@@ -81,23 +81,44 @@ func (s Selector) admits(w *worker) bool {
 // return means no admissible worker exists and the caller must park or
 // drop the task. Broadcast callers fan out over avail themselves.
 func (f *Farm) decideTarget(avail []*worker, rr *int) *worker {
+	if i := f.decideTargetIndex(avail, rr); i >= 0 {
+		return avail[i]
+	}
+	return nil
+}
+
+// decideTargetIndex is decideTarget returning the index into avail (-1 for
+// none); the batched dispatcher needs the index to address its per-worker
+// pending buffer, which is parallel to the routeTable snapshot.
+func (f *Farm) decideTargetIndex(avail []*worker, rr *int) int {
 	if len(avail) == 0 {
-		return nil
+		return -1
 	}
 	if f.cfg.Dispatch == RoundRobin && rr != nil {
-		target := avail[*rr%len(avail)]
-		*rr++
-		return target
+		// The cursor wraps instead of growing forever: an unbounded cursor
+		// eventually overflows, the modulo of the negative value goes
+		// negative, and the index is out of bounds. Normalizing first also
+		// repairs a cursor seeded (or left) beyond the current pool size
+		// without changing any in-range pick sequence.
+		idx := *rr
+		if idx < 0 || idx >= len(avail) {
+			idx %= len(avail)
+			if idx < 0 {
+				idx += len(avail)
+			}
+		}
+		*rr = (idx + 1) % len(avail)
+		return idx
 	}
 	// OnDemand (and every non-dispatcher entry path): shortest queue, by
 	// the lock-free length mirrors.
-	target := avail[0]
-	for _, w := range avail[1:] {
-		if w.queue.len() < target.queue.len() {
-			target = w
+	best := 0
+	for i := 1; i < len(avail); i++ {
+		if avail[i].queue.len() < avail[best].queue.len() {
+			best = i
 		}
 	}
-	return target
+	return best
 }
 
 // admittedLocked appends the live, selector-admitted workers (excluding

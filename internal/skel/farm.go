@@ -108,15 +108,91 @@ type FarmConfig struct {
 	// may route tasks to (labels, trust domain, the `local` escape hatch).
 	// The zero value admits every worker.
 	Selector Selector
+	// DispatchBatch, when > 1, coalesces up to this many tasks per worker
+	// into one sealed multi-task envelope: one codec seal, one queue push
+	// and one result-channel hop per batch instead of per task. Target
+	// selection still runs per task through the unified decision path, so
+	// routing semantics are identical to unbatched dispatch; only the
+	// envelope granularity changes. 0 or 1 disables batching (the default,
+	// byte-identical to the pre-batching farm).
+	DispatchBatch int
+	// BatchFlush bounds how long a partially filled batch may wait for
+	// more input before it is sealed and pushed anyway (wall-clock; default
+	// 500µs). Under saturation batches fill before the deadline and the
+	// timer never fires; under trickle load it caps the added latency.
+	BatchFlush time.Duration
 }
 
-// envelope is one message on a worker binding: the task plus its payload
-// as encoded by the codec the binding had at dispatch time.
+// maxDispatchBatch bounds DispatchBatch so a misconfigured farm cannot
+// build envelopes whose sealed form dwarfs the wire frame limit.
+const maxDispatchBatch = 1024
+
+// defaultBatchFlush is the flush-on-idle deadline when none is configured.
+const defaultBatchFlush = 500 * time.Microsecond
+
+// envelope is one message on a worker binding: one task — or, with
+// DispatchBatch, up to DispatchBatch tasks — plus the sealed form produced
+// by the codec the binding had at dispatch time. Envelopes are pooled: the
+// hot path recycles them (and their wire buffers) through envPool, so
+// steady-state dispatch allocates nothing. Ownership is linear — an
+// envelope is held by exactly one of: a queue, a worker's compute step,
+// the results channel, or the collector; whoever drops it calls putEnv.
 type envelope struct {
-	task  *Task
+	// tasks are the member tasks, in wire order; length 1 unless batch.
+	// Member payloads stay plaintext here (compute replaces them only
+	// after a decode), so actuators can split a batch back into
+	// re-encoded single envelopes without touching the sealed bytes.
+	tasks []*Task
+	// wire is the sealed form: the bare payload for a single envelope, the
+	// multi-task batch blob for a batch one.
 	wire  []byte
 	codec security.Codec
+	// batch marks wire as a batch blob rather than a bare payload.
+	batch bool
+	// out collects the completed result tasks of one compute step; the
+	// collector consumes it, so one envelope is one channel hop however
+	// many tasks it carried.
+	out []*Task
 }
+
+// task returns the sole member of a single (non-batch) envelope.
+func (e *envelope) task() *Task { return e.tasks[0] }
+
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+func getEnv() *envelope { return envPool.Get().(*envelope) }
+
+// putEnv clears the envelope's references (so pooled envelopes never pin
+// tasks or codecs) while keeping slice capacity, and returns it to the
+// pool.
+func putEnv(e *envelope) {
+	for i := range e.tasks {
+		e.tasks[i] = nil
+	}
+	for i := range e.out {
+		e.out[i] = nil
+	}
+	e.tasks = e.tasks[:0]
+	e.out = e.out[:0]
+	e.wire = e.wire[:0]
+	e.codec = nil
+	e.batch = false
+	envPool.Put(e)
+}
+
+// routeTable is the atomically-swapped immutable snapshot of the admitted
+// worker set: copy-on-write routing state, rebuilt under Farm.mu only when
+// membership or admission changes (add, remove, migrate, crash, recover,
+// worker exit), read lock-free by the dispatcher on every task. A stale
+// table is harmless by construction: a departed worker's queue refuses
+// pushes, which re-enters the task through sendRouted's authoritative
+// under-lock path, and a not-yet-visible worker is simply not picked until
+// the next swap.
+type routeTable struct {
+	workers []*worker
+}
+
+var emptyRoutes = &routeTable{}
 
 // worker is one W component of the farm.
 type worker struct {
@@ -136,6 +212,12 @@ type worker struct {
 	served atomic.Uint64
 	exited bool // guarded by Farm.mu
 	failed bool // guarded by Farm.mu: crashed, queue items stranded
+
+	// plainBuf is the worker goroutine's reusable decode buffer for
+	// loopback compute: the decoded plaintext of an envelope is consulted
+	// and dropped there (the member tasks already hold the same bytes), so
+	// steady-state decode allocates nothing. Touched only by runWorker.
+	plainBuf []byte
 }
 
 func (w *worker) getCodec() security.Codec { return *w.codec.Load() }
@@ -174,13 +256,24 @@ type Farm struct {
 	// correlated crash storm delays tasks instead of losing them.
 	pending []*Task
 
-	// rrIndex and scratch belong to the dispatcher goroutine alone; scratch
-	// is the reusable snapshot of dispatchable workers, refilled under f.mu
-	// each task so steady-state dispatch allocates nothing.
-	rrIndex int
-	scratch []*worker
+	// routes is the lock-free routing snapshot; refreshRoutesLocked rebuilds
+	// it under f.mu at every membership change.
+	routes atomic.Pointer[routeTable]
 
-	results chan *Task
+	// everHadWorker and recruitFailed distinguish "recovery is coming" from
+	// "the pool never existed" when sendRouted finds nobody to route to: a
+	// farm whose every recruitment failed must drop-with-error and let the
+	// run terminate instead of parking tasks forever.
+	everHadWorker bool
+	recruitFailed bool
+
+	// rrIndex and packBuf belong to the dispatcher goroutine alone; packBuf
+	// is the reusable batch-blob scratch, so steady-state batched dispatch
+	// allocates nothing.
+	rrIndex int
+	packBuf []byte
+
+	results chan *envelope
 	wgOut   sync.WaitGroup // collector completion
 
 	arrival     *metrics.RateMeter
@@ -232,15 +325,30 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	if cfg.Collect == Reduce && cfg.Reduce == nil {
 		return nil, errors.New("skel: Reduce collection needs a Reduce function")
 	}
+	if cfg.DispatchBatch > maxDispatchBatch {
+		return nil, fmt.Errorf("skel: DispatchBatch %d exceeds the maximum %d", cfg.DispatchBatch, maxDispatchBatch)
+	}
+	if cfg.DispatchBatch > 1 && cfg.BatchFlush <= 0 {
+		cfg.BatchFlush = defaultBatchFlush
+	}
 	env := cfg.Env
-	return &Farm{
+	f := &Farm{
 		cfg:       cfg,
 		env:       env,
-		results:   make(chan *Task, cfg.OutBuffer),
+		results:   make(chan *envelope, cfg.OutBuffer),
 		arrival:   metrics.NewRateMeter(env.clock(), rateWindow(env)),
 		departure: metrics.NewRateMeter(env.clock(), rateWindow(env)),
 		errs:      make(chan error, 16),
-	}, nil
+	}
+	f.routes.Store(emptyRoutes)
+	return f, nil
+}
+
+// refreshRoutesLocked rebuilds the lock-free routing snapshot from the
+// current pool. Every membership or admission change calls it before
+// releasing f.mu, so the dispatcher's next load observes the new set.
+func (f *Farm) refreshRoutesLocked() {
+	f.routes.Store(&routeTable{workers: f.admittedLocked(nil, nil)})
 }
 
 // Name implements Stage.
@@ -268,19 +376,23 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 		}
 	}
 	// Collector: forward (gather) or fold (reduce) results, metering
-	// departures either way.
+	// departures either way. One envelope is one channel hop carrying all
+	// of its batch's results; the envelope is recycled here.
 	f.wgOut.Add(1)
 	go func() {
 		defer f.wgOut.Done()
 		if f.cfg.Collect == Reduce {
 			var acc *Task
-			for t := range f.results {
-				f.departure.Mark()
-				if acc == nil {
-					acc = t
-				} else {
-					acc.Payload = f.cfg.Reduce(acc.Payload, t.Payload)
+			for env := range f.results {
+				f.departure.MarkN(len(env.out))
+				for _, t := range env.out {
+					if acc == nil {
+						acc = t
+					} else {
+						acc.Payload = f.cfg.Reduce(acc.Payload, t.Payload)
+					}
 				}
+				putEnv(env)
 			}
 			if out != nil {
 				if acc != nil {
@@ -290,46 +402,54 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 			}
 			return
 		}
-		for t := range f.results {
-			f.departure.Mark()
-			if out != nil {
-				out <- t
+		for env := range f.results {
+			f.departure.MarkN(len(env.out))
+			for _, t := range env.out {
+				if out != nil {
+					out <- t
+				}
 			}
+			putEnv(env)
 		}
 		if out != nil {
 			close(out)
 		}
 	}()
 	// Dispatcher.
-	for t := range in {
-		f.arrival.Mark()
-		f.dispatch(t)
+	if f.cfg.DispatchBatch > 1 {
+		f.runBatchedDispatcher(in)
+	} else {
+		for t := range in {
+			f.arrival.Mark()
+			f.dispatch(t)
+		}
 	}
 	f.endInput()
 	f.wgOut.Wait()
 }
 
 // dispatch routes one task through the unified decision path, considering
-// only live, selector-admitted workers. Farm.mu is held just long enough
-// to snapshot the dispatchable workers; target selection, payload encoding
-// and the queue push all run off-lock, so the sensors (Stats, Workers) and
-// the actuators never queue behind encryption.
+// only live, selector-admitted workers. Steady-state dispatch takes no lock
+// at all: the admitted set comes from the atomically-swapped routeTable,
+// and target selection, payload encoding and the queue push all run on the
+// snapshot, so the sensors (Stats, Workers) and the actuators never queue
+// behind encryption — and the dispatcher never queues behind them.
 func (f *Farm) dispatch(t *Task) {
 	if ins := f.cfg.Instruments; ins != nil {
 		start := time.Now()
 		defer func() { ins.Dispatch.ObserveDuration(time.Since(start)) }()
 	}
-	f.mu.Lock()
-	f.scratch = f.admittedLocked(f.scratch[:0], nil)
-	f.mu.Unlock()
-	avail := f.scratch
+	avail := f.routes.Load().workers
 	if f.cfg.Dispatch == Broadcast {
 		if len(avail) == 0 {
 			f.sendRouted(t, nil)
 			return
 		}
 		for _, w := range avail {
-			f.send(w, t.Clone())
+			// Clones must not be re-routed on a failed push: every other
+			// admitted worker already holds its own clone, so re-routing the
+			// orphan would deliver a duplicate to one of them.
+			f.send(w, t.Clone(), false)
 		}
 		return
 	}
@@ -338,7 +458,7 @@ func (f *Farm) dispatch(t *Task) {
 		f.sendRouted(t, nil)
 		return
 	}
-	f.send(target, t)
+	f.send(target, t, true)
 }
 
 // send encodes the task with the binding's current codec, audits it and
@@ -350,19 +470,23 @@ func (f *Farm) dispatch(t *Task) {
 // task is re-routed through the decision path and re-encoded there: the
 // stale envelope's codec belongs to the vanished worker's binding (for a
 // remote worker, to its dead session's key epochs) and must not follow the
-// task to a different one.
-func (f *Farm) send(w *worker, t *Task) {
+// task to a different one. reroute=false (Broadcast clones) drops the task
+// on a failed push instead — its siblings were already delivered.
+func (f *Farm) send(w *worker, t *Task, reroute bool) {
 	codec := w.getCodec()
 	var sealStart time.Time
 	ins := f.cfg.Instruments
 	if ins != nil {
 		sealStart = time.Now()
 	}
-	wire, err := codec.Encode(t.Payload)
+	env := getEnv()
+	wire, err := security.AppendEncode(codec, env.wire[:0], t.Payload)
 	if ins != nil {
 		ins.Seal.ObserveDuration(time.Since(sealStart))
 	}
 	if err != nil {
+		env.wire = env.wire[:0]
+		putEnv(env)
 		f.reportErr(fmt.Errorf("skel: farm %s encode for %s: %w", f.cfg.Name, w.id, err))
 		return
 	}
@@ -373,11 +497,16 @@ func (f *Farm) send(w *worker, t *Task) {
 		}
 		f.cfg.Auditor.RecordSend(w.id, must, codec.Secure())
 	}
-	env := &envelope{task: t, wire: wire, codec: codec}
+	env.tasks = append(env.tasks[:0], t)
+	env.wire = wire
+	env.codec = codec
 	if !w.queue.push(env) {
-		// t still carries its original payload (compute replaces it only
-		// after a pop), so it can be re-routed and re-encoded.
-		f.sendRouted(t, w)
+		putEnv(env)
+		if reroute {
+			// t still carries its original payload (compute replaces it only
+			// after a pop), so it can be re-routed and re-encoded.
+			f.sendRouted(t, w)
+		}
 	}
 }
 
@@ -401,6 +530,17 @@ func (f *Farm) sendRouted(t *Task, skip *worker) {
 			break
 		}
 	}
+	// An empty pool that never held a worker is not a crash in progress:
+	// every recruitment failed, no crash edge ever fired, and no recovery
+	// is coming. Parking here would strand the task in pending forever and
+	// maybeCloseResultsLocked would hold the result stream open against a
+	// recovery that cannot arrive — the whole run deadlocks. Drop with an
+	// error instead so the stream can terminate.
+	if len(avail) == 0 && len(f.workers) == 0 && !f.everHadWorker && f.recruitFailed {
+		f.mu.Unlock()
+		f.reportErr(fmt.Errorf("skel: farm %s dropped task %d: recruitment failed and no worker ever joined", f.cfg.Name, t.ID))
+		return
+	}
 	// The park shares the critical section with the scan: a worker joining
 	// after this point sees the task in pending and flushes it. An empty
 	// pool parks too — it can only arise from a recovery that is about to
@@ -421,7 +561,7 @@ func (f *Farm) sendRouted(t *Task, skip *worker) {
 	// already gone again, send's reroute parks the task anew. A worker
 	// whose push failed is already marked failed/exited/removed under f.mu
 	// by then, so the reroute cannot spin on it.
-	f.send(target, t)
+	f.send(target, t, true)
 }
 
 // flushPending re-dispatches every parked task now that a worker joined
@@ -488,6 +628,7 @@ func (f *Farm) runWorker(w *worker) {
 			w.exited = true
 			w.node.Release()
 			f.active--
+			f.refreshRoutesLocked()
 			f.maybeCloseResultsLocked()
 			f.mu.Unlock()
 			// Sole worker-termination path: every exit — drain, removal,
@@ -496,65 +637,85 @@ func (f *Farm) runWorker(w *worker) {
 			w.closeExec()
 			return
 		}
-		var res *Task
 		var crashed bool
 		if w.exec != nil {
-			res, crashed = f.computeRemote(w, env)
+			crashed = f.computeRemote(w, env)
 		} else {
-			res, crashed = f.computeTask(w, env)
+			crashed = f.computeLocal(w, env)
 		}
 		if crashed {
 			f.containPanic(w, env)
 			continue // the failed queue makes the next pop report done
 		}
-		if res != nil {
-			f.results <- res
-			w.served.Add(1)
+		if n := len(env.out); n > 0 {
+			w.served.Add(uint64(n))
+			f.results <- env
+		} else {
+			putEnv(env)
 		}
 	}
 }
 
-// computeTask decodes and computes one envelope. A panic in the worker
-// function — or one injected by the fault hook — is contained here: it is
-// reported as crashed instead of unwinding the process, and the result is
-// discarded. The emit happens in the caller, outside the recover scope, so
-// a contained task is requeued exactly when it was never emitted.
-func (f *Farm) computeTask(w *worker, env *envelope) (res *Task, crashed bool) {
+// computeLocal decodes and computes one envelope — every member task of a
+// batch, in wire order. A panic in the worker function — or one injected by
+// the fault hook — is contained here: it is reported as crashed instead of
+// unwinding the process, and any partial results are discarded (env.out is
+// cleared), so a recomputation after recovery re-derives every member's
+// payload from the sealed wire bytes and emits each exactly once. The emit
+// happens in the caller, outside the recover scope.
+func (f *Farm) computeLocal(w *worker, env *envelope) (crashed bool) {
+	env.out = env.out[:0]
 	defer func() {
 		if r := recover(); r != nil {
-			res, crashed = nil, true
+			crashed = true
+			for i := range env.out {
+				env.out[i] = nil
+			}
+			env.out = env.out[:0]
 			f.reportErr(fmt.Errorf("skel: farm %s worker %s panicked on task %d: %v",
-				f.cfg.Name, w.id, env.task.ID, r))
+				f.cfg.Name, w.id, env.task().ID, r))
 		}
 	}()
-	payload, err := env.codec.Decode(env.wire)
+	// The decode pays the binding codec's honest CPU cost and authenticates
+	// the envelope — the security model charges both directions of a seal.
+	// On the loopback plane the plaintext never left the process: env.tasks
+	// still hold the exact payload bytes the dispatcher sealed (the decode
+	// reproduces them bit for bit), so the decoded copy lands in a
+	// worker-owned reusable buffer instead of escaping as a fresh
+	// allocation per envelope. That buffer is what keeps steady-state
+	// loopback dispatch at zero allocations per task.
+	plain, err := security.AppendDecode(env.codec, w.plainBuf[:0], env.wire)
 	if err != nil {
 		f.reportErr(fmt.Errorf("skel: farm %s worker %s decode: %w", f.cfg.Name, w.id, err))
-		return nil, false
+		return false
 	}
-	t := env.task
-	t.Payload = payload
-	work := t.Work
-	if f.cfg.WorkOverride > 0 {
-		work = f.cfg.WorkOverride
-	}
-	if fp := f.workerFault.Load(); fp != nil {
-		if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
-			if fault.Stall > 0 {
-				f.env.SleepScaled(fault.Stall)
-			}
-			if fault.Panic {
-				panic(fmt.Sprintf("injected worker fault (task %d)", t.ID))
+	w.plainBuf = plain[:0]
+	for _, t := range env.tasks {
+		work := t.Work
+		if f.cfg.WorkOverride > 0 {
+			work = f.cfg.WorkOverride
+		}
+		if fp := f.workerFault.Load(); fp != nil {
+			if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
+				if fault.Stall > 0 {
+					f.env.SleepScaled(fault.Stall)
+				}
+				if fault.Panic {
+					panic(fmt.Sprintf("injected worker fault (task %d)", t.ID))
+				}
 			}
 		}
-	}
-	f.env.SleepScaled(w.node.ServiceTime(work))
-	if nw := f.cfg.Network; nw != nil && f.cfg.HomeDomain != "" {
-		if lat := nw.LinkBetween(f.cfg.HomeDomain, w.node.Domain.Name).Latency; lat > 0 {
-			f.env.SleepScaled(lat)
+		f.env.SleepScaled(w.node.ServiceTime(work))
+		if nw := f.cfg.Network; nw != nil && f.cfg.HomeDomain != "" {
+			if lat := nw.LinkBetween(f.cfg.HomeDomain, w.node.Domain.Name).Latency; lat > 0 {
+				f.env.SleepScaled(lat)
+			}
+		}
+		if res := applyFn(f.cfg.Fn, t); res != nil {
+			env.out = append(env.out, res)
 		}
 	}
-	return applyFn(f.cfg.Fn, t), false
+	return false
 }
 
 // computeRemote ships one envelope across the worker's transport session
@@ -567,43 +728,112 @@ func (f *Farm) computeTask(w *worker, env *envelope) (res *Task, crashed bool) {
 // and a dead machine are the same fault. Unlike the loopback path there is
 // no modelled link-latency charge: a remote worker pays the real latency
 // of its framed connection.
-func (f *Farm) computeRemote(w *worker, env *envelope) (res *Task, crashed bool) {
-	t := env.task
-	work := t.Work
-	if f.cfg.WorkOverride > 0 {
-		work = f.cfg.WorkOverride
-	}
-	if fp := f.workerFault.Load(); fp != nil {
-		if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
-			if fault.Stall > 0 {
-				f.env.SleepScaled(fault.Stall)
-			}
-			if fault.Panic {
-				// A remote worker cannot contain a panic in-process; the
-				// injected fault lands as the crash it models.
-				f.reportErr(fmt.Errorf("skel: farm %s worker %s injected fault on task %d",
-					f.cfg.Name, w.id, t.ID))
-				return nil, true
+//
+// Batch envelopes ship as one frame through BatchExecutor when the session
+// supports it; member payloads are only overwritten once the whole result
+// blob has authenticated and validated, so a crash mid-batch leaves every
+// member's plaintext pristine for recovery — exactly-once holds per member.
+func (f *Farm) computeRemote(w *worker, env *envelope) (crashed bool) {
+	env.out = env.out[:0]
+	for _, t := range env.tasks {
+		if fp := f.workerFault.Load(); fp != nil {
+			if fault := (*fp)(w.id, t); fault.Stall > 0 || fault.Panic {
+				if fault.Stall > 0 {
+					f.env.SleepScaled(fault.Stall)
+				}
+				if fault.Panic {
+					// A remote worker cannot contain a panic in-process; the
+					// injected fault lands as the crash it models.
+					f.reportErr(fmt.Errorf("skel: farm %s worker %s injected fault on task %d",
+						f.cfg.Name, w.id, t.ID))
+					return true
+				}
 			}
 		}
 	}
-	sealedRes, err := w.exec.Exec(t.ID, work, env.codec, env.wire)
-	if err != nil {
-		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
-			f.cfg.Name, w.id, t.ID, err))
-		return nil, true
+	if !env.batch {
+		t := env.task()
+		work := t.Work
+		if f.cfg.WorkOverride > 0 {
+			work = f.cfg.WorkOverride
+		}
+		sealedRes, err := w.exec.Exec(t.ID, work, env.codec, env.wire)
+		if err != nil {
+			f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
+				f.cfg.Name, w.id, t.ID, err))
+			return true
+		}
+		payload, err := env.codec.Decode(sealedRes)
+		if err != nil {
+			// A result that does not authenticate is a link fault, not a task
+			// fault: crash the worker so the envelope is recovered, never
+			// emitted corrupt.
+			f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
+				f.cfg.Name, w.id, err))
+			return true
+		}
+		t.Payload = payload
+		env.out = append(env.out, t)
+		return false
 	}
-	payload, err := env.codec.Decode(sealedRes)
+	be, ok := w.exec.(BatchExecutor)
+	if !ok {
+		// A transport without a batch frame ships members one by one.
+		// Result payloads are staged and assigned only after every member
+		// succeeded: assigning as we go would leave already-transformed
+		// payloads behind on a mid-batch link fault, and the recovery
+		// recompute would then apply the worker function twice.
+		staged := make([][]byte, len(env.tasks))
+		for i, t := range env.tasks {
+			work := t.Work
+			if f.cfg.WorkOverride > 0 {
+				work = f.cfg.WorkOverride
+			}
+			wire, err := env.codec.Encode(t.Payload)
+			if err != nil {
+				f.reportErr(fmt.Errorf("skel: farm %s worker %s re-seal task %d: %w",
+					f.cfg.Name, w.id, t.ID, err))
+				return true
+			}
+			sealedRes, err := w.exec.Exec(t.ID, work, env.codec, wire)
+			if err != nil {
+				f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
+					f.cfg.Name, w.id, t.ID, err))
+				return true
+			}
+			payload, err := env.codec.Decode(sealedRes)
+			if err != nil {
+				f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
+					f.cfg.Name, w.id, err))
+				return true
+			}
+			staged[i] = payload
+		}
+		for i, t := range env.tasks {
+			t.Payload = staged[i]
+			env.out = append(env.out, t)
+		}
+		return false
+	}
+	sealedRes, err := be.ExecBatch(env.codec, env.wire)
 	if err != nil {
-		// A result that does not authenticate is a link fault, not a task
-		// fault: crash the worker so the envelope is recovered, never
-		// emitted corrupt.
-		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec batch of %d: %w",
+			f.cfg.Name, w.id, len(env.tasks), err))
+		return true
+	}
+	blob, err := env.codec.Decode(sealedRes)
+	if err != nil {
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote batch result: %w",
 			f.cfg.Name, w.id, err))
-		return nil, true
+		return true
 	}
-	t.Payload = payload
-	return t, false
+	if err := unpackResultInto(blob, env.tasks); err != nil {
+		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote batch result: %w",
+			f.cfg.Name, w.id, err))
+		return true
+	}
+	env.out = append(env.out, env.tasks...)
+	return false
 }
 
 // containPanic turns a panicked worker into a crashed one, exactly as
@@ -622,6 +852,7 @@ func (f *Farm) containPanic(w *worker, env *envelope) {
 	if !w.failed && !w.exited {
 		w.failed = true
 		w.queue.fail()
+		f.refreshRoutesLocked()
 	}
 	inPool := false
 	for _, x := range f.workers {
@@ -632,7 +863,8 @@ func (f *Farm) containPanic(w *worker, env *envelope) {
 	}
 	if inPool {
 		// RecoverWorker drains under f.mu, so a restore landing here is
-		// guaranteed a future drain.
+		// guaranteed a future drain. A batch envelope is restored intact;
+		// RecoverWorker splits it back into tasks before redistribution.
 		w.queue.restore([]*envelope{env})
 		f.mu.Unlock()
 		f.hooks.fire()
@@ -640,7 +872,12 @@ func (f *Farm) containPanic(w *worker, env *envelope) {
 	}
 	f.mu.Unlock()
 	f.hooks.fire()
-	f.sendRouted(env.task, w)
+	// Late envelope: every member re-enters the unified decision path, one
+	// task at a time (the batch's sealed form belonged to the dead binding).
+	for _, t := range env.tasks {
+		f.sendRouted(t, w)
+	}
+	putEnv(env)
 }
 
 // newWorkerLocked builds a worker on the given node with the given binding
@@ -708,6 +945,7 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	}
 	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
 	if err != nil {
+		f.recruitFailed = true
 		f.mu.Unlock()
 		return "", err
 	}
@@ -752,6 +990,8 @@ func (f *Farm) AddWorkerWithPrepare(prepare PrepareFunc) (string, error) {
 	}
 	f.workers = append(f.workers, w)
 	f.active++
+	f.everHadWorker = true
+	f.refreshRoutesLocked()
 	f.mu.Unlock()
 	go f.runWorker(w)
 	f.flushPending()
@@ -800,6 +1040,7 @@ func (f *Farm) AddRecoveryWorkerWithPrepare(prepare PrepareFunc) (string, error)
 	}
 	node, err := f.cfg.RM.Recruit(f.cfg.Recruit)
 	if err != nil {
+		f.recruitFailed = true
 		f.mu.Unlock()
 		return "", err
 	}
@@ -841,6 +1082,8 @@ func (f *Farm) AddRecoveryWorkerWithPrepare(prepare PrepareFunc) (string, error)
 	}
 	f.workers = append(f.workers, w)
 	f.active++
+	f.everHadWorker = true
+	f.refreshRoutesLocked()
 	f.mu.Unlock()
 	go f.runWorker(w)
 	f.flushPending()
@@ -869,7 +1112,8 @@ func (f *Farm) RemoveWorker() (string, error) {
 		return "", ErrLastWorker
 	}
 	f.workers = f.workers[:len(f.workers)-1]
-	orphans := w.queue.drain()
+	f.refreshRoutesLocked()
+	orphans := f.splitEnvelopesLocked(w.queue.drain())
 	w.queue.close()
 	targets := f.restoreTargetsLocked(nil)
 	for i, other := range targets {
@@ -880,6 +1124,43 @@ func (f *Farm) RemoveWorker() (string, error) {
 		other.queue.restore(share)
 	}
 	return w.id, nil
+}
+
+// splitEnvelopesLocked flattens batch envelopes back into single-task ones
+// before redistribution: a batch's sealed blob was addressed to one binding,
+// but redistribution scatters its members over many. Each member is
+// re-encoded with the codec the batch was sealed with (payloads are still
+// plaintext on the tasks), so the cross-binding story is identical to a
+// redistributed single envelope. Single envelopes pass through untouched.
+// Callers hold f.mu.
+func (f *Farm) splitEnvelopesLocked(envs []*envelope) []*envelope {
+	split := false
+	for _, env := range envs {
+		if env.batch {
+			split = true
+			break
+		}
+	}
+	if !split {
+		return envs
+	}
+	out := make([]*envelope, 0, len(envs))
+	for _, env := range envs {
+		if !env.batch {
+			out = append(out, env)
+			continue
+		}
+		for _, t := range env.tasks {
+			wire, err := env.codec.Encode(t.Payload)
+			if err != nil {
+				f.reportErr(fmt.Errorf("skel: farm %s split batch re-seal task %d: %w", f.cfg.Name, t.ID, err))
+				continue
+			}
+			out = append(out, &envelope{tasks: []*Task{t}, wire: wire, codec: env.codec})
+		}
+		putEnv(env)
+	}
+	return out
 }
 
 // Rebalance redistributes every queued task evenly over the live workers.
@@ -902,6 +1183,7 @@ func (f *Farm) Rebalance() {
 	for _, w := range live {
 		all = append(all, w.queue.drain()...)
 	}
+	all = f.splitEnvelopesLocked(all)
 	for i, w := range targets {
 		var share []*envelope
 		for j := i; j < len(all); j += len(targets) {
@@ -929,6 +1211,7 @@ func (f *Farm) KillWorker(workerID string) error {
 		}
 		w.failed = true
 		w.queue.fail()
+		f.refreshRoutesLocked()
 		f.mu.Unlock()
 		f.hooks.fire() // crash edge: wake the fault manager immediately
 		return nil
@@ -959,7 +1242,7 @@ func (f *Farm) RecoverWorker(workerID string) (recovered int, err error) {
 		return 0, fmt.Errorf("skel: worker %s has not failed", workerID)
 	}
 	live := f.restoreTargetsLocked(dead)
-	orphans := dead.queue.drain()
+	orphans := f.splitEnvelopesLocked(dead.queue.drain())
 	if len(orphans) > 0 && len(live) == 0 {
 		// Nothing to recover onto: put the tasks back and refuse, so the
 		// caller can AddWorker first.
@@ -980,6 +1263,7 @@ func (f *Farm) RecoverWorker(workerID string) (recovered int, err error) {
 		}
 	}
 	f.workers = append(f.workers[:idx], f.workers[idx+1:]...)
+	f.refreshRoutesLocked()
 	f.maybeCloseResultsLocked()
 	return len(orphans), nil
 }
@@ -1058,7 +1342,11 @@ func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) 
 	}
 	fresh := f.newWorkerLocked(node, codec)
 	fresh.exec = exec
-	items := old.queue.drain()
+	// Batch envelopes split on migration too: their sealed blobs belong to
+	// the old session's binding, and the single-envelope path already has
+	// the cross-binding machinery (loopback decodes with the carried codec,
+	// remote resolves foreign codecs by resealing).
+	items := f.splitEnvelopesLocked(old.queue.drain())
 	old.queue.close() // the old worker finishes its current task and exits
 	fresh.queue.restore(items)
 	if f.inputDone {
@@ -1066,6 +1354,7 @@ func (f *Farm) MigrateWorker(workerID string, req grid.Request) (string, error) 
 	}
 	f.workers[idx] = fresh
 	f.active++
+	f.refreshRoutesLocked()
 	f.mu.Unlock()
 	go f.runWorker(fresh)
 	return fresh.id, nil

@@ -8,11 +8,18 @@ import (
 // queue is the per-worker input queue of a farm. Unlike a channel it
 // supports the reconfiguration actuators: draining for rebalance, stealing
 // on worker removal, and length observation for the QueueVarianceBean.
+//
+// Storage is a slice with a head cursor rather than a reslice-on-pop
+// ([1:]) deque: popping advances head and pushing compacts the consumed
+// prefix back to the front before growing, so a queue whose length is
+// bounded in steady state reuses one backing array forever — the 0
+// allocs/op budget of the batched hot path counts every push.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []*envelope
-	size   atomic.Int64 // mirrors len(items); readable without mu
+	head   int          // items[:head] have been popped
+	size   atomic.Int64 // mirrors len(items)-head; readable without mu
 	closed bool
 	failed bool // the owning worker crashed; items are stranded until recovery
 }
@@ -21,6 +28,21 @@ func newQueue() *queue {
 	q := &queue{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// appendLocked adds one envelope, recycling the consumed prefix of the
+// backing array instead of growing when possible. Callers hold q.mu.
+func (q *queue) appendLocked(t *envelope) {
+	if len(q.items) == cap(q.items) && q.head > 0 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, t)
+	q.size.Add(1)
 }
 
 // push appends a task. Pushing to a closed or failed queue reports false
@@ -35,8 +57,7 @@ func (q *queue) push(t *envelope) bool {
 	if q.closed || q.failed {
 		return false
 	}
-	q.items = append(q.items, t)
-	q.size.Add(1)
+	q.appendLocked(t)
 	q.cond.Signal()
 	return true
 }
@@ -47,14 +68,19 @@ func (q *queue) push(t *envelope) bool {
 func (q *queue) pop() (*envelope, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed && !q.failed {
+	for q.head == len(q.items) && !q.closed && !q.failed {
 		q.cond.Wait()
 	}
-	if q.failed || len(q.items) == 0 {
+	if q.failed || q.head == len(q.items) {
 		return nil, false
 	}
-	t := q.items[0]
-	q.items = q.items[1:]
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	q.size.Add(-1)
 	return t, true
 }
@@ -84,8 +110,9 @@ func (q *queue) restore(items []*envelope) {
 		return
 	}
 	q.mu.Lock()
-	q.items = append(q.items, items...)
-	q.size.Add(int64(len(items)))
+	for _, t := range items {
+		q.appendLocked(t)
+	}
 	q.cond.Broadcast()
 	q.mu.Unlock()
 }
@@ -95,8 +122,12 @@ func (q *queue) restore(items []*envelope) {
 func (q *queue) drain() []*envelope {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	items := q.items
-	q.items = nil
+	items := append([]*envelope(nil), q.items[q.head:]...)
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.head = 0
 	q.size.Add(-int64(len(items)))
 	return items
 }

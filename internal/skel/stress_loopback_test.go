@@ -24,3 +24,19 @@ func TestFarmDispatchActuatorStress(t *testing.T) {
 		InitialWorkers: 4,
 	}, 800)
 }
+
+// TestFarmDispatchActuatorStressBatched is the same storm with the batched
+// dispatch hot path on: multi-task envelopes must survive concurrent
+// rebalances, removals, kills, recoveries and rekeys with the identical
+// exactly-once outcome — actuators split batches back into single
+// envelopes before redistributing them.
+func TestFarmDispatchActuatorStressBatched(t *testing.T) {
+	defer leaktest.Check(t)()
+	skeltest.Stress(t, skel.FarmConfig{
+		Name:           "stress-batched",
+		Env:            skel.Env{TimeScale: 1000},
+		RM:             grid.NewSMP(64).RM,
+		InitialWorkers: 4,
+		DispatchBatch:  8,
+	}, 800)
+}

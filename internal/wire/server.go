@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/security"
+	"repro/internal/skel"
 )
 
 // WorkerFn transforms one task payload on the workerd side. Coordinator
@@ -205,6 +206,53 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			keyring[epoch] = codec
+		case frameExecBatch:
+			epoch, batchID, sealed, err := parseExecBatch(body)
+			if err != nil {
+				s.rejected.Add(1)
+				return
+			}
+			codec, ok := keyring[epoch]
+			if !ok {
+				s.rejected.Add(1)
+				s.reply(conn, batchID, resultErr, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
+				continue
+			}
+			blob, err := codec.Decode(sealed)
+			if err != nil {
+				s.rejected.Add(1)
+				s.reply(conn, batchID, resultErr, []byte("batch did not authenticate"))
+				continue
+			}
+			entries, err := skel.ParseBatchBlob(blob)
+			if err != nil {
+				// Authenticated but malformed: refuse the whole batch (the
+				// member boundaries cannot be trusted), same failure class
+				// as a short exec frame.
+				s.rejected.Add(1)
+				s.reply(conn, batchID, resultErr, []byte("malformed batch blob"))
+				continue
+			}
+			results := make([]skel.BatchEntry, len(entries))
+			for i, e := range entries {
+				if scale := s.cfg.TimeScale; scale > 0 && e.Work > 0 {
+					time.Sleep(time.Duration(float64(e.Work) / scale))
+				}
+				payload := e.Payload
+				if s.cfg.Fn != nil {
+					payload = s.cfg.Fn(payload)
+				}
+				results[i] = skel.BatchEntry{ID: e.ID, Payload: payload}
+			}
+			resealed, err := codec.Encode(skel.AppendBatchResult(nil, results))
+			if err != nil {
+				s.reply(conn, batchID, resultErr, []byte("result seal failed"))
+				continue
+			}
+			s.served.Add(uint64(len(entries)))
+			if !s.reply(conn, batchID, resultOK, resealed) {
+				return
+			}
 		case frameExec:
 			epoch, taskID, workNanos, sealed, err := parseExec(body)
 			if err != nil {

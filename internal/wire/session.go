@@ -32,6 +32,10 @@ type Session struct {
 	epoch   uint32
 	binding security.Codec // codec of the current epoch, for foreign reseals
 
+	// batchSeq correlates exec-batch frames with their result frames, the
+	// role the task id plays for single execs.
+	batchSeq atomic.Uint64
+
 	closed atomic.Bool
 }
 
@@ -204,6 +208,78 @@ func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, 
 		}
 		if rest, err = foreign.Encode(plain); err != nil {
 			return nil, fmt.Errorf("wire: result reseal: %w", err)
+		}
+	}
+	s.stats.execs.Add(1)
+	return rest, nil
+}
+
+// ExecBatch implements skel.BatchExecutor: one sealed multi-task blob out
+// in a single frame, one result frame back carrying the sealed result blob
+// — framing and sealing amortize over the batch exactly as on the loopback
+// path. The foreign-codec rule of Exec applies unchanged: a blob sealed
+// under another binding (a batch that survived an actuator intact) is
+// opened locally and re-sealed under this session's binding, and the reply
+// is translated back.
+func (s *Session) ExecBatch(codec security.Codec, sealed []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	if err := s.faults.apply(s); err != nil {
+		return nil, err
+	}
+	epoch := uint32(0)
+	var foreign security.Codec
+	if ec, ok := codec.(*epochCodec); ok && ec.s == s {
+		epoch = ec.epoch
+	} else {
+		foreign = codec
+		plain, err := codec.Decode(sealed)
+		if err != nil {
+			return nil, fmt.Errorf("wire: reseal batch for session: %w", err)
+		}
+		sealed, err = s.binding.Encode(plain)
+		if err != nil {
+			return nil, fmt.Errorf("wire: reseal batch for session: %w", err)
+		}
+		epoch = s.epoch
+	}
+	batchID := s.batchSeq.Add(1)
+	if err := s.writeLocked(frameExecBatch, execBatchBody(epoch, batchID, sealed)); err != nil {
+		return nil, err
+	}
+	typ, body, err := readFrame(s.conn)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: reading batch result: %w", err)
+	}
+	if typ != frameResult {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting batch result", typ)
+	}
+	gotID, status, rest, err := parseResult(body)
+	if err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	if gotID != batchID {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: result for batch %d while awaiting %d", gotID, batchID)
+	}
+	if status != resultOK {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: remote: %s", rest)
+	}
+	if foreign != nil {
+		plain, err := s.binding.Decode(rest)
+		if err != nil {
+			s.closeLocked()
+			return nil, fmt.Errorf("wire: batch result reseal: %w", err)
+		}
+		if rest, err = foreign.Encode(plain); err != nil {
+			return nil, fmt.Errorf("wire: batch result reseal: %w", err)
 		}
 	}
 	s.stats.execs.Add(1)

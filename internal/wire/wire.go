@@ -46,10 +46,11 @@ import (
 
 // Frame types of the protocol.
 const (
-	frameHello  byte = 0x01 // server→client node advertisement
-	frameRekey  byte = 0x02 // client→server binding codec install
-	frameExec   byte = 0x03 // client→server task envelope
-	frameResult byte = 0x04 // server→client task result or error
+	frameHello     byte = 0x01 // server→client node advertisement
+	frameRekey     byte = 0x02 // client→server binding codec install
+	frameExec      byte = 0x03 // client→server task envelope
+	frameResult    byte = 0x04 // server→client task result or error
+	frameExecBatch byte = 0x05 // client→server multi-task batch envelope
 )
 
 // maxFrame bounds a frame body so a corrupt or hostile length prefix
@@ -221,6 +222,28 @@ func parseExec(body []byte) (epoch uint32, taskID uint64, workNanos int64, seale
 	taskID = binary.BigEndian.Uint64(body[4:12])
 	workNanos = int64(binary.BigEndian.Uint64(body[12:20]))
 	return epoch, taskID, workNanos, body[20:], nil
+}
+
+// execBatchBody encodes an exec-batch frame body:
+// uint32 epoch | uint64 batchID | sealed batch blob. The blob's per-task
+// ids, work and payloads are inside the seal (skel's batch blob layout);
+// batchID exists only to correlate the result frame, exactly like a task
+// id on a single exec.
+func execBatchBody(epoch uint32, batchID uint64, sealed []byte) []byte {
+	body := make([]byte, 0, 12+len(sealed))
+	body = binary.BigEndian.AppendUint32(body, epoch)
+	body = binary.BigEndian.AppendUint64(body, batchID)
+	return append(body, sealed...)
+}
+
+// parseExecBatch decodes an exec-batch frame body.
+func parseExecBatch(body []byte) (epoch uint32, batchID uint64, sealed []byte, err error) {
+	if len(body) < 12 {
+		return 0, 0, nil, errors.New("wire: short exec-batch frame")
+	}
+	epoch = binary.BigEndian.Uint32(body[:4])
+	batchID = binary.BigEndian.Uint64(body[4:12])
+	return epoch, batchID, body[12:], nil
 }
 
 // Result statuses.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -414,5 +415,387 @@ func TestInjectedLinkDropCrashesWorker(t *testing.T) {
 	}
 	if factory.Snapshot().Drops != 1 {
 		t.Fatalf("drop counter: %+v", factory.Snapshot())
+	}
+}
+
+// packTestBatch hand-builds a batch blob byte for byte — independent of the
+// skel packer — so this test pins the wire-visible batch format:
+// uint32 count; count × { uint64 id | uint64 work(ns) | uint32 len | payload }.
+func packTestBatch(entries []skel.BatchEntry) []byte {
+	blob := binary.BigEndian.AppendUint32(nil, uint32(len(entries)))
+	for _, e := range entries {
+		blob = binary.BigEndian.AppendUint64(blob, e.ID)
+		blob = binary.BigEndian.AppendUint64(blob, uint64(e.Work))
+		blob = binary.BigEndian.AppendUint32(blob, uint32(len(e.Payload)))
+		blob = append(blob, e.Payload...)
+	}
+	return blob
+}
+
+// parseTestResults hand-parses a result blob:
+// uint32 count; count × { uint64 id | uint32 len | payload }.
+func parseTestResults(t *testing.T, blob []byte) []skel.BatchEntry {
+	t.Helper()
+	if len(blob) < 4 {
+		t.Fatalf("result blob too short: %d bytes", len(blob))
+	}
+	count := int(binary.BigEndian.Uint32(blob))
+	off := 4
+	out := make([]skel.BatchEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(blob)-off < 12 {
+			t.Fatalf("result blob truncated at entry %d", i)
+		}
+		id := binary.BigEndian.Uint64(blob[off:])
+		n := int(binary.BigEndian.Uint32(blob[off+8:]))
+		off += 12
+		if len(blob)-off < n {
+			t.Fatalf("result blob truncated at entry %d payload", i)
+		}
+		out = append(out, skel.BatchEntry{ID: id, Payload: blob[off : off+n]})
+		off += n
+	}
+	if off != len(blob) {
+		t.Fatalf("result blob has %d trailing bytes", len(blob)-off)
+	}
+	return out
+}
+
+// TestSessionExecBatch drives the batch frame end to end at the session
+// level: one sealed multi-task blob out, one sealed result blob back, with
+// the same epoch resolution, foreign-codec reseal and fail-secure rules as
+// single execs.
+func TestSessionExecBatch(t *testing.T) {
+	srv := startServer(t, edgeHello("edge0"), func(p []byte) []byte {
+		return append(p, []byte("+fn")...)
+	})
+	factory, err := NewFactory(testPSK(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NodeFromHello(srv.Addr(), edgeHello("edge0"))
+	node.Allocate()
+	defer node.Release()
+	exec, err := factory.Executor(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	// The farm discovers batch capability through this exact assertion.
+	batcher, ok := exec.(skel.BatchExecutor)
+	if !ok {
+		t.Fatal("wire session does not implement skel.BatchExecutor")
+	}
+	bound, err := exec.Rekey(security.MustAESGCM(security.NewRandomKey(), nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob := packTestBatch([]skel.BatchEntry{
+		{ID: 7, Payload: []byte("a")},
+		{ID: 8, Payload: []byte("bb")},
+		{ID: 9, Payload: nil},
+	})
+	sealed, err := bound.Encode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := batcher.ExecBatch(bound, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := bound.Decode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := parseTestResults(t, plain)
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	wantPayload := []string{"a+fn", "bb+fn", "+fn"}
+	for i, want := range []uint64{7, 8, 9} {
+		if results[i].ID != want || string(results[i].Payload) != wantPayload[i] {
+			t.Fatalf("result %d = {%d %q}", i, results[i].ID, results[i].Payload)
+		}
+	}
+	if srv.Served() != 3 {
+		t.Fatalf("server served %d, want 3 (one per batch member)", srv.Served())
+	}
+
+	// A batch sealed under a foreign codec — an envelope redistributed from
+	// another worker's queue — is resealed for transit and the result comes
+	// back under the codec it was sealed with.
+	other := security.MustAESGCM(security.NewRandomKey(), nil, 0)
+	fblob := packTestBatch([]skel.BatchEntry{{ID: 10, Payload: []byte("moved")}})
+	fsealed, err := other.Encode(fblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = batcher.ExecBatch(other, fsealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fplain, err := other.Decode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres := parseTestResults(t, fplain); len(fres) != 1 || fres[0].ID != 10 || string(fres[0].Payload) != "moved+fn" {
+		t.Fatalf("foreign batch result: %+v", fres)
+	}
+
+	// Authenticated garbage: the blob seals fine but is structurally not a
+	// batch, so the server must refuse the whole frame — member boundaries
+	// it cannot trust must never execute.
+	badSealed, err := bound.Encode([]byte{0x00, 0x00, 0x00, 0x09})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batcher.ExecBatch(bound, badSealed); err == nil {
+		t.Fatal("malformed batch blob executed")
+	}
+	if srv.Rejected() == 0 {
+		t.Fatal("rejected counter did not move for a malformed batch")
+	}
+}
+
+// TestBatchedNoPlaintextOnTheWire reruns the no-plaintext acceptance check
+// with the batched hot path on: coalescing many tasks into one envelope
+// must not change the security story — one AES-GCM seal now covers the
+// whole batch, and no member payload ever crosses the sniffed link in
+// clear, in either direction.
+func TestBatchedNoPlaintextOnTheWire(t *testing.T) {
+	srv := startServer(t, edgeHello("edge0"), func(p []byte) []byte {
+		return append([]byte("done:"), p...)
+	})
+	sniff := newSniffer(t, srv.Addr())
+
+	factory, err := NewFactory(testPSK(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := grid.NewNode("local0", grid.Domain{Name: "trusted.local", Trusted: true}, 4, 1.0)
+	remote := NodeFromHello(sniff.addr(), edgeHello("edge0"))
+	rm := grid.NewResourceManager(remote, local)
+
+	farm, err := skel.NewFarm(skel.FarmConfig{
+		Name:           "sniffed-batched",
+		Env:            skel.Env{TimeScale: 1000},
+		RM:             rm,
+		InitialWorkers: 1,
+		Executors:      factory.Executor,
+		Selector:       skel.Selector{Labels: map[string]string{"zone": "edge"}},
+		DispatchBatch:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := security.NewRandomKey()
+	if _, err := farm.AddWorkerWithPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
+		setCodec(security.MustAESGCM(key, nil, 0))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 32
+	in := make(chan *skel.Task, total)
+	out := make(chan *skel.Task, total)
+	payloads := make([][]byte, total)
+	for i := range payloads {
+		payloads[i] = fmt.Appendf(nil, "SECRET-batched-%04d-do-not-leak", i)
+		in <- &skel.Task{ID: skel.NextTaskID(), Payload: payloads[i]}
+	}
+	close(in)
+	farm.Run(nil, in, out)
+
+	n := 0
+	for res := range out {
+		if !bytes.HasPrefix(res.Payload, []byte("done:SECRET-batched-")) {
+			t.Fatalf("mangled result %q", res.Payload)
+		}
+		n++
+	}
+	if n != total {
+		t.Fatalf("%d results, want %d", n, total)
+	}
+	if srv.Served() != total {
+		t.Fatalf("workerd served %d tasks, want %d", srv.Served(), total)
+	}
+	for _, p := range payloads {
+		if sniff.contains(p) {
+			t.Fatalf("payload %q crossed the wire in clear", p)
+		}
+	}
+	if sniff.contains([]byte("done:SECRET")) {
+		t.Fatal("result payload crossed the wire in clear")
+	}
+	if sniff.contains(key) {
+		t.Fatal("binding key material crossed the wire in clear")
+	}
+}
+
+// TestFarmDispatchActuatorStressTCPBatched runs the actuator storm over the
+// framed TCP transport with the batched hot path on: batch frames, rekeys
+// racing in-flight batches, and rebalances splitting batches back into
+// single envelopes across sessions with different bindings — the
+// exactly-once outcome must be identical to the unbatched storm.
+func TestFarmDispatchActuatorStressTCPBatched(t *testing.T) {
+	defer leaktest.Check(t)()
+	var nodes []*grid.Node
+	for i := 0; i < 2; i++ {
+		hello := edgeHello(fmt.Sprintf("edge%d", i))
+		hello.Cores = 8
+		srv := startServer(t, hello, nil)
+		nodes = append(nodes, NodeFromHello(srv.Addr(), hello))
+	}
+	factory, err := NewFactory(testPSK(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skeltest.Stress(t, skel.FarmConfig{
+		Name:           "stress-tcp-batched",
+		Env:            skel.Env{TimeScale: 1000},
+		RM:             grid.NewResourceManager(nodes...),
+		InitialWorkers: 4,
+		Executors:      factory.Executor,
+		DispatchBatch:  8,
+	}, 400)
+	snap := factory.Snapshot()
+	if snap.Execs == 0 || snap.Rekeys == 0 || snap.Dials < 4 {
+		t.Fatalf("transport was not exercised: %+v", snap)
+	}
+}
+
+// TestCrossBindingRedistributionTCP is the TCP face of the cross-binding
+// redistribution contract: two remote workers behind separate sniffers hold
+// distinct AES-GCM bindings, the stream rekeys and rebalances mid-flight so
+// envelopes sealed under one binding execute through the other worker's
+// session (the foreign-reseal path), and every task must arrive exactly
+// once with zero plaintext on either link. Runs unbatched and batched.
+func TestCrossBindingRedistributionTCP(t *testing.T) {
+	for _, batch := range []int{0, 8} {
+		batch := batch
+		name := "unbatched"
+		if batch > 1 {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			var sniffs []*sniffer
+			var nodes []*grid.Node
+			for i := 0; i < 2; i++ {
+				hello := edgeHello(fmt.Sprintf("edge%d", i))
+				srv := startServer(t, hello, func(p []byte) []byte {
+					time.Sleep(200 * time.Microsecond) // let queues build so rebalance moves envelopes
+					return append([]byte("done:"), p...)
+				})
+				sn := newSniffer(t, srv.Addr())
+				sniffs = append(sniffs, sn)
+				nodes = append(nodes, NodeFromHello(sn.addr(), hello))
+			}
+			factory, err := NewFactory(testPSK(), 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			farm, err := skel.NewFarm(skel.FarmConfig{
+				Name:           "xbind-tcp",
+				Env:            skel.Env{TimeScale: 1000},
+				RM:             grid.NewResourceManager(nodes...),
+				InitialWorkers: 0,
+				Executors:      factory.Executor,
+				Selector:       skel.Selector{Labels: map[string]string{"zone": "edge"}},
+				DispatchBatch:  batch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var keys [][]byte
+			for i := 0; i < 2; i++ {
+				key := security.NewRandomKey()
+				keys = append(keys, key)
+				if _, err := farm.AddWorkerWithPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
+					setCodec(security.MustAESGCM(key, nil, 0))
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const total = 48
+			in := make(chan *skel.Task, total)
+			out := make(chan *skel.Task, total)
+			counts := map[uint64]int{}
+			collected := make(chan struct{})
+			go func() {
+				for res := range out {
+					if !bytes.HasPrefix(res.Payload, []byte("done:SECRET-xbind-")) {
+						t.Errorf("mangled result %q", res.Payload)
+					}
+					counts[res.ID]++
+				}
+				close(collected)
+			}()
+			run := make(chan struct{})
+			go func() {
+				farm.Run(nil, in, out)
+				close(run)
+			}()
+
+			payloads := make([][]byte, total)
+			feed := func(from, to int) {
+				for i := from; i < to; i++ {
+					payloads[i] = fmt.Appendf(nil, "SECRET-xbind-%04d-do-not-leak", i)
+					in <- &skel.Task{ID: skel.NextTaskID(), Payload: payloads[i]}
+				}
+			}
+			feed(0, total/2)
+			// Mid-stream: rekey one binding (new epoch, old envelopes still
+			// in flight) and rebalance so queued envelopes cross bindings.
+			ws := farm.Workers()
+			if len(ws) == 0 {
+				t.Fatal("no workers admitted")
+			}
+			key3 := security.NewRandomKey()
+			keys = append(keys, key3)
+			if err := farm.SetCodec(ws[0].ID, security.MustAESGCM(key3, nil, 0)); err != nil {
+				t.Fatal(err)
+			}
+			farm.Rebalance()
+			feed(total/2, total)
+			farm.Rebalance()
+			close(in)
+			select {
+			case <-run:
+			case <-time.After(60 * time.Second):
+				t.Fatal("farm did not terminate")
+			}
+			<-collected
+
+			if len(counts) != total {
+				t.Fatalf("%d distinct tasks delivered, want %d", len(counts), total)
+			}
+			for id, n := range counts {
+				if n != 1 {
+					t.Fatalf("task %d delivered %d times", id, n)
+				}
+			}
+			for si, sn := range sniffs {
+				if sn.observed() == 0 {
+					t.Fatalf("sniffer %d saw no traffic", si)
+				}
+				for _, p := range payloads {
+					if sn.contains(p) {
+						t.Fatalf("payload %q crossed link %d in clear", p, si)
+					}
+				}
+				if sn.contains([]byte("done:SECRET")) {
+					t.Fatalf("result payload crossed link %d in clear", si)
+				}
+				for ki, key := range keys {
+					if sn.contains(key) {
+						t.Fatalf("binding key %d crossed link %d in clear", ki, si)
+					}
+				}
+			}
+		})
 	}
 }
