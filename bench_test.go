@@ -17,6 +17,7 @@ import (
 	"repro/internal/security"
 	"repro/internal/simclock"
 	"repro/internal/skel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -419,12 +420,15 @@ func satHello(name string) wire.Hello {
 // send timestamp). The farm is saturated by construction: the producer
 // never blocks on anything but the farm itself, and the clock stops only
 // after the last result has been collected.
-func runFarmSaturation(b *testing.B, tcp, secure bool, batch int) {
+func runFarmSaturation(b *testing.B, tcp, secure bool, batch int, traceRate uint64) {
 	cfg := skel.FarmConfig{
 		Name:           "sat",
 		Env:            skel.Env{TimeScale: 1},
 		InitialWorkers: 4,
 		DispatchBatch:  batch,
+	}
+	if traceRate > 0 {
+		cfg.Tracer = telemetry.NewTaskTracer(1, traceRate, 0)
 	}
 	if tcp {
 		psk := make([]byte, 32)
@@ -522,9 +526,24 @@ func BenchmarkFarmSaturation(b *testing.B) {
 		}{{"plain", false}, {"aes-gcm", true}} {
 			for _, batch := range []int{0, 64} {
 				b.Run(fmt.Sprintf("%s/%s/batch=%d", tr.name, sec.name, batch), func(b *testing.B) {
-					runFarmSaturation(b, tr.tcp, sec.secure, batch)
+					runFarmSaturation(b, tr.tcp, sec.secure, batch, 0)
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkFarmSaturationTraced re-runs the loopback AES-GCM saturation
+// corner with task tracing attached at two sampling rates: 1/1024 (the
+// production default, must stay within 2% of the untraced figure) and 1/16
+// (the heavy-introspection setting, where span recording is measurable by
+// design). The untraced baseline lives in BenchmarkFarmSaturation.
+func BenchmarkFarmSaturationTraced(b *testing.B) {
+	for _, rate := range []uint64{1024, 16} {
+		for _, batch := range []int{0, 64} {
+			b.Run(fmt.Sprintf("loopback/aes-gcm/batch=%d/sample=%d", batch, rate), func(b *testing.B) {
+				runFarmSaturation(b, false, true, batch, rate)
+			})
 		}
 	}
 }
@@ -538,62 +557,78 @@ func BenchmarkFarmSaturation(b *testing.B) {
 func BenchmarkFarmDispatchSteadyState(b *testing.B) {
 	for _, batch := range []int{0, 64} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			f, err := skel.NewFarm(skel.FarmConfig{
-				Name: "steady", Env: skel.Env{TimeScale: 1}, RM: grid.NewSMP(8).RM,
-				InitialWorkers: 4, DispatchBatch: batch,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			in := make(chan *skel.Task, 4096)
-			out := make(chan *skel.Task, 4096)
-			go f.Run(context.Background(), in, out)
-			var done atomic.Uint64
-			drained := make(chan struct{})
-			go func() {
-				for range out {
-					done.Add(1)
-				}
-				close(drained)
-			}()
-			deadline := time.Now().Add(10 * time.Second)
-			for len(f.Workers()) < 4 {
-				if time.Now().After(deadline) {
-					b.Fatal("workers never came up")
-				}
-				time.Sleep(time.Millisecond)
-			}
-			key := security.NewRandomKey()
-			for _, w := range f.Workers() {
-				if err := f.SetCodec(w.ID, security.MustAESGCM(key, nil, 0)); err != nil {
-					b.Fatal(err)
-				}
-			}
-			payload := make([]byte, 256)
-			// Warm the pools: envelopes, wire buffers, queue rings and the
-			// pack buffer all reach steady-state capacity here.
-			const warm = 4096
-			warmTasks := make([]skel.Task, warm)
-			for i := range warmTasks {
-				warmTasks[i] = skel.Task{ID: uint64(i + 1), Payload: payload}
-				in <- &warmTasks[i]
-			}
-			for done.Load() < warm {
-				time.Sleep(time.Millisecond)
-			}
-			tasks := make([]skel.Task, b.N)
-			for i := range tasks {
-				tasks[i] = skel.Task{ID: uint64(warm + i + 1), Payload: payload}
-			}
-			b.SetBytes(int64(len(payload)))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := range tasks {
-				in <- &tasks[i]
-			}
-			close(in)
-			<-drained
-			b.StopTimer()
+			runSteadyState(b, batch, nil)
 		})
 	}
+}
+
+// BenchmarkFarmDispatchSteadyStateTraced is the same steady-state workload
+// with task tracing attached at 1/1024 sampling: the unsampled hot path is
+// one branch plus one hash, and the sampled 0.1% amortize through the span
+// pool, so the reported figure must stay 0 allocs/op (CI greps for it).
+func BenchmarkFarmDispatchSteadyStateTraced(b *testing.B) {
+	for _, batch := range []int{0, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			runSteadyState(b, batch, telemetry.NewTaskTracer(1, 1024, 0))
+		})
+	}
+}
+
+func runSteadyState(b *testing.B, batch int, tracer *telemetry.TaskTracer) {
+	f, err := skel.NewFarm(skel.FarmConfig{
+		Name: "steady", Env: skel.Env{TimeScale: 1}, RM: grid.NewSMP(8).RM,
+		InitialWorkers: 4, DispatchBatch: batch, Tracer: tracer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make(chan *skel.Task, 4096)
+	out := make(chan *skel.Task, 4096)
+	go f.Run(context.Background(), in, out)
+	var done atomic.Uint64
+	drained := make(chan struct{})
+	go func() {
+		for range out {
+			done.Add(1)
+		}
+		close(drained)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(f.Workers()) < 4 {
+		if time.Now().After(deadline) {
+			b.Fatal("workers never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	key := security.NewRandomKey()
+	for _, w := range f.Workers() {
+		if err := f.SetCodec(w.ID, security.MustAESGCM(key, nil, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, 256)
+	// Warm the pools: envelopes, wire buffers, queue rings — and with a
+	// tracer attached, the span pool — all reach steady-state capacity here.
+	const warm = 4096
+	warmTasks := make([]skel.Task, warm)
+	for i := range warmTasks {
+		warmTasks[i] = skel.Task{ID: uint64(i + 1), Payload: payload}
+		in <- &warmTasks[i]
+	}
+	for done.Load() < warm {
+		time.Sleep(time.Millisecond)
+	}
+	tasks := make([]skel.Task, b.N)
+	for i := range tasks {
+		tasks[i] = skel.Task{ID: uint64(warm + i + 1), Payload: payload}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range tasks {
+		in <- &tasks[i]
+	}
+	close(in)
+	<-drained
+	b.StopTimer()
 }

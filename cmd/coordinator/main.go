@@ -16,13 +16,22 @@
 //	            [-tasks N] [-scale N] [-local-cores N]
 //	            [-labels k=v,...] [-trusted-only] [-local]
 //	            [-trace FILE] [-require-remote]
+//	            [-trace-sample N] [-trace-seed N] [-spans FILE]
 //	            [-timeout D] [-telemetry ADDR]
+//
+// -trace-sample N turns on cluster-wide task tracing at one span per N
+// tasks (1 = every task): sampled tasks carry their trace context across
+// the wire, the workerds record exec spans under the same trace id, and
+// -telemetry's /cluster endpoint serves the merged per-stage latency
+// decomposition scraped from the whole fleet. -spans FILE dumps the
+// cluster-wide spans as JSONL at end of run.
 //
 // Exit status 1 on error, 2 when the security auditor recorded a leak,
 // 3 when -require-remote is set and no task crossed the wire.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +52,9 @@ func main() {
 	trustedOnly := flag.Bool("trusted-only", false, "dispatch only to workers in trusted domains")
 	local := flag.Bool("local", false, "escape hatch: pin every task to in-process workers")
 	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
+	traceSample := flag.Uint64("trace-sample", 0, "sample one task span per N tasks (0 disables task tracing, 1 traces every task)")
+	traceSeed := flag.Uint64("trace-seed", 0, "seed of the deterministic span sampler")
+	spansOut := flag.String("spans", "", "write the cluster-wide task spans as JSONL to this file (needs -trace-sample)")
 	requireRemote := flag.Bool("require-remote", false, "exit non-zero unless at least one task executed remotely")
 	timeout := flags.RegisterTimeout()
 	telemetryAddr := flags.RegisterTelemetry()
@@ -79,6 +91,8 @@ func main() {
 				TrustedOnly: *trustedOnly,
 				Local:       *local,
 			},
+			TraceSample: *traceSample,
+			TraceSeed:   *traceSeed,
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
@@ -93,6 +107,20 @@ func main() {
 		}
 		if err := res.Tracer.WriteJSONL(f); err != nil {
 			fmt.Fprintln(os.Stderr, "coordinator: writing trace:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+		}
+	}
+
+	if *spansOut != "" && res.Cluster != nil {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+			os.Exit(1)
+		}
+		if err := res.Cluster.WriteSpansJSONL(json.NewEncoder(f)); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator: writing spans:", err)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "coordinator:", err)

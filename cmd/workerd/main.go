@@ -13,11 +13,17 @@
 //
 //	workerd -psk SECRET [-listen ADDR] [-name N] [-domain D] [-trusted]
 //	        [-cores N] [-speed F] [-labels k=v,k=v] [-scale N]
-//	        [-timeout D] [-telemetry ADDR]
+//	        [-timeout D] [-telemetry ADDR] [-trace-spans=BOOL]
 //
 // The daemon runs until SIGINT/SIGTERM (graceful: in-flight execs finish,
 // listener closes) or until -timeout expires. -telemetry serves /metrics
-// with the served/rejected frame counters.
+// with the served/rejected frame counters plus the per-frame dispatch and
+// seal latency histograms, and /spans with the workerd-side task spans.
+// With -trace-spans (on by default) the daemon joins cluster-wide task
+// tracing: exec frames whose trace context carries the coordinator's
+// sampled bit get a workerd-side span under the same trace id, and the
+// coordinator scrapes them (with the stage histograms) over the wire's
+// sealed stats frame into its /cluster view.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"os"
 
 	"repro/cmd/internal/flags"
+	"repro/internal/metrics"
+	"repro/internal/skel"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -41,6 +49,7 @@ func main() {
 	speed := flag.Float64("speed", 1.0, "relative core speed advertised in the handshake")
 	labels := flag.String("labels", "", "comma-separated k=v placement labels advertised in the handshake")
 	scale := flag.Float64("scale", 200, "time scale dividing the modelled work carried by exec frames")
+	traceSpans := flag.Bool("trace-spans", true, "record a workerd-side span for exec frames the coordinator sampled")
 	timeout := flags.RegisterTimeout()
 	telemetryAddr := flags.RegisterTelemetry()
 	flag.Parse()
@@ -55,6 +64,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	farmIns := &skel.FarmInstruments{
+		Dispatch: metrics.NewLatencyHistogram(),
+		Seal:     metrics.NewLatencyHistogram(),
+	}
+	var tracer *telemetry.TaskTracer
+	if *traceSpans {
+		// Rate 1: the sampling decision is the coordinator's (the sampled
+		// bit in each frame's trace context); the workerd tracer only
+		// records what arrives already sampled.
+		tracer = telemetry.NewTaskTracer(0, 1, 0)
+	}
+	nodeName := *name
 	srv, err := wire.NewServer(wire.ServerConfig{
 		PSK: wire.DerivePSK(*psk),
 		Hello: wire.Hello{
@@ -65,8 +86,17 @@ func main() {
 			Speed:   *speed,
 			Labels:  labelMap,
 		},
-		TimeScale: *scale,
-		Log:       log.New(os.Stderr, "workerd: ", log.LstdFlags),
+		TimeScale:   *scale,
+		Log:         log.New(os.Stderr, "workerd: ", log.LstdFlags),
+		Instruments: farmIns,
+		Tracer:      tracer,
+		Stats: func() []byte {
+			b, err := telemetry.BuildNodeReport(nodeName, tracer, 256).Encode()
+			if err != nil {
+				return []byte("{}")
+			}
+			return b
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "workerd:", err)
@@ -90,6 +120,12 @@ func main() {
 		reg.AddCounter("repro_workerd_rejected_total",
 			"Connections cut after unauthenticated or malformed frames.", nil,
 			func() float64 { return float64(srv.Rejected()) })
+		reg.AddHistogram("repro_farm_dispatch_seconds",
+			"Whole-frame handling latency per exec frame (decode, work, seal, reply).",
+			nil, farmIns.Dispatch)
+		reg.AddHistogram("repro_farm_seal_seconds",
+			"Result encode share of the frame path.", nil, farmIns.Seal)
+		reg.SetTaskTracer(tracer) // no-op when -trace-spans=false
 		tsrv := telemetry.NewServer(*telemetryAddr, reg)
 		if err := tsrv.Listen(); err != nil {
 			fmt.Fprintln(os.Stderr, "workerd:", err)

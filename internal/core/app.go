@@ -94,6 +94,7 @@ type App struct {
 	// EnableTelemetry and is run by RunContext inside the management group.
 	telemetry       *telemetry.Registry
 	tracer          *telemetry.Tracer
+	taskTracer      *telemetry.TaskTracer
 	telemetryServer *telemetry.Server
 
 	// Self-healing plane (see supervision.go): per-loop supervisors for

@@ -13,6 +13,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/security"
 	"repro/internal/skel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -74,6 +75,16 @@ type FarmAppConfig struct {
 	// per-task path, byte-identical to the unbatched farm.
 	DispatchBatch int
 	BatchFlush    time.Duration
+
+	// TraceSample > 0 attaches a task-span tracer sampling one task in
+	// TraceSample (1 = every task): sampled tasks get an eight-stage
+	// latency decomposition published to /spans, /metrics and /cluster.
+	// TraceSeed seeds the deterministic sampler, so a chaos replay with
+	// the same seed samples the same task ids; TraceRing bounds the
+	// retained spans (0 = 1024).
+	TraceSample uint64
+	TraceSeed   uint64
+	TraceRing   int
 
 	InitialWorkers int
 	// AutoDegree derives InitialWorkers from the task-farm performance
@@ -248,6 +259,10 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Dispatch: metrics.NewLatencyHistogram(),
 		Seal:     metrics.NewLatencyHistogram(),
 	}
+	var taskTracer *telemetry.TaskTracer
+	if cfg.TraceSample > 0 {
+		taskTracer = telemetry.NewTaskTracer(cfg.TraceSeed, cfg.TraceSample, cfg.TraceRing)
+	}
 	farmCfg := skel.FarmConfig{
 		Name:           cfg.Name + ".farm",
 		Env:            env,
@@ -261,6 +276,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		Selector:       cfg.Selector,
 		DispatchBatch:  cfg.DispatchBatch,
 		BatchFlush:     cfg.BatchFlush,
+		Tracer:         taskTracer,
 	}
 	if cfg.ChargeLinkLatency && len(cfg.Platform.Domains) > 0 {
 		farmCfg.Network = cfg.Platform.Network
@@ -308,6 +324,7 @@ func NewFarmApp(cfg FarmAppConfig) (*App, error) {
 		SamplePeriod: scaled(env, cfg.SamplePeriod),
 		Grace:        scaled(env, 2*cfg.Period),
 		stages:       []skel.Stage{source, farm, sink},
+		taskTracer:   taskTracer,
 	}
 	app.Root = &BS{
 		Pattern:    FarmPattern,

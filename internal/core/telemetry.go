@@ -50,6 +50,10 @@ func (a *App) Telemetry() *telemetry.Registry { return a.telemetry }
 // Tracer returns the application's decision tracer.
 func (a *App) Tracer() *telemetry.Tracer { return a.tracer }
 
+// TaskTracer returns the application's task-span tracer (nil unless the
+// builder was configured with TraceSample > 0).
+func (a *App) TaskTracer() *telemetry.TaskTracer { return a.taskTracer }
+
 // EnableTelemetry binds the introspection HTTP server on addr (":0" for an
 // ephemeral port) and arranges for RunContext to serve on it for the whole
 // run. It returns the bound server so callers can print its address.
@@ -73,9 +77,13 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 	a.tracer = tracer
 	reg.SetTracer(tracer)
 	reg.SetEventLog(a.Log)
+	reg.SetTaskTracer(a.taskTracer) // nil-safe no-op when tracing is off
 
 	a.eachManager(func(m *manager.Manager) {
 		m.SetTracer(tracer)
+		if a.taskTracer != nil {
+			m.SetSpanRing(a.taskTracer.Ring())
+		}
 		ins := m.Instruments()
 		for phase, h := range map[string]*metrics.Histogram{
 			"sense":   ins.Sense,

@@ -182,6 +182,14 @@ type ChaosResult struct {
 	// Tracer is the run's decision tracer, for JSONL export of the MAPE
 	// decision trace (the CI artifact).
 	Tracer *telemetry.Tracer
+	// TaskTracer is the run's task-span tracer (rate 1, plan-seeded).
+	// SpansPublished / FaultSpans are its run-dependent diagnostics: total
+	// spans retired and how many carried a fault annotation (an envelope
+	// caught mid-flight by an injected fault). They are deliberately NOT
+	// part of the golden — timing decides which spans a storm catches.
+	TaskTracer     *telemetry.TaskTracer
+	SpansPublished uint64
+	FaultSpans     uint64
 	// FarmErrors are the asynchronous farm errors drained after the run
 	// (dropped tasks, codec failures) — the first place to look when the
 	// exactly-once invariant is violated.
@@ -315,6 +323,13 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		ActuatorTimeout:    10 * time.Second,
 		JitterSeed:         copts.Seed,
 		DispatchBatch:      copts.Batch,
+		// Task tracing runs at rate 1 under the soak: the sampler is seeded
+		// from the plan seed, so a same-seed replay samples the same task
+		// ids, and every fault the plane injects into an in-flight envelope
+		// surfaces as a fault-annotated span. Spans are passive — the golden
+		// (schedule + summary) stays byte-identical with tracing on.
+		TraceSample: 1,
+		TraceSeed:   uint64(copts.Seed),
 	})
 	if err != nil {
 		return nil, err
@@ -509,7 +524,12 @@ drainErrs:
 		AbortedIntents:   app.GM.AbortedIntents(),
 		ReissuedIntents:  app.GM.ReissuedIntents(),
 		Tracer:           app.Tracer(),
+		TaskTracer:       app.TaskTracer(),
 		FarmErrors:       farmErrs,
+	}
+	if tt := app.TaskTracer(); tt != nil {
+		out.SpansPublished = tt.Ring().Published()
+		out.FaultSpans = tt.Ring().Faults()
 	}
 	if app.RootManager != nil {
 		out.ActuatorFailures = app.RootManager.ActuatorFailures()
@@ -577,6 +597,7 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 		r.ActuatorFailures, r.InjectedActuator, r.InjectedRecruit, r.InjectedManager)
 	fmt.Fprintf(w, "self-healing: restarts=%d intents aborted=%d reissued=%d\n",
 		r.ManagerRestarts, r.AbortedIntents, r.ReissuedIntents)
+	fmt.Fprintf(w, "tracing: spans=%d fault_spans=%d\n", r.SpansPublished, r.FaultSpans)
 	if r.Summary.Remote {
 		fmt.Fprintf(w, "remote link: dials=%d execs=%d rekeys=%d frames=%d drops=%d\n",
 			r.RemoteStats.Dials, r.RemoteStats.Execs, r.RemoteStats.Rekeys,

@@ -46,6 +46,15 @@ func TestChaosSoakInvariants(t *testing.T) {
 			t.Errorf("kind %s planned but never applied (skipped %d)", k, res.Report.Skipped[k])
 		}
 	}
+	// The soak traces at rate 1, so every task retires a span, and the
+	// applied worker panics must have caught in-flight envelopes — their
+	// spans are published partially filled with a fault annotation.
+	if res.SpansPublished == 0 {
+		t.Errorf("soak traced at rate 1 but published no spans")
+	}
+	if res.FaultSpans == 0 {
+		t.Errorf("worker panics were applied but no fault-annotated span surfaced")
+	}
 }
 
 // TestChaosSoakDeterministic runs the soak twice with the same seed and

@@ -40,6 +40,12 @@ type DispatchOptions struct {
 	// requirements, trusted-only, or the Local escape hatch that pins every
 	// task to in-process workers even while remote nodes are registered.
 	Selector skel.Selector
+	// TraceSample > 0 turns on task tracing at one span per TraceSample
+	// tasks (1 = every task), seeds the deterministic sampler with
+	// TraceSeed, and installs the /cluster aggregation endpoint that
+	// scrapes every workerd's tracing state over the control plane.
+	TraceSample uint64
+	TraceSeed   uint64
 }
 
 func (d DispatchOptions) normalized() (DispatchOptions, error) {
@@ -79,6 +85,11 @@ type DispatchResult struct {
 	SecurityLeaks   uint64
 	// Tracer exposes the MAPE decision trace for JSONL export.
 	Tracer *telemetry.Tracer
+	// TaskTracer exposes the task-span plane (nil unless TraceSample > 0);
+	// Cluster is the end-of-run merged cluster report, the same view
+	// /cluster serves live.
+	TaskTracer *telemetry.TaskTracer
+	Cluster    *telemetry.ClusterReport
 }
 
 // RemoteFarm runs the coordinator side of the cross-process dispatch
@@ -160,9 +171,43 @@ func RemoteFarm(ctx context.Context, opts Options, dopts DispatchOptions) (*Disp
 		FaultPeriod:        500 * time.Millisecond,
 		Executors:          factory.Executor,
 		Selector:           dopts.Selector,
+		TraceSample:        dopts.TraceSample,
+		TraceSeed:          dopts.TraceSeed,
 	})
 	if err != nil {
 		return nil, err
+	}
+	var cluster func() telemetry.ClusterReport
+	if dopts.TraceSample > 0 {
+		// The /cluster view: the coordinator's own node report merged with
+		// every workerd's, scraped over the wire control plane (a sealed
+		// stats frame per node, not an HTTP fan-out). Best-effort: an
+		// unreachable workerd becomes an Errors entry, not a failed page.
+		addrs := append([]string(nil), dopts.Workers...)
+		cluster = func() telemetry.ClusterReport {
+			reports := []telemetry.NodeReport{
+				telemetry.BuildNodeReport("coordinator", app.TaskTracer(), 256),
+			}
+			var errs []string
+			for _, addr := range addrs {
+				raw, err := factory.Scrape(addr)
+				if err != nil {
+					errs = append(errs, fmt.Sprintf("scrape %s: %v", addr, err))
+					continue
+				}
+				rep, err := telemetry.ParseNodeReport(raw)
+				if err != nil {
+					errs = append(errs, fmt.Sprintf("scrape %s: %v", addr, err))
+					continue
+				}
+				reports = append(reports, rep)
+			}
+			merged := telemetry.MergeReports(reports...)
+			merged.Errors = append(merged.Errors, errs...)
+			return merged
+		}
+		app.Telemetry().SetClusterFunc(cluster)
+		defer factory.CloseControls()
 	}
 	if err := enableTelemetry(app, opts); err != nil {
 		return nil, err
@@ -203,6 +248,11 @@ func RemoteFarm(ctx context.Context, opts Options, dopts DispatchOptions) (*Disp
 		RemoteStats:   factory.Snapshot(),
 		RemoteWorkers: remoteWorkers,
 		Tracer:        app.Tracer(),
+		TaskTracer:    app.TaskTracer(),
+	}
+	if cluster != nil {
+		rep := cluster()
+		out.Cluster = &rep
 	}
 	if app.Auditor != nil {
 		out.SecurityTotal = app.Auditor.Total()
@@ -228,4 +278,25 @@ func writeDispatch(w io.Writer, r *DispatchResult, dopts DispatchOptions) {
 		r.RemoteStats.FramesOut, r.RemoteStats.Drops)
 	fmt.Fprintf(w, "security: sends=%d secured=%d leaks=%d\n",
 		r.SecurityTotal, r.SecuritySecured, r.SecurityLeaks)
+	if r.Cluster != nil {
+		fmt.Fprintf(w, "tracing: %d node(s), %d span(s) retained\n",
+			len(r.Cluster.Nodes), clusterSpanCount(r.Cluster))
+		for _, stage := range telemetry.StageNames {
+			if s, ok := r.Cluster.Stages[stage]; ok {
+				fmt.Fprintf(w, "  stage %-10s count=%-6d p50=%.6fs p99=%.6fs\n",
+					stage, s.Count, s.P50, s.P99)
+			}
+		}
+		for _, e := range r.Cluster.Errors {
+			fmt.Fprintf(w, "  scrape error: %s\n", e)
+		}
+	}
+}
+
+func clusterSpanCount(c *telemetry.ClusterReport) int {
+	n := 0
+	for _, node := range c.Nodes {
+		n += len(node.Spans)
+	}
+	return n
 }

@@ -150,6 +150,10 @@ type Manager struct {
 	// tracer receives one DecisionRecord per RunOnce; set before the
 	// control loop starts (SetTracer), read only by the loop goroutine.
 	tracer *telemetry.Tracer
+	// spanRing, when attached, links recently published task spans to the
+	// causality id of each violation this manager raises, joining the
+	// task-level trace to the decision chain that reacted to it.
+	spanRing *telemetry.SpanRing
 	// wakeStamp is the UnixNano of the oldest unserviced edge wake-up
 	// (0 when none); written by skeleton goroutines, consumed by Run.
 	wakeStamp atomic.Int64
@@ -228,6 +232,12 @@ func (m *Manager) SetTracer(t *telemetry.Tracer) { m.tracer = t }
 
 // Tracer returns the attached decision tracer (may be nil).
 func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }
+
+// SetSpanRing attaches the task-span ring: each violation this manager
+// raises claims the most recent unattributed spans for its causality id,
+// so /spans?cause=ID answers "which tasks were in flight when the
+// contract broke". Attach before the control loop starts.
+func (m *Manager) SetSpanRing(r *telemetry.SpanRing) { m.spanRing = r }
 
 // Name returns the manager's name (e.g. "AM_F").
 func (m *Manager) Name() string { return m.cfg.Name }
@@ -404,6 +414,9 @@ func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
 	m.cycleViolation = true
 	if m.cycleOpen && m.cycleCause == 0 && m.tracer != nil {
 		m.cycleCause = m.tracer.NextCause()
+	}
+	if m.spanRing != nil && m.cycleCause != 0 {
+		m.spanRing.AttachCause(m.cycleCause, 32)
 	}
 	m.event(trace.RaiseViol, tag)
 	parent := m.Parent()

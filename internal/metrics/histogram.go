@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,39 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Merge returns the bucket-wise sum of two snapshots — the /cluster
+// aggregation primitive, folding per-node stage histograms into one
+// cluster-wide distribution. Both snapshots must share the same bucket
+// layout (all repro histograms of one metric do, since bounds are fixed at
+// construction); an empty snapshot (no bounds) merges as the identity, so
+// nodes that have not observed the metric yet fold in cleanly.
+func Merge(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Bounds) == 0 {
+		return b, nil
+	}
+	if len(b.Bounds) == 0 {
+		return a, nil
+	}
+	if len(a.Bounds) != len(b.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("metrics: merge of mismatched histograms (%d vs %d buckets)", len(a.Bounds), len(b.Bounds))
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("metrics: merge of mismatched histograms (bound %d: %g vs %g)", i, a.Bounds[i], b.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), a.Bounds...),
+		Counts: make([]uint64, len(a.Counts)),
+		Count:  a.Count + b.Count,
+		Sum:    a.Sum + b.Sum,
+	}
+	for i := range out.Counts {
+		out.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	return out, nil
 }
 
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation

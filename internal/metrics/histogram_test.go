@@ -98,3 +98,94 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	s := NewLatencyHistogram().Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) on empty histogram = %g, want 0", q, got)
+		}
+	}
+	// A zero-value snapshot (no bounds at all) must not panic either.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on zero snapshot = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 5; i++ {
+		h.Observe(1e6) // beyond the last bound: every observation overflows
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%g) = %g, want clamp to last bound 100", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10, 100})
+	b := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{5, 500, 1e6} {
+		b.Observe(v)
+	}
+	ab, err := Merge(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if want := []uint64{1, 2, 1, 2}; len(ab.Counts) != len(want) {
+		t.Fatalf("merged counts = %v", ab.Counts)
+	} else {
+		for i, w := range want {
+			if ab.Counts[i] != w {
+				t.Errorf("merged bucket %d = %d, want %d (counts %v)", i, ab.Counts[i], w, ab.Counts)
+			}
+		}
+	}
+	if ab.Count != 6 {
+		t.Errorf("merged count = %d, want 6", ab.Count)
+	}
+	if want := 0.5 + 5 + 50 + 5 + 500 + 1e6; math.Abs(ab.Sum-want) > 1e-9 {
+		t.Errorf("merged sum = %g, want %g", ab.Sum, want)
+	}
+	// Commutativity: merge order must not matter, because /cluster folds
+	// node reports in whatever order the scrapes return.
+	ba, err := Merge(b.Snapshot(), a.Snapshot())
+	if err != nil {
+		t.Fatalf("Merge reversed: %v", err)
+	}
+	if ab.Count != ba.Count || math.Abs(ab.Sum-ba.Sum) > 1e-9 {
+		t.Fatalf("merge not commutative: %+v vs %+v", ab, ba)
+	}
+	for i := range ab.Counts {
+		if ab.Counts[i] != ba.Counts[i] {
+			t.Fatalf("merge not commutative at bucket %d: %v vs %v", i, ab.Counts, ba.Counts)
+		}
+	}
+}
+
+func TestHistogramMergeIdentityAndMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	a.Observe(5)
+	got, err := Merge(a.Snapshot(), HistogramSnapshot{})
+	if err != nil || got.Count != 1 {
+		t.Fatalf("merge with empty = %+v, %v; want identity", got, err)
+	}
+	got, err = Merge(HistogramSnapshot{}, a.Snapshot())
+	if err != nil || got.Count != 1 {
+		t.Fatalf("empty merge = %+v, %v; want identity", got, err)
+	}
+	b := NewHistogram([]float64{1, 20})
+	if _, err := Merge(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded, want error")
+	}
+	c := NewHistogram([]float64{1})
+	if _, err := Merge(a.Snapshot(), c.Snapshot()); err == nil {
+		t.Fatal("merge of mismatched bucket counts succeeded, want error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // This file implements the batched dispatch hot path: up to DispatchBatch
@@ -18,6 +19,7 @@ import (
 // Batch blob layout (plaintext; the whole blob is then sealed once by the
 // binding codec):
 //
+//	trace context (17 bytes: uint64 traceID | uint64 spanID | flags)
 //	uint32 count
 //	count × { uint64 id | int64 work(ns) | uint32 len | payload }
 //
@@ -26,7 +28,11 @@ import (
 //	uint32 count
 //	count × { uint64 id | uint32 len | payload }
 //
-// All integers are big-endian, matching the wire package's framing.
+// All integers are big-endian, matching the wire package's framing. The
+// trace context travels inside the seal (unlike a single exec frame, which
+// carries it in the frame header) because a batch blob is the envelope:
+// whatever transport or queue it crosses, the sampled bit and trace id
+// stay with the members, and an unsampled batch pays 17 zero bytes.
 
 // BatchExecutor is the optional batch extension of Executor: a transport
 // session that implements it ships a whole sealed batch blob in one frame
@@ -37,8 +43,9 @@ type BatchExecutor interface {
 	// ExecBatch runs one sealed batch blob remotely. sealed is the blob
 	// encoded with the binding codec (passed alongside so the transport can
 	// recover its key epoch); the result blob comes back sealed with the
-	// same codec.
-	ExecBatch(codec security.Codec, sealed []byte) ([]byte, error)
+	// same codec, along with the remote-measured execution nanoseconds for
+	// the whole batch (remote clock; see Executor.Exec).
+	ExecBatch(codec security.Codec, sealed []byte) (result []byte, execNanos int64, err error)
 }
 
 // BatchEntry is one member of a decoded batch blob, as seen by the remote
@@ -52,7 +59,9 @@ type BatchEntry struct {
 // appendBatchBlob packs the tasks into a batch blob appended onto dst.
 // override, when positive, replaces every member's nominal work (the farm
 // applies WorkOverride at pack time so the remote server needs no config).
-func appendBatchBlob(dst []byte, tasks []*Task, override time.Duration) []byte {
+// tc is the envelope's trace context (zero when unsampled).
+func appendBatchBlob(dst []byte, tasks []*Task, override time.Duration, tc telemetry.TraceContext) []byte {
+	dst = tc.AppendTo(dst)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(tasks)))
 	for _, t := range tasks {
 		work := t.Work
@@ -74,9 +83,10 @@ func errBlob(what string) error { return fmt.Errorf("skel: malformed batch %s bl
 // subslices of blob (zero copies) assigned onto the envelope's tasks, which
 // must match the blob's entries in order and ID.
 func unpackBatchInto(blob []byte, tasks []*Task) error {
-	if len(blob) < 4 {
+	if len(blob) < telemetry.TraceContextSize+4 {
 		return errBlob("task")
 	}
+	blob = blob[telemetry.TraceContextSize:] // trace context: not needed in-process
 	count := int(binary.BigEndian.Uint32(blob))
 	if count != len(tasks) {
 		return fmt.Errorf("skel: batch blob carries %d tasks, envelope %d", count, len(tasks))
@@ -104,37 +114,42 @@ func unpackBatchInto(blob []byte, tasks []*Task) error {
 	return nil
 }
 
-// ParseBatchBlob decodes a batch blob into its entries (payloads are
-// subslices of blob). It is the remote execution server's view of a batch
-// frame; internal/wire and workerd use it.
-func ParseBatchBlob(blob []byte) ([]BatchEntry, error) {
-	if len(blob) < 4 {
-		return nil, errBlob("task")
+// ParseBatchBlob decodes a batch blob into its trace context and entries
+// (payloads are subslices of blob). It is the remote execution server's
+// view of a batch frame; internal/wire and workerd use it.
+func ParseBatchBlob(blob []byte) (telemetry.TraceContext, []BatchEntry, error) {
+	if len(blob) < telemetry.TraceContextSize+4 {
+		return telemetry.TraceContext{}, nil, errBlob("task")
 	}
+	tc, err := telemetry.ParseTraceContext(blob)
+	if err != nil {
+		return telemetry.TraceContext{}, nil, err
+	}
+	blob = blob[telemetry.TraceContextSize:]
 	count := int(binary.BigEndian.Uint32(blob))
 	if count < 0 || count > maxDispatchBatch {
-		return nil, errBlob("task")
+		return tc, nil, errBlob("task")
 	}
 	entries := make([]BatchEntry, 0, count)
 	off := 4
 	for i := 0; i < count; i++ {
 		if len(blob)-off < 20 {
-			return nil, errBlob("task")
+			return tc, nil, errBlob("task")
 		}
 		id := binary.BigEndian.Uint64(blob[off:])
 		work := time.Duration(binary.BigEndian.Uint64(blob[off+8:]))
 		n := int(binary.BigEndian.Uint32(blob[off+16:]))
 		off += 20
 		if n < 0 || len(blob)-off < n {
-			return nil, errBlob("task")
+			return tc, nil, errBlob("task")
 		}
 		entries = append(entries, BatchEntry{ID: id, Work: work, Payload: blob[off : off+n : off+n]})
 		off += n
 	}
 	if off != len(blob) {
-		return nil, errBlob("task")
+		return tc, nil, errBlob("task")
 	}
-	return entries, nil
+	return tc, entries, nil
 }
 
 // AppendBatchResult packs result entries (Work is ignored) into a result
@@ -332,7 +347,28 @@ func (f *Farm) runBatchedDispatcher(in <-chan *Task) {
 // delivered, so they are dropped exactly like a refused single clone.
 func (f *Farm) flushBatch(w *worker, tasks []*Task) {
 	codec := w.getCodec()
-	f.packBuf = appendBatchBlob(f.packBuf[:0], tasks, f.cfg.WorkOverride)
+	// Every member draws its own sampling decision (so sampled/skipped
+	// counts are invariant under the batching knob), but the batch carries
+	// at most one span — rooted at the first sampled member; the rest fan
+	// out as child spans when the envelope is collected. Stage semantics
+	// for a batch span: enqueue covers the root member's buffering wait,
+	// route is folded into it (target selection ran per member, before the
+	// span existed), and the remaining stages are envelope-level.
+	var sp *telemetry.Span
+	if tr := f.cfg.Tracer; tr != nil && f.cfg.Dispatch != Broadcast {
+		for _, t := range tasks {
+			if tr.Sample(t.ID) && sp == nil {
+				sp = tr.Start(t.ID)
+				sp.Batch = len(tasks)
+				sp.MarkSince(telemetry.StageEnqueue, t.Created)
+			}
+		}
+	}
+	var tc telemetry.TraceContext
+	if sp != nil {
+		tc = sp.Context()
+	}
+	f.packBuf = appendBatchBlob(f.packBuf[:0], tasks, f.cfg.WorkOverride, tc)
 	env := getEnv()
 	var sealStart time.Time
 	ins := f.cfg.Instruments
@@ -345,13 +381,20 @@ func (f *Farm) flushBatch(w *worker, tasks []*Task) {
 	}
 	if err != nil {
 		putEnv(env)
+		f.faultSpan(sp, "encode")
 		f.reportErr(fmt.Errorf("skel: farm %s batch encode for %s: %w", f.cfg.Name, w.id, err))
 		return
+	}
+	if sp != nil {
+		sp.Mark(telemetry.StageSeal)
+		sp.Node = w.id
+		sp.Remote = w.exec != nil
 	}
 	env.tasks = append(env.tasks[:0], tasks...)
 	env.wire = wire
 	env.codec = codec
 	env.batch = true
+	env.span = sp
 	if f.cfg.Auditor != nil {
 		// One audit record per member task, not per frame: leak accounting
 		// stays invariant under the batching knob, so the security
@@ -365,6 +408,8 @@ func (f *Farm) flushBatch(w *worker, tasks []*Task) {
 		}
 	}
 	if !w.queue.push(env) {
+		env.span = nil
+		f.faultSpan(sp, "reroute")
 		if f.cfg.Dispatch != Broadcast {
 			for _, t := range env.tasks {
 				f.sendRouted(t, w)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/runtime/leaktest"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 func testNode(name string) *grid.Node {
@@ -24,9 +25,9 @@ func TestBatchBlobRoundtrip(t *testing.T) {
 		{ID: 13, Work: time.Second, Payload: bytes.Repeat([]byte{0xAB}, 300)},
 	}
 	want := [][]byte{[]byte("alpha"), nil, bytes.Repeat([]byte{0xAB}, 300)}
-	blob := appendBatchBlob(nil, tasks, 0)
+	blob := appendBatchBlob(nil, tasks, 0, telemetry.TraceContext{})
 
-	entries, err := ParseBatchBlob(blob)
+	_, entries, err := ParseBatchBlob(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestBatchBlobRoundtrip(t *testing.T) {
 
 func TestBatchBlobWorkOverride(t *testing.T) {
 	tasks := []*Task{{ID: 1, Work: time.Hour, Payload: []byte("x")}}
-	entries, err := ParseBatchBlob(appendBatchBlob(nil, tasks, 5*time.Millisecond))
+	_, entries, err := ParseBatchBlob(appendBatchBlob(nil, tasks, 5*time.Millisecond, telemetry.TraceContext{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestBatchBlobWorkOverride(t *testing.T) {
 
 func TestBatchBlobMalformed(t *testing.T) {
 	tasks := []*Task{{ID: 1, Payload: []byte("abc")}, {ID: 2, Payload: []byte("defg")}}
-	blob := appendBatchBlob(nil, tasks, 0)
+	blob := appendBatchBlob(nil, tasks, 0, telemetry.TraceContext{})
 	cases := map[string][]byte{
 		"empty":       {},
 		"short-count": blob[:2],
@@ -72,7 +73,7 @@ func TestBatchBlobMalformed(t *testing.T) {
 		"trailing":    append(append([]byte(nil), blob...), 0x00),
 	}
 	for name, b := range cases {
-		if _, err := ParseBatchBlob(b); err == nil {
+		if _, _, err := ParseBatchBlob(b); err == nil {
 			t.Errorf("ParseBatchBlob(%s): no error", name)
 		}
 		if err := unpackBatchInto(b, []*Task{{ID: 1}, {ID: 2}}); err == nil {
@@ -243,7 +244,7 @@ func TestSplitEnvelopes(t *testing.T) {
 		{ID: 32, Payload: []byte("two")},
 		{ID: 33, Payload: []byte("three")},
 	}
-	blob := appendBatchBlob(nil, tasks, 0)
+	blob := appendBatchBlob(nil, tasks, 0, telemetry.TraceContext{})
 	wire, err := codec.Encode(blob)
 	if err != nil {
 		t.Fatal(err)

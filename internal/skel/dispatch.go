@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // Executor abstracts where a worker's compute step runs — the transport
@@ -24,9 +25,13 @@ import (
 type Executor interface {
 	// Exec runs one envelope remotely: sealed is the payload encoded with
 	// the binding codec (passed alongside so the transport can recover its
-	// key epoch), work the task's nominal service time. It returns the
-	// result payload, still sealed with the same binding codec.
-	Exec(taskID uint64, work time.Duration, codec security.Codec, sealed []byte) ([]byte, error)
+	// key epoch), work the task's nominal service time, tc the propagated
+	// trace context (the zero value for unsampled tasks). It returns the
+	// result payload, still sealed with the same binding codec, plus the
+	// remote-measured execution nanoseconds — reported in the remote clock
+	// and joined with the local round trip by interval arithmetic, never by
+	// cross-machine timestamp comparison.
+	Exec(tc telemetry.TraceContext, taskID uint64, work time.Duration, codec security.Codec, sealed []byte) (result []byte, execNanos int64, err error)
 	// Rekey makes c the binding codec on the remote end before any task
 	// sealed with it can arrive (the two-phase rekey across the wire: the
 	// new key travels inside a control frame sealed under the link's

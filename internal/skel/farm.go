@@ -11,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // DispatchPolicy selects how the farm's dispatcher (the S component of
@@ -121,6 +122,14 @@ type FarmConfig struct {
 	// 500µs). Under saturation batches fill before the deadline and the
 	// timer never fires; under trickle load it caps the added latency.
 	BatchFlush time.Duration
+	// Tracer samples per-task spans of the hot path's stage-latency
+	// decomposition (enqueue, route, seal, queue-wait, wire, exec, reseal,
+	// result). Like Instruments it is nil-gated; unlike Instruments the
+	// sampling decision gates every clock read, so an unsampled task pays
+	// one branch and one hash — no timestamps, no allocations. Broadcast
+	// dispatch is not traced (clones would multiply one task id across
+	// every worker's ring).
+	Tracer *telemetry.TaskTracer
 }
 
 // maxDispatchBatch bounds DispatchBatch so a misconfigured farm cannot
@@ -153,6 +162,11 @@ type envelope struct {
 	// collector consumes it, so one envelope is one channel hop however
 	// many tasks it carried.
 	out []*Task
+	// span is the envelope's sampled trace record, nil for the unsampled
+	// (overwhelming) majority. Ownership rides with the envelope: the
+	// goroutine currently holding the envelope stamps stages; the collector
+	// (or a fault path) publishes and detaches it.
+	span *telemetry.Span
 }
 
 // task returns the sole member of a single (non-batch) envelope.
@@ -177,6 +191,7 @@ func putEnv(e *envelope) {
 	e.wire = e.wire[:0]
 	e.codec = nil
 	e.batch = false
+	e.span = nil
 	envPool.Put(e)
 }
 
@@ -385,6 +400,7 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 			var acc *Task
 			for env := range f.results {
 				f.departure.MarkN(len(env.out))
+				f.collectSpan(env)
 				for _, t := range env.out {
 					if acc == nil {
 						acc = t
@@ -404,6 +420,7 @@ func (f *Farm) Run(_ context.Context, in <-chan *Task, out chan<- *Task) {
 		}
 		for env := range f.results {
 			f.departure.MarkN(len(env.out))
+			f.collectSpan(env)
 			for _, t := range env.out {
 				if out != nil {
 					out <- t
@@ -449,16 +466,63 @@ func (f *Farm) dispatch(t *Task) {
 			// Clones must not be re-routed on a failed push: every other
 			// admitted worker already holds its own clone, so re-routing the
 			// orphan would deliver a duplicate to one of them.
-			f.send(w, t.Clone(), false)
+			f.send(w, t.Clone(), false, nil)
 		}
 		return
 	}
+	// The sampling decision precedes every clock read: an unsampled task —
+	// the overwhelming majority at production rates — pays one branch and
+	// one integer hash here, nothing else.
+	var sp *telemetry.Span
+	if tr := f.cfg.Tracer; tr != nil && tr.Sample(t.ID) {
+		sp = tr.Start(t.ID)
+		sp.MarkSince(telemetry.StageEnqueue, t.Created)
+	}
 	target := f.decideTarget(avail, &f.rrIndex)
+	if sp != nil {
+		sp.Mark(telemetry.StageRoute)
+	}
 	if target == nil {
+		f.faultSpan(sp, "parked")
 		f.sendRouted(t, nil)
 		return
 	}
-	f.send(target, t, true)
+	f.send(target, t, true, sp)
+}
+
+// faultSpan publishes a partial span annotated with the fault that cut its
+// task's normal path short (a park, a refused push, a remote link error, a
+// contained panic). The retried task proceeds untraced — retry latency is
+// the fault manager's story, and the published span records exactly the
+// stages the task completed before the fault. Nil-safe.
+func (f *Farm) faultSpan(sp *telemetry.Span, kind string) {
+	if sp == nil {
+		return
+	}
+	sp.Fault = kind
+	f.cfg.Tracer.Publish(sp)
+}
+
+// collectSpan finishes a collected envelope's span: the result stage ends
+// at the collector, batch spans fan out one member span per co-sampled
+// member task, and the envelope span publishes into the ring and the stage
+// histograms.
+func (f *Farm) collectSpan(env *envelope) {
+	sp := env.span
+	if sp == nil {
+		return
+	}
+	env.span = nil
+	sp.Mark(telemetry.StageResult)
+	tr := f.cfg.Tracer
+	if env.batch {
+		for _, t := range env.tasks {
+			if t.ID != sp.TaskID && tr.Sampler().Decide(t.ID) {
+				tr.PublishMember(sp, t.ID)
+			}
+		}
+	}
+	tr.Publish(sp)
 }
 
 // send encodes the task with the binding's current codec, audits it and
@@ -472,7 +536,7 @@ func (f *Farm) dispatch(t *Task) {
 // remote worker, to its dead session's key epochs) and must not follow the
 // task to a different one. reroute=false (Broadcast clones) drops the task
 // on a failed push instead — its siblings were already delivered.
-func (f *Farm) send(w *worker, t *Task, reroute bool) {
+func (f *Farm) send(w *worker, t *Task, reroute bool, sp *telemetry.Span) {
 	codec := w.getCodec()
 	var sealStart time.Time
 	ins := f.cfg.Instruments
@@ -487,8 +551,14 @@ func (f *Farm) send(w *worker, t *Task, reroute bool) {
 	if err != nil {
 		env.wire = env.wire[:0]
 		putEnv(env)
+		f.faultSpan(sp, "encode")
 		f.reportErr(fmt.Errorf("skel: farm %s encode for %s: %w", f.cfg.Name, w.id, err))
 		return
+	}
+	if sp != nil {
+		sp.Mark(telemetry.StageSeal)
+		sp.Node = w.id
+		sp.Remote = w.exec != nil
 	}
 	if f.cfg.Auditor != nil {
 		must := false
@@ -500,7 +570,10 @@ func (f *Farm) send(w *worker, t *Task, reroute bool) {
 	env.tasks = append(env.tasks[:0], t)
 	env.wire = wire
 	env.codec = codec
+	env.span = sp
 	if !w.queue.push(env) {
+		env.span = nil
+		f.faultSpan(sp, "reroute")
 		putEnv(env)
 		if reroute {
 			// t still carries its original payload (compute replaces it only
@@ -561,7 +634,7 @@ func (f *Farm) sendRouted(t *Task, skip *worker) {
 	// already gone again, send's reroute parks the task anew. A worker
 	// whose push failed is already marked failed/exited/removed under f.mu
 	// by then, so the reroute cannot spin on it.
-	f.send(target, t, true)
+	f.send(target, t, true, nil)
 }
 
 // flushPending re-dispatches every parked task now that a worker joined
@@ -637,6 +710,9 @@ func (f *Farm) runWorker(w *worker) {
 			w.closeExec()
 			return
 		}
+		if sp := env.span; sp != nil {
+			sp.Mark(telemetry.StageQueueWait)
+		}
 		var crashed bool
 		if w.exec != nil {
 			crashed = f.computeRemote(w, env)
@@ -686,10 +762,17 @@ func (f *Farm) computeLocal(w *worker, env *envelope) (crashed bool) {
 	// loopback dispatch at zero allocations per task.
 	plain, err := security.AppendDecode(env.codec, w.plainBuf[:0], env.wire)
 	if err != nil {
+		f.faultSpan(env.span, "decode")
+		env.span = nil
 		f.reportErr(fmt.Errorf("skel: farm %s worker %s decode: %w", f.cfg.Name, w.id, err))
 		return false
 	}
 	w.plainBuf = plain[:0]
+	if sp := env.span; sp != nil {
+		// Loopback: reseal is the envelope decode, exec the member loop, and
+		// the wire stage stays zero — no machine boundary was crossed.
+		sp.Mark(telemetry.StageReseal)
+	}
 	for _, t := range env.tasks {
 		work := t.Work
 		if f.cfg.WorkOverride > 0 {
@@ -714,6 +797,9 @@ func (f *Farm) computeLocal(w *worker, env *envelope) (crashed bool) {
 		if res := applyFn(f.cfg.Fn, t); res != nil {
 			env.out = append(env.out, res)
 		}
+	}
+	if sp := env.span; sp != nil {
+		sp.Mark(telemetry.StageExec)
 	}
 	return false
 }
@@ -751,26 +837,50 @@ func (f *Farm) computeRemote(w *worker, env *envelope) (crashed bool) {
 			}
 		}
 	}
+	// The span's trace context rides the exec frame (single) or the sealed
+	// batch blob (batch, already embedded at seal time), so the workerd-side
+	// exec span shares this trace id. A link fault publishes the partial span
+	// here and detaches it: the recovered envelope retries untraced.
+	sp := env.span
+	var tc telemetry.TraceContext
+	if sp != nil {
+		tc = sp.Context()
+	}
+	detachFault := func(kind string) {
+		env.span = nil
+		f.faultSpan(sp, kind)
+	}
 	if !env.batch {
 		t := env.task()
 		work := t.Work
 		if f.cfg.WorkOverride > 0 {
 			work = f.cfg.WorkOverride
 		}
-		sealedRes, err := w.exec.Exec(t.ID, work, env.codec, env.wire)
+		sealedRes, execNanos, err := w.exec.Exec(tc, t.ID, work, env.codec, env.wire)
 		if err != nil {
+			detachFault("link")
 			f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
 				f.cfg.Name, w.id, t.ID, err))
 			return true
+		}
+		if sp != nil {
+			// Interval arithmetic across the clock boundary: the local round
+			// trip splits into the remote-reported exec share and the wire
+			// remainder — timestamps never cross machines.
+			sp.MarkSplit(telemetry.StageWire, telemetry.StageExec, execNanos)
 		}
 		payload, err := env.codec.Decode(sealedRes)
 		if err != nil {
 			// A result that does not authenticate is a link fault, not a task
 			// fault: crash the worker so the envelope is recovered, never
 			// emitted corrupt.
+			detachFault("auth")
 			f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
 				f.cfg.Name, w.id, err))
 			return true
+		}
+		if sp != nil {
+			sp.Mark(telemetry.StageReseal)
 		}
 		t.Payload = payload
 		env.out = append(env.out, t)
@@ -791,21 +901,32 @@ func (f *Farm) computeRemote(w *worker, env *envelope) (crashed bool) {
 			}
 			wire, err := env.codec.Encode(t.Payload)
 			if err != nil {
+				detachFault("encode")
 				f.reportErr(fmt.Errorf("skel: farm %s worker %s re-seal task %d: %w",
 					f.cfg.Name, w.id, t.ID, err))
 				return true
 			}
-			sealedRes, err := w.exec.Exec(t.ID, work, env.codec, wire)
+			sealedRes, execNanos, err := w.exec.Exec(tc, t.ID, work, env.codec, wire)
 			if err != nil {
+				detachFault("link")
 				f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec task %d: %w",
 					f.cfg.Name, w.id, t.ID, err))
 				return true
 			}
+			if sp != nil {
+				// Per-member intervals accumulate into the batch span's wire
+				// and exec stages (Mark and MarkSplit add, never overwrite).
+				sp.MarkSplit(telemetry.StageWire, telemetry.StageExec, execNanos)
+			}
 			payload, err := env.codec.Decode(sealedRes)
 			if err != nil {
+				detachFault("auth")
 				f.reportErr(fmt.Errorf("skel: farm %s worker %s remote result: %w",
 					f.cfg.Name, w.id, err))
 				return true
+			}
+			if sp != nil {
+				sp.Mark(telemetry.StageReseal)
 			}
 			staged[i] = payload
 		}
@@ -815,22 +936,31 @@ func (f *Farm) computeRemote(w *worker, env *envelope) (crashed bool) {
 		}
 		return false
 	}
-	sealedRes, err := be.ExecBatch(env.codec, env.wire)
+	sealedRes, execNanos, err := be.ExecBatch(env.codec, env.wire)
 	if err != nil {
+		detachFault("link")
 		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote exec batch of %d: %w",
 			f.cfg.Name, w.id, len(env.tasks), err))
 		return true
 	}
+	if sp != nil {
+		sp.MarkSplit(telemetry.StageWire, telemetry.StageExec, execNanos)
+	}
 	blob, err := env.codec.Decode(sealedRes)
 	if err != nil {
+		detachFault("auth")
 		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote batch result: %w",
 			f.cfg.Name, w.id, err))
 		return true
 	}
 	if err := unpackResultInto(blob, env.tasks); err != nil {
+		detachFault("auth")
 		f.reportErr(fmt.Errorf("skel: farm %s worker %s remote batch result: %w",
 			f.cfg.Name, w.id, err))
 		return true
+	}
+	if sp != nil {
+		sp.Mark(telemetry.StageReseal)
 	}
 	env.out = append(env.out, env.tasks...)
 	return false
@@ -848,6 +978,10 @@ func (f *Farm) computeRemote(w *worker, env *envelope) (crashed bool) {
 // That late envelope is instead re-routed through the unified dispatch
 // decision path, exactly like a parked task.
 func (f *Farm) containPanic(w *worker, env *envelope) {
+	// The crash annotates and publishes the partial span; the restored
+	// envelope retries untraced (retry latency is the fault manager's story).
+	f.faultSpan(env.span, "crash")
+	env.span = nil
 	f.mu.Lock()
 	if !w.failed && !w.exited {
 		w.failed = true
@@ -1158,6 +1292,11 @@ func (f *Farm) splitEnvelopesLocked(envs []*envelope) []*envelope {
 			}
 			out = append(out, &envelope{tasks: []*Task{t}, wire: wire, codec: env.codec})
 		}
+		// A split batch's span cannot follow its members (they scatter over
+		// many bindings); it publishes as a partial span annotated with the
+		// redistribution that cut it short.
+		f.faultSpan(env.span, "split")
+		env.span = nil
 		putEnv(env)
 	}
 	return out

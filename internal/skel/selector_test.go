@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // countingExec is a loopback stand-in for a remote session: it executes
@@ -14,9 +15,9 @@ import (
 // seam.
 type countingExec struct{ execs *atomic.Int64 }
 
-func (c countingExec) Exec(_ uint64, _ time.Duration, _ security.Codec, sealed []byte) ([]byte, error) {
+func (c countingExec) Exec(_ telemetry.TraceContext, _ uint64, _ time.Duration, _ security.Codec, sealed []byte) ([]byte, int64, error) {
 	c.execs.Add(1)
-	return sealed, nil
+	return sealed, 0, nil
 }
 func (c countingExec) Rekey(codec security.Codec) (security.Codec, error) { return codec, nil }
 func (c countingExec) Close() error                                       { return nil }

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSamplerDecide is the cost every task pays when tracing is on
+// but the task is not sampled: one hash, one compare, two counter bumps.
+func BenchmarkSamplerDecide(b *testing.B) {
+	tt := NewTaskTracer(1, 1024, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tt.Sample(uint64(i))
+	}
+}
+
+// BenchmarkSpanRecord measures one full span lifecycle — start from the
+// pool, mark every stage, publish into histograms and the ring. After the
+// pool warms this must be allocation-free: span records ride the dispatch
+// hot path.
+func BenchmarkSpanRecord(b *testing.B) {
+	tt := NewTaskTracer(1, 1, 1024)
+	created := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tt.Start(uint64(i))
+		sp.MarkSince(StageEnqueue, created)
+		sp.Mark(StageRoute)
+		sp.Mark(StageSeal)
+		sp.Mark(StageQueueWait)
+		sp.MarkSplit(StageWire, StageExec, 10)
+		sp.Mark(StageReseal)
+		sp.Mark(StageResult)
+		tt.Publish(sp)
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tt.Start(1)
+		sp.Mark(StageExec)
+		tt.Publish(sp)
+	}); allocs != 0 {
+		b.Fatalf("span record allocates %v per op", allocs)
+	}
+}
+
+// BenchmarkTraceContextEncode measures the wire cost of propagation: one
+// 17-byte append-encode plus the parse on the far side.
+func BenchmarkTraceContextEncode(b *testing.B) {
+	tc := TraceContext{TraceID: 0xdeadbeef, SpanID: 0xcafe, Sampled: true}
+	buf := make([]byte, 0, TraceContextSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = tc.AppendTo(buf[:0])
+		if _, err := ParseTraceContext(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

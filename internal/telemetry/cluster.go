@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// This file is the aggregation half of the task-tracing plane: a NodeReport
+// is what one process (coordinator or workerd) publishes about its tracing
+// state, and a ClusterReport is the coordinator's merge of its own report
+// with every connected workerd's — scraped over the wire protocol's stats
+// control frame, not an HTTP fan-out. Histograms merge bucket-wise
+// (metrics.Merge); spans concatenate, which is safe because durations are
+// intervals: nothing in a report compares clocks across machines.
+
+// NodeReport is one process's tracing state: sampler and ring counters, the
+// eight per-stage latency histograms, and the most recent spans. It is the
+// JSON payload of the wire stats reply and of the workerd /spans endpoint.
+type NodeReport struct {
+	Node string `json:"node"`
+	// Sampled/Skipped are the deterministic sampler's decision counts.
+	Sampled uint64 `json:"sampled"`
+	Skipped uint64 `json:"skipped"`
+	// Published/Dropped/Faults are the span ring's lifetime counters.
+	Published uint64 `json:"spans_published"`
+	Dropped   uint64 `json:"spans_dropped"`
+	Faults    uint64 `json:"spans_fault"`
+	// Stages maps stage name to that stage's latency histogram (seconds).
+	Stages map[string]metrics.HistogramSnapshot `json:"stages,omitempty"`
+	// Spans are the newest retained spans, oldest first.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// BuildNodeReport snapshots a tracer into a report. maxSpans bounds the
+// span dump (<= 0 means every retained span). Nil-safe: a nil tracer yields
+// an empty report carrying only the node name.
+func BuildNodeReport(node string, tt *TaskTracer, maxSpans int) NodeReport {
+	rep := NodeReport{Node: node}
+	if tt == nil {
+		return rep
+	}
+	rep.Sampled, rep.Skipped = tt.Sampler().Counts()
+	ring := tt.Ring()
+	rep.Published = ring.Published()
+	rep.Dropped = ring.Dropped()
+	rep.Faults = ring.Faults()
+	rep.Stages = make(map[string]metrics.HistogramSnapshot, NumStages)
+	for i, s := range tt.StageSnapshots() {
+		if s.Count > 0 {
+			rep.Stages[StageNames[i]] = s
+		}
+	}
+	rep.Spans = ring.Last(maxSpans)
+	return rep
+}
+
+// Encode renders the report as JSON — the stats-reply payload.
+func (r NodeReport) Encode() ([]byte, error) { return json.Marshal(r) }
+
+// ParseNodeReport decodes a scraped stats-reply payload.
+func ParseNodeReport(b []byte) (NodeReport, error) {
+	var rep NodeReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return NodeReport{}, fmt.Errorf("telemetry: bad node report: %w", err)
+	}
+	return rep, nil
+}
+
+// StageSummary is the cluster-wide view of one pipeline stage, quantiles in
+// seconds from the merged histogram.
+type StageSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P99   float64 `json:"p99_s"`
+	Mean  float64 `json:"mean_s"`
+}
+
+// ClusterReport is the /cluster payload: every node's report plus the
+// merged per-stage latency decomposition.
+type ClusterReport struct {
+	Nodes  []NodeReport            `json:"nodes"`
+	Stages map[string]StageSummary `json:"stages"`
+	// Errors records scrape or merge failures; aggregation is best-effort
+	// and partial results are better than none when a link is partitioned.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// MergeReports folds node reports into a cluster report: per-stage
+// histograms merge bucket-wise across nodes, then summarize as count, mean
+// and quantiles. A bucket-layout mismatch (a node running a different
+// build) is recorded in Errors and that node's histogram skipped.
+func MergeReports(nodes ...NodeReport) ClusterReport {
+	out := ClusterReport{Nodes: nodes, Stages: map[string]StageSummary{}}
+	merged := map[string]metrics.HistogramSnapshot{}
+	for _, n := range nodes {
+		for stage, snap := range n.Stages {
+			m, err := metrics.Merge(merged[stage], snap)
+			if err != nil {
+				out.Errors = append(out.Errors, fmt.Sprintf("node %s stage %s: %v", n.Node, stage, err))
+				continue
+			}
+			merged[stage] = m
+		}
+	}
+	for stage, snap := range merged {
+		if snap.Count == 0 {
+			continue
+		}
+		sum := StageSummary{
+			Count: snap.Count,
+			P50:   snap.Quantile(0.5),
+			P99:   snap.Quantile(0.99),
+		}
+		sum.Mean = snap.Sum / float64(snap.Count)
+		out.Stages[stage] = sum
+	}
+	sort.Strings(out.Errors)
+	return out
+}
+
+// WriteSpansJSONL streams every node's spans, node by node, one JSON object
+// per line — the cluster-wide span dump behind /cluster?format=jsonl.
+func (c ClusterReport) WriteSpansJSONL(enc *json.Encoder) error {
+	for _, n := range c.Nodes {
+		for _, sp := range n.Spans {
+			if sp.Node == "" {
+				sp.Node = n.Node
+			}
+			if err := enc.Encode(sp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

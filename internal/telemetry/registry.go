@@ -34,13 +34,15 @@ type scalarEntry struct {
 // registers its instruments here and the HTTP server renders them. A
 // registry is passive — registering and rendering spawn nothing.
 type Registry struct {
-	mu       sync.Mutex
-	start    time.Time
-	tracer   *Tracer
-	events   *trace.Log
-	hists    []histEntry
-	scalars  []scalarEntry
-	managers func() any
+	mu         sync.Mutex
+	start      time.Time
+	tracer     *Tracer
+	taskTracer *TaskTracer
+	events     *trace.Log
+	hists      []histEntry
+	scalars    []scalarEntry
+	managers   func() any
+	cluster    func() ClusterReport
 }
 
 // NewRegistry returns an empty registry.
@@ -59,6 +61,67 @@ func (r *Registry) Tracer() *Tracer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tracer
+}
+
+// SetTaskTracer attaches the task-span tracer: /spans serves its ring, and
+// its per-stage latency histograms plus sampler/ring counters register as
+// /metrics series (repro_task_stage_seconds{stage=...} and the
+// repro_task_spans_* counters).
+func (r *Registry) SetTaskTracer(tt *TaskTracer) {
+	if tt == nil {
+		return
+	}
+	r.mu.Lock()
+	r.taskTracer = tt
+	r.mu.Unlock()
+	for i := 0; i < NumStages; i++ {
+		r.AddHistogram("repro_task_stage_seconds",
+			"Per-stage latency decomposition of sampled task spans.",
+			Labels{"stage": StageNames[i]}, tt.StageHistogram(i))
+	}
+	sampler, ring := tt.Sampler(), tt.Ring()
+	r.AddCounter("repro_task_spans_sampled_total",
+		"Tasks the deterministic span sampler selected.", nil,
+		func() float64 { s, _ := sampler.Counts(); return float64(s) })
+	r.AddCounter("repro_task_spans_skipped_total",
+		"Tasks the span sampler passed over.", nil,
+		func() float64 { _, k := sampler.Counts(); return float64(k) })
+	r.AddCounter("repro_task_spans_published_total",
+		"Task spans published into the span ring.", nil,
+		func() float64 { return float64(ring.Published()) })
+	r.AddCounter("repro_task_spans_dropped_total",
+		"Task spans overwritten in the bounded span ring.", nil,
+		func() float64 { return float64(ring.Dropped()) })
+	r.AddCounter("repro_task_spans_fault_total",
+		"Published task spans annotated with a fault.", nil,
+		func() float64 { return float64(ring.Faults()) })
+}
+
+// TaskTracer returns the attached task-span tracer (may be nil).
+func (r *Registry) TaskTracer() *TaskTracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.taskTracer
+}
+
+// SetClusterFunc installs the callback assembling the /cluster view — the
+// coordinator's scrape-and-merge over its connected workerds. The callback
+// runs per request.
+func (r *Registry) SetClusterFunc(fn func() ClusterReport) {
+	r.mu.Lock()
+	r.cluster = fn
+	r.mu.Unlock()
+}
+
+// Cluster invokes the /cluster callback (nil result when none installed).
+func (r *Registry) Cluster() (ClusterReport, bool) {
+	r.mu.Lock()
+	fn := r.cluster
+	r.mu.Unlock()
+	if fn == nil {
+		return ClusterReport{}, false
+	}
+	return fn(), true
 }
 
 // SetEventLog attaches the autonomic event log whose per-(source, kind)

@@ -17,7 +17,13 @@ import (
 //	/healthz        liveness probe ("ok")
 //	/metrics        Prometheus text exposition of the registry
 //	/trace?n=K      last K decision records as a JSON array
-//	                (&format=jsonl for one record per line)
+//	                (&cause=ID filters one causality chain,
+//	                &format=jsonl for one record per line)
+//	/spans?n=K      last K task spans (&trace=HEX filters one trace,
+//	                &cause=ID one causality chain, &format=jsonl dumps)
+//	/cluster        merged per-stage latency decomposition across the
+//	                coordinator and every scrapeable workerd
+//	                (&format=jsonl dumps every node's spans)
 //	/managers       manager hierarchy with roles, contracts, last decisions
 //	/debug/pprof/   the stdlib profiler
 //
@@ -44,6 +50,8 @@ func NewServer(addr string, reg *Registry) *Server {
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/managers", func(w http.ResponseWriter, _ *http.Request) {
 		view := reg.Managers()
 		if view == nil {
@@ -81,7 +89,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			n = v
 		}
 	}
-	recs := tr.Last(n)
+	var recs []DecisionRecord
+	if q := r.URL.Query().Get("cause"); q != "" {
+		cause, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad cause", http.StatusBadRequest)
+			return
+		}
+		recs = tr.ByCause(cause)
+	} else {
+		recs = tr.Last(n)
+	}
 	if r.URL.Query().Get("format") == "jsonl" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
@@ -95,6 +113,75 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(recs)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	tt := s.reg.TaskTracer()
+	if tt == nil {
+		http.Error(w, "no task tracer attached", http.StatusNotFound)
+		return
+	}
+	ring := tt.Ring()
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if v > 0 {
+			n = v
+		}
+	}
+	var spans []Span
+	switch {
+	case r.URL.Query().Get("trace") != "":
+		var traceID uint64
+		if _, err := fmt.Sscanf(r.URL.Query().Get("trace"), "%x", &traceID); err != nil {
+			http.Error(w, "bad trace", http.StatusBadRequest)
+			return
+		}
+		spans = ring.ByTrace(traceID)
+	case r.URL.Query().Get("cause") != "":
+		cause, err := strconv.ParseUint(r.URL.Query().Get("cause"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad cause", http.StatusBadRequest)
+			return
+		}
+		spans = ring.ByCause(cause)
+	default:
+		spans = ring.Last(n)
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, sp := range spans {
+			_ = enc.Encode(sp)
+		}
+		return
+	}
+	if spans == nil {
+		spans = []Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(spans)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.reg.Cluster()
+	if !ok {
+		http.Error(w, "no cluster aggregator registered", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = rep.WriteSpansJSONL(json.NewEncoder(w))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
 }
 
 // Listen binds the listener without serving yet, so the caller learns the

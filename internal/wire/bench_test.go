@@ -74,7 +74,7 @@ func BenchmarkDispatchTCP(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := exec.Exec(id.Add(1), 0, codec, sealed)
+		res, _, err := exec.Exec(noTrace, id.Add(1), 0, codec, sealed)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/grid"
@@ -23,6 +24,12 @@ type Factory struct {
 	timeout time.Duration
 	faults  *linkFaults
 	stats   Stats
+
+	// controls are the long-lived per-address scrape sessions: the
+	// /cluster aggregation rides the wire protocol (a control frame over a
+	// cached session), not an HTTP fan-out. Redialed lazily on failure.
+	mu       sync.Mutex
+	controls map[string]*Session
 }
 
 // NewFactory builds a factory over the link's pre-shared key. timeout
@@ -87,6 +94,59 @@ func NodeFromHello(addr string, h Hello) *grid.Node {
 	node := grid.NewNode(h.Name, grid.Domain{Name: h.Domain, Trusted: h.Trusted}, cores, speed)
 	node.Labels = labels
 	return node
+}
+
+// Scrape fetches the workerd node report from addr over the factory's
+// cached control session for that address, dialing one on first use (or
+// after a failure). The request and reply are control frames sealed under
+// the link's master codec. Control sessions deliberately do not register
+// on the chaos fault surface: the observability plane reports on faults,
+// it is not a victim of the link-drop actuator.
+func (f *Factory) Scrape(addr string) ([]byte, error) {
+	f.mu.Lock()
+	s := f.controls[addr]
+	f.mu.Unlock()
+	if s == nil || s.closed.Load() {
+		fresh, err := dialSession(addr, f.master, f.timeout, nil, &f.stats)
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		if f.controls == nil {
+			f.controls = map[string]*Session{}
+		}
+		if old := f.controls[addr]; old != nil && old != s {
+			// Another scrape redialed concurrently; keep its session.
+			f.mu.Unlock()
+			_ = fresh.Close()
+			return f.Scrape(addr)
+		}
+		f.controls[addr] = fresh
+		f.mu.Unlock()
+		s = fresh
+	}
+	report, err := s.ScrapeStats()
+	if err != nil {
+		_ = s.Close()
+		f.mu.Lock()
+		if f.controls[addr] == s {
+			delete(f.controls, addr)
+		}
+		f.mu.Unlock()
+		return nil, err
+	}
+	return report, nil
+}
+
+// CloseControls releases every cached scrape session.
+func (f *Factory) CloseControls() {
+	f.mu.Lock()
+	controls := f.controls
+	f.controls = nil
+	f.mu.Unlock()
+	for _, s := range controls {
+		_ = s.Close()
+	}
 }
 
 // InjectDrop severs every live session on the link and returns how many

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/security"
 	"repro/internal/skel"
+	"repro/internal/telemetry"
 )
 
 // WorkerFn transforms one task payload on the workerd side. Coordinator
@@ -34,6 +35,19 @@ type ServerConfig struct {
 	TimeScale float64
 	// Log receives connection-level events. Nil discards them.
 	Log *log.Logger
+	// Instruments receives per-frame latency observations, exactly like a
+	// farm's: Dispatch covers the whole handling of one exec frame (decode,
+	// sleep, function, seal, reply), Seal isolates the result encode.
+	// Optional; nil costs one branch per frame.
+	Instruments *skel.FarmInstruments
+	// Tracer records workerd-side exec spans for sampled envelopes (the
+	// trace context arrives in the exec frame or batch blob; the sampling
+	// decision was the coordinator's). Optional.
+	Tracer *telemetry.TaskTracer
+	// Stats, when set, answers observability scrape frames (0x06) with a
+	// node report — typically a telemetry.NodeReport in JSON. The reply is
+	// sealed under the link's master codec. Nil refuses scrapes.
+	Stats func() []byte
 }
 
 // Server is the workerd side of the transport: it accepts framed
@@ -207,6 +221,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			keyring[epoch] = codec
 		case frameExecBatch:
+			frameStart := time.Now()
 			epoch, batchID, sealed, err := parseExecBatch(body)
 			if err != nil {
 				s.rejected.Add(1)
@@ -215,24 +230,33 @@ func (s *Server) serveConn(conn net.Conn) {
 			codec, ok := keyring[epoch]
 			if !ok {
 				s.rejected.Add(1)
-				s.reply(conn, batchID, resultErr, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
+				s.reply(conn, batchID, resultErr, 0, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
 				continue
 			}
 			blob, err := codec.Decode(sealed)
 			if err != nil {
 				s.rejected.Add(1)
-				s.reply(conn, batchID, resultErr, []byte("batch did not authenticate"))
+				s.reply(conn, batchID, resultErr, 0, []byte("batch did not authenticate"))
 				continue
 			}
-			entries, err := skel.ParseBatchBlob(blob)
+			tc, entries, err := skel.ParseBatchBlob(blob)
 			if err != nil {
 				// Authenticated but malformed: refuse the whole batch (the
 				// member boundaries cannot be trusted), same failure class
 				// as a short exec frame.
 				s.rejected.Add(1)
-				s.reply(conn, batchID, resultErr, []byte("malformed batch blob"))
+				s.reply(conn, batchID, resultErr, 0, []byte("malformed batch blob"))
 				continue
 			}
+			var sp *telemetry.Span
+			if tc.Sampled && s.cfg.Tracer != nil && len(entries) > 0 {
+				sp = s.cfg.Tracer.StartRemote(tc, entries[0].ID)
+				sp.Batch = len(entries)
+				sp.Node = s.cfg.Hello.Name
+				sp.Remote = true
+				sp.Mark(telemetry.StageReseal) // request decode + blob parse
+			}
+			execStart := time.Now()
 			results := make([]skel.BatchEntry, len(entries))
 			for i, e := range entries {
 				if scale := s.cfg.TimeScale; scale > 0 && e.Work > 0 {
@@ -244,17 +268,33 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				results[i] = skel.BatchEntry{ID: e.ID, Payload: payload}
 			}
+			execNanos := int64(time.Since(execStart))
+			if sp != nil {
+				sp.Mark(telemetry.StageExec)
+			}
+			sealStart := time.Now()
 			resealed, err := codec.Encode(skel.AppendBatchResult(nil, results))
+			if ins := s.cfg.Instruments; ins != nil {
+				ins.Seal.ObserveDuration(time.Since(sealStart))
+			}
+			if sp != nil {
+				sp.Mark(telemetry.StageSeal)
+				s.cfg.Tracer.Publish(sp)
+			}
 			if err != nil {
-				s.reply(conn, batchID, resultErr, []byte("result seal failed"))
+				s.reply(conn, batchID, resultErr, 0, []byte("result seal failed"))
 				continue
 			}
 			s.served.Add(uint64(len(entries)))
-			if !s.reply(conn, batchID, resultOK, resealed) {
+			if ins := s.cfg.Instruments; ins != nil {
+				ins.Dispatch.ObserveDuration(time.Since(frameStart))
+			}
+			if !s.reply(conn, batchID, resultOK, execNanos, resealed) {
 				return
 			}
 		case frameExec:
-			epoch, taskID, workNanos, sealed, err := parseExec(body)
+			frameStart := time.Now()
+			epoch, taskID, workNanos, tc, sealed, err := parseExec(body)
 			if err != nil {
 				s.rejected.Add(1)
 				return
@@ -262,8 +302,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			codec, ok := keyring[epoch]
 			if !ok {
 				s.rejected.Add(1)
-				s.reply(conn, taskID, resultErr, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
+				s.reply(conn, taskID, resultErr, 0, fmt.Appendf(nil, "unknown binding epoch %d", epoch))
 				continue
+			}
+			var sp *telemetry.Span
+			if tc.Sampled && s.cfg.Tracer != nil {
+				sp = s.cfg.Tracer.StartRemote(tc, taskID)
+				sp.Node = s.cfg.Hello.Name
+				sp.Remote = true
 			}
 			payload, err := codec.Decode(sealed)
 			if err != nil {
@@ -271,22 +317,66 @@ func (s *Server) serveConn(conn net.Conn) {
 				// epoch: refuse it, never execute it. The error text names
 				// the failure only — payload bytes must not echo back.
 				s.rejected.Add(1)
-				s.reply(conn, taskID, resultErr, []byte("payload did not authenticate"))
+				if sp != nil {
+					sp.Fault = "auth"
+					s.cfg.Tracer.Publish(sp)
+				}
+				s.reply(conn, taskID, resultErr, 0, []byte("payload did not authenticate"))
 				continue
 			}
+			if sp != nil {
+				sp.Mark(telemetry.StageReseal) // request decode
+			}
+			execStart := time.Now()
 			if scale := s.cfg.TimeScale; scale > 0 && workNanos > 0 {
 				time.Sleep(time.Duration(float64(workNanos) / scale))
 			}
 			if s.cfg.Fn != nil {
 				payload = s.cfg.Fn(payload)
 			}
+			execNanos := int64(time.Since(execStart))
+			if sp != nil {
+				sp.Mark(telemetry.StageExec)
+			}
+			sealStart := time.Now()
 			resealed, err := codec.Encode(payload)
+			if ins := s.cfg.Instruments; ins != nil {
+				ins.Seal.ObserveDuration(time.Since(sealStart))
+			}
+			if sp != nil {
+				sp.Mark(telemetry.StageSeal)
+				s.cfg.Tracer.Publish(sp)
+			}
 			if err != nil {
-				s.reply(conn, taskID, resultErr, []byte("result seal failed"))
+				s.reply(conn, taskID, resultErr, 0, []byte("result seal failed"))
 				continue
 			}
 			s.served.Add(1)
-			if !s.reply(conn, taskID, resultOK, resealed) {
+			if ins := s.cfg.Instruments; ins != nil {
+				ins.Dispatch.ObserveDuration(time.Since(frameStart))
+			}
+			if !s.reply(conn, taskID, resultOK, execNanos, resealed) {
+				return
+			}
+		case frameStats:
+			// Observability scrape: the request must authenticate under the
+			// link's master codec (fail-secure, like rekey), and the node
+			// report goes back sealed the same way.
+			if _, err := s.master.Decode(body); err != nil {
+				s.rejected.Add(1)
+				s.logf("wire: %s: stats request did not authenticate: %v", conn.RemoteAddr(), err)
+				return
+			}
+			report := []byte("{}")
+			if s.cfg.Stats != nil {
+				report = s.cfg.Stats()
+			}
+			sealed, err := s.master.Encode(report)
+			if err != nil {
+				s.logf("wire: sealing stats reply: %v", err)
+				return
+			}
+			if err := writeFrame(conn, frameStatsReply, sealed); err != nil {
 				return
 			}
 		default:
@@ -298,6 +388,6 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // reply writes one result frame; false means the connection is dead.
-func (s *Server) reply(conn net.Conn, taskID uint64, status byte, rest []byte) bool {
-	return writeFrame(conn, frameResult, resultBody(taskID, status, rest)) == nil
+func (s *Server) reply(conn net.Conn, taskID uint64, status byte, execNanos int64, rest []byte) bool {
+	return writeFrame(conn, frameResult, resultBody(taskID, status, execNanos, rest)) == nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // ErrSessionClosed is returned by Exec and Rekey once the session's
@@ -141,14 +142,17 @@ func (s *Session) Rekey(c security.Codec) (security.Codec, error) {
 // this session's own binding, so a moved task still crosses the wire under
 // a key its destination knows, at the same security level the farm
 // installed here.
-func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, sealed []byte) ([]byte, error) {
+// The trace context rides in the exec frame; the workerd's reply reports
+// its own measured exec time, which the farm joins with its local round
+// trip by interval arithmetic to separate wire and exec stages.
+func (s *Session) Exec(tc telemetry.TraceContext, taskID uint64, work time.Duration, codec security.Codec, sealed []byte) ([]byte, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
-		return nil, ErrSessionClosed
+		return nil, 0, ErrSessionClosed
 	}
 	if err := s.faults.apply(s); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	epoch := uint32(0)
 	var foreign security.Codec
@@ -161,41 +165,41 @@ func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, 
 		foreign = codec
 		plain, err := codec.Decode(sealed)
 		if err != nil {
-			return nil, fmt.Errorf("wire: reseal for session: %w", err)
+			return nil, 0, fmt.Errorf("wire: reseal for session: %w", err)
 		}
 		sealed, err = s.binding.Encode(plain)
 		if err != nil {
-			return nil, fmt.Errorf("wire: reseal for session: %w", err)
+			return nil, 0, fmt.Errorf("wire: reseal for session: %w", err)
 		}
 		epoch = s.epoch
 	}
-	if err := s.writeLocked(frameExec, execBody(epoch, taskID, int64(work), sealed)); err != nil {
-		return nil, err
+	if err := s.writeLocked(frameExec, execBody(epoch, taskID, int64(work), tc, sealed)); err != nil {
+		return nil, 0, err
 	}
 	typ, body, err := readFrame(s.conn)
 	if err != nil {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: reading result: %w", err)
+		return nil, 0, fmt.Errorf("wire: reading result: %w", err)
 	}
 	if typ != frameResult {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting result", typ)
+		return nil, 0, fmt.Errorf("wire: unexpected frame %#x awaiting result", typ)
 	}
-	gotID, status, rest, err := parseResult(body)
+	gotID, status, execNanos, rest, err := parseResult(body)
 	if err != nil {
 		s.closeLocked()
-		return nil, err
+		return nil, 0, err
 	}
 	if gotID != taskID {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: result for task %d while awaiting %d", gotID, taskID)
+		return nil, 0, fmt.Errorf("wire: result for task %d while awaiting %d", gotID, taskID)
 	}
 	if status != resultOK {
 		// A remote rejection (unknown epoch, unauthenticated payload) is a
 		// link-level fault: fail the session so the farm crashes the worker
 		// and the stranded envelopes are recovered.
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: remote: %s", rest)
+		return nil, 0, fmt.Errorf("wire: remote: %s", rest)
 	}
 	if foreign != nil {
 		// Translate the reply from this session's binding back to the
@@ -204,14 +208,14 @@ func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, 
 		plain, err := s.binding.Decode(rest)
 		if err != nil {
 			s.closeLocked()
-			return nil, fmt.Errorf("wire: result reseal: %w", err)
+			return nil, 0, fmt.Errorf("wire: result reseal: %w", err)
 		}
 		if rest, err = foreign.Encode(plain); err != nil {
-			return nil, fmt.Errorf("wire: result reseal: %w", err)
+			return nil, 0, fmt.Errorf("wire: result reseal: %w", err)
 		}
 	}
 	s.stats.execs.Add(1)
-	return rest, nil
+	return rest, execNanos, nil
 }
 
 // ExecBatch implements skel.BatchExecutor: one sealed multi-task blob out
@@ -221,14 +225,16 @@ func (s *Session) Exec(taskID uint64, work time.Duration, codec security.Codec, 
 // under another binding (a batch that survived an actuator intact) is
 // opened locally and re-sealed under this session's binding, and the reply
 // is translated back.
-func (s *Session) ExecBatch(codec security.Codec, sealed []byte) ([]byte, error) {
+// A batch's trace context travels inside the sealed blob (skel's batch
+// layout), so the frame itself needs none.
+func (s *Session) ExecBatch(codec security.Codec, sealed []byte) ([]byte, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
-		return nil, ErrSessionClosed
+		return nil, 0, ErrSessionClosed
 	}
 	if err := s.faults.apply(s); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	epoch := uint32(0)
 	var foreign security.Codec
@@ -238,52 +244,88 @@ func (s *Session) ExecBatch(codec security.Codec, sealed []byte) ([]byte, error)
 		foreign = codec
 		plain, err := codec.Decode(sealed)
 		if err != nil {
-			return nil, fmt.Errorf("wire: reseal batch for session: %w", err)
+			return nil, 0, fmt.Errorf("wire: reseal batch for session: %w", err)
 		}
 		sealed, err = s.binding.Encode(plain)
 		if err != nil {
-			return nil, fmt.Errorf("wire: reseal batch for session: %w", err)
+			return nil, 0, fmt.Errorf("wire: reseal batch for session: %w", err)
 		}
 		epoch = s.epoch
 	}
 	batchID := s.batchSeq.Add(1)
 	if err := s.writeLocked(frameExecBatch, execBatchBody(epoch, batchID, sealed)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	typ, body, err := readFrame(s.conn)
 	if err != nil {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: reading batch result: %w", err)
+		return nil, 0, fmt.Errorf("wire: reading batch result: %w", err)
 	}
 	if typ != frameResult {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting batch result", typ)
+		return nil, 0, fmt.Errorf("wire: unexpected frame %#x awaiting batch result", typ)
 	}
-	gotID, status, rest, err := parseResult(body)
+	gotID, status, execNanos, rest, err := parseResult(body)
 	if err != nil {
 		s.closeLocked()
-		return nil, err
+		return nil, 0, err
 	}
 	if gotID != batchID {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: result for batch %d while awaiting %d", gotID, batchID)
+		return nil, 0, fmt.Errorf("wire: result for batch %d while awaiting %d", gotID, batchID)
 	}
 	if status != resultOK {
 		s.closeLocked()
-		return nil, fmt.Errorf("wire: remote: %s", rest)
+		return nil, 0, fmt.Errorf("wire: remote: %s", rest)
 	}
 	if foreign != nil {
 		plain, err := s.binding.Decode(rest)
 		if err != nil {
 			s.closeLocked()
-			return nil, fmt.Errorf("wire: batch result reseal: %w", err)
+			return nil, 0, fmt.Errorf("wire: batch result reseal: %w", err)
 		}
 		if rest, err = foreign.Encode(plain); err != nil {
-			return nil, fmt.Errorf("wire: batch result reseal: %w", err)
+			return nil, 0, fmt.Errorf("wire: batch result reseal: %w", err)
 		}
 	}
 	s.stats.execs.Add(1)
-	return rest, nil
+	return rest, execNanos, nil
+}
+
+// ScrapeStats runs one observability scrape over this session: a stats
+// request sealed under the link's master codec (the scrape is a control
+// frame — a peer without the PSK can neither request nor read a node
+// report), answered by the workerd's sealed node report. The report bytes
+// are the workerd's own JSON (telemetry.NodeReport); the wire layer does
+// not interpret them.
+func (s *Session) ScrapeStats() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	req, err := s.master.Encode([]byte("stats"))
+	if err != nil {
+		return nil, fmt.Errorf("wire: sealing stats request: %w", err)
+	}
+	if err := s.writeLocked(frameStats, req); err != nil {
+		return nil, err
+	}
+	typ, body, err := readFrame(s.conn)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: reading stats reply: %w", err)
+	}
+	if typ != frameStatsReply {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting stats reply", typ)
+	}
+	plain, err := s.master.Decode(body)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: stats reply did not authenticate: %w", err)
+	}
+	return plain, nil
 }
 
 // writeLocked writes one frame; any error poisons the session. Callers

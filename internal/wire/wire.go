@@ -42,15 +42,18 @@ import (
 	"io"
 
 	"repro/internal/security"
+	"repro/internal/telemetry"
 )
 
 // Frame types of the protocol.
 const (
-	frameHello     byte = 0x01 // server→client node advertisement
-	frameRekey     byte = 0x02 // client→server binding codec install
-	frameExec      byte = 0x03 // client→server task envelope
-	frameResult    byte = 0x04 // server→client task result or error
-	frameExecBatch byte = 0x05 // client→server multi-task batch envelope
+	frameHello      byte = 0x01 // server→client node advertisement
+	frameRekey      byte = 0x02 // client→server binding codec install
+	frameExec       byte = 0x03 // client→server task envelope
+	frameResult     byte = 0x04 // server→client task result or error
+	frameExecBatch  byte = 0x05 // client→server multi-task batch envelope
+	frameStats      byte = 0x06 // client→server observability scrape request
+	frameStatsReply byte = 0x07 // server→client sealed node report
 )
 
 // maxFrame bounds a frame body so a corrupt or hostile length prefix
@@ -204,24 +207,32 @@ func transportable(c security.Codec) (name string, key []byte, err error) {
 }
 
 // execBody encodes an exec frame body:
-// uint32 epoch | uint64 taskID | int64 workNanos | sealed payload.
-func execBody(epoch uint32, taskID uint64, workNanos int64, sealed []byte) []byte {
-	body := make([]byte, 0, 20+len(sealed))
+// uint32 epoch | uint64 taskID | int64 workNanos | trace context | sealed
+// payload. The 17-byte trace context (telemetry.TraceContext) travels in
+// the frame, not the seal: it carries no payload data, and the workerd
+// needs it before any decode to know whether this exec joins a sampled
+// trace.
+func execBody(epoch uint32, taskID uint64, workNanos int64, tc telemetry.TraceContext, sealed []byte) []byte {
+	body := make([]byte, 0, 20+telemetry.TraceContextSize+len(sealed))
 	body = binary.BigEndian.AppendUint32(body, epoch)
 	body = binary.BigEndian.AppendUint64(body, taskID)
 	body = binary.BigEndian.AppendUint64(body, uint64(workNanos))
+	body = tc.AppendTo(body)
 	return append(body, sealed...)
 }
 
 // parseExec decodes an exec frame body.
-func parseExec(body []byte) (epoch uint32, taskID uint64, workNanos int64, sealed []byte, err error) {
-	if len(body) < 20 {
-		return 0, 0, 0, nil, errors.New("wire: short exec frame")
+func parseExec(body []byte) (epoch uint32, taskID uint64, workNanos int64, tc telemetry.TraceContext, sealed []byte, err error) {
+	if len(body) < 20+telemetry.TraceContextSize {
+		return 0, 0, 0, tc, nil, errors.New("wire: short exec frame")
 	}
 	epoch = binary.BigEndian.Uint32(body[:4])
 	taskID = binary.BigEndian.Uint64(body[4:12])
 	workNanos = int64(binary.BigEndian.Uint64(body[12:20]))
-	return epoch, taskID, workNanos, body[20:], nil
+	if tc, err = telemetry.ParseTraceContext(body[20:]); err != nil {
+		return 0, 0, 0, tc, nil, err
+	}
+	return epoch, taskID, workNanos, tc, body[20+telemetry.TraceContextSize:], nil
 }
 
 // execBatchBody encodes an exec-batch frame body:
@@ -253,20 +264,29 @@ const (
 )
 
 // resultBody encodes a result frame body:
-// uint64 taskID | status | sealed result (OK) or error text (Err).
-func resultBody(taskID uint64, status byte, rest []byte) []byte {
-	body := make([]byte, 0, 9+len(rest))
+// uint64 taskID | status | int64 execNanos | sealed result (OK) or error
+// text (Err). execNanos is the server-measured execution time of the frame
+// (modelled sleep plus worker function), reported in the server's own
+// clock: the coordinator subtracts it from its locally measured round trip
+// to split wire time from exec time by interval arithmetic — the two
+// clocks are never compared directly, so skew cannot corrupt the split.
+func resultBody(taskID uint64, status byte, execNanos int64, rest []byte) []byte {
+	body := make([]byte, 0, 17+len(rest))
 	body = binary.BigEndian.AppendUint64(body, taskID)
 	body = append(body, status)
+	body = binary.BigEndian.AppendUint64(body, uint64(execNanos))
 	return append(body, rest...)
 }
 
 // parseResult decodes a result frame body.
-func parseResult(body []byte) (taskID uint64, status byte, rest []byte, err error) {
-	if len(body) < 9 {
-		return 0, 0, nil, errors.New("wire: short result frame")
+func parseResult(body []byte) (taskID uint64, status byte, execNanos int64, rest []byte, err error) {
+	if len(body) < 17 {
+		return 0, 0, 0, nil, errors.New("wire: short result frame")
 	}
-	return binary.BigEndian.Uint64(body[:8]), body[8], body[9:], nil
+	taskID = binary.BigEndian.Uint64(body[:8])
+	status = body[8]
+	execNanos = int64(binary.BigEndian.Uint64(body[9:17]))
+	return taskID, status, execNanos, body[17:], nil
 }
 
 // DerivePSK stretches a shared secret string into the 32-byte master key

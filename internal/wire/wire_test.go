@@ -14,7 +14,11 @@ import (
 	"repro/internal/security"
 	"repro/internal/skel"
 	"repro/internal/skel/skeltest"
+	"repro/internal/telemetry"
 )
+
+// noTrace is the zero trace context: the unsampled common case on the wire.
+var noTrace telemetry.TraceContext
 
 func testPSK() []byte { return bytes.Repeat([]byte{0x42}, 32) }
 
@@ -82,7 +86,7 @@ func TestSessionRekeyAndExec(t *testing.T) {
 	// Epoch 0 is Plain on both ends: an exec before any rekey works.
 	plainCodec := security.Plain{}
 	sealed, _ := plainCodec.Encode([]byte("hello"))
-	res, err := exec.Exec(1, 0, plainCodec, sealed)
+	res, _, err := exec.Exec(noTrace, 1, 0, plainCodec, sealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestSessionRekeyAndExec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = exec.Exec(2, 0, bound, sealed)
+	res, _, err = exec.Exec(noTrace, 2, 0, bound, sealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +124,7 @@ func TestSessionRekeyAndExec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = exec.Exec(3, 0, other, foreign)
+	res, _, err = exec.Exec(noTrace, 3, 0, other, foreign)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,13 +399,13 @@ func TestInjectedLinkDropCrashesWorker(t *testing.T) {
 	defer exec.Close()
 	plain := security.Plain{}
 	sealed, _ := plain.Encode([]byte("x"))
-	if _, err := exec.Exec(1, 0, plain, sealed); err != nil {
+	if _, _, err := exec.Exec(noTrace, 1, 0, plain, sealed); err != nil {
 		t.Fatal(err)
 	}
 	if n := factory.InjectDrop(); n != 1 {
 		t.Fatalf("dropped %d sessions, want 1", n)
 	}
-	if _, err := exec.Exec(2, 0, plain, sealed); err == nil {
+	if _, _, err := exec.Exec(noTrace, 2, 0, plain, sealed); err == nil {
 		t.Fatal("exec on a dropped link succeeded")
 	}
 	// A fresh session dials fine: reconnection is recovery recruitment.
@@ -410,7 +414,7 @@ func TestInjectedLinkDropCrashesWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer exec2.Close()
-	if _, err := exec2.Exec(3, 0, plain, sealed); err != nil {
+	if _, _, err := exec2.Exec(noTrace, 3, 0, plain, sealed); err != nil {
 		t.Fatalf("post-drop redial: %v", err)
 	}
 	if factory.Snapshot().Drops != 1 {
@@ -420,9 +424,11 @@ func TestInjectedLinkDropCrashesWorker(t *testing.T) {
 
 // packTestBatch hand-builds a batch blob byte for byte — independent of the
 // skel packer — so this test pins the wire-visible batch format:
-// uint32 count; count × { uint64 id | uint64 work(ns) | uint32 len | payload }.
+// 17-byte trace context; uint32 count;
+// count × { uint64 id | uint64 work(ns) | uint32 len | payload }.
 func packTestBatch(entries []skel.BatchEntry) []byte {
-	blob := binary.BigEndian.AppendUint32(nil, uint32(len(entries)))
+	blob := noTrace.AppendTo(nil)
+	blob = binary.BigEndian.AppendUint32(blob, uint32(len(entries)))
 	for _, e := range entries {
 		blob = binary.BigEndian.AppendUint64(blob, e.ID)
 		blob = binary.BigEndian.AppendUint64(blob, uint64(e.Work))
@@ -500,7 +506,7 @@ func TestSessionExecBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := batcher.ExecBatch(bound, sealed)
+	res, _, err := batcher.ExecBatch(bound, sealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -531,7 +537,7 @@ func TestSessionExecBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = batcher.ExecBatch(other, fsealed)
+	res, _, err = batcher.ExecBatch(other, fsealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,11 +552,11 @@ func TestSessionExecBatch(t *testing.T) {
 	// Authenticated garbage: the blob seals fine but is structurally not a
 	// batch, so the server must refuse the whole frame — member boundaries
 	// it cannot trust must never execute.
-	badSealed, err := bound.Encode([]byte{0x00, 0x00, 0x00, 0x09})
+	badSealed, err := bound.Encode(append(noTrace.AppendTo(nil), 0x00, 0x00, 0x00, 0x09))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := batcher.ExecBatch(bound, badSealed); err == nil {
+	if _, _, err := batcher.ExecBatch(bound, badSealed); err == nil {
 		t.Fatal("malformed batch blob executed")
 	}
 	if srv.Rejected() == 0 {
