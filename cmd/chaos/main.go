@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	chaos [-seed N] [-storm N] [-scale N] [-remote] [-batch N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
+//	chaos [-seed N] [-storm N] [-scale N] [-remote] [-mgrlink] [-batch N] [-trace FILE] [-timeline] [-telemetry ADDR] [-timeout D] [-golden FILE] [-write-golden FILE]
 //
 // -golden FILE compares the run's replay-identity artifact (the fault
 // schedule plus the canonical invariant summary) byte for byte against a
@@ -24,6 +24,14 @@
 // to the remote-link taxonomy (connection drops, latency injection,
 // partitions on the framed TCP links). Remote goldens are distinct files:
 // the extended taxonomy changes the seeded plan.
+//
+// -mgrlink attaches a remote management plane: a sentinel child manager
+// reports to the root manager over a manager.RemoteLink and the fault plan
+// extends to the manager-link taxonomy (partitions and dropped exchanges
+// on the parent/child channel). Two extra invariants are checked: no
+// violation raised during a partition goes permanently unnoticed, and each
+// one reaches the parent exactly once. Manager-link goldens are distinct
+// files for the same reason remote ones are.
 //
 // Exit status 1 on error, 2 when any soak invariant is violated, 3 when
 // the run diverges from the golden file.
@@ -44,6 +52,7 @@ func main() {
 	storms := flag.Int("storm", 3, "number of fault storms")
 	scale := flag.Float64("scale", 200, "time scale: how many modelled seconds per wall-clock second")
 	remote := flag.Bool("remote", false, "soak the cross-process dispatch plane: localhost workerd servers + remote-link faults")
+	mgrlink := flag.Bool("mgrlink", false, "soak the remote management plane: sentinel child manager over a RemoteLink + manager-link faults")
 	batch := flag.Int("batch", 0, "DispatchBatch: >1 soaks the batched dispatch hot path (batched goldens are distinct files)")
 	traceOut := flag.String("trace", "", "write the MAPE decision trace as JSONL to this file")
 	timeline := flag.Bool("timeline", false, "also dump the full autonomic event timeline")
@@ -58,7 +67,7 @@ func main() {
 
 	res, err := experiments.ChaosSoak(ctx,
 		experiments.Options{Scale: *scale, Out: os.Stdout, Telemetry: *telemetry},
-		experiments.ChaosOptions{Seed: *seed, Storms: *storms, Remote: *remote, Batch: *batch})
+		experiments.ChaosOptions{Seed: *seed, Storms: *storms, Remote: *remote, Batch: *batch, ManagerLinks: *mgrlink})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)

@@ -15,9 +15,16 @@
 //	coordinator -workers HOST:PORT[,HOST:PORT...] -psk SECRET
 //	            [-tasks N] [-scale N] [-local-cores N]
 //	            [-labels k=v,...] [-trusted-only] [-local]
-//	            [-trace FILE] [-require-remote]
+//	            [-trace FILE] [-require-remote] [-mgmt ADDR]
 //	            [-trace-sample N] [-trace-seed N] [-spans FILE]
 //	            [-timeout D] [-telemetry ADDR]
+//
+// -mgmt ADDR additionally hosts the remote management plane: a parent
+// endpoint over the farm's root manager served on ADDR behind the same
+// sealed framed protocol. Workerds started with -parent dial it to report
+// contract violations (exactly-once, deduplicated by causality id across
+// partitions), pick up their P_spl sub-contract, and run catch-up MAPE
+// cycles after a partition heals.
 //
 // -trace-sample N turns on cluster-wide task tracing at one span per N
 // tasks (1 = every task): sampled tasks carry their trace context across
@@ -55,6 +62,7 @@ func main() {
 	traceSample := flag.Uint64("trace-sample", 0, "sample one task span per N tasks (0 disables task tracing, 1 traces every task)")
 	traceSeed := flag.Uint64("trace-seed", 0, "seed of the deterministic span sampler")
 	spansOut := flag.String("spans", "", "write the cluster-wide task spans as JSONL to this file (needs -trace-sample)")
+	mgmt := flag.String("mgmt", "", "host the remote management plane on this address (\":0\" for ephemeral): workerds started with -parent report violations and receive sub-contracts here")
 	requireRemote := flag.Bool("require-remote", false, "exit non-zero unless at least one task executed remotely")
 	timeout := flags.RegisterTimeout()
 	telemetryAddr := flags.RegisterTelemetry()
@@ -93,6 +101,7 @@ func main() {
 			},
 			TraceSample: *traceSample,
 			TraceSeed:   *traceSeed,
+			MgmtListen:  *mgmt,
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)

@@ -14,6 +14,16 @@
 //	workerd -psk SECRET [-listen ADDR] [-name N] [-domain D] [-trusted]
 //	        [-cores N] [-speed F] [-labels k=v,k=v] [-scale N]
 //	        [-timeout D] [-telemetry ADDR] [-trace-spans=BOOL]
+//	        [-parent ADDR] [-catchup skip|latest|all]
+//
+// -parent ADDR joins the remote management plane: a local manager
+// monitoring this workerd's served-exec rate reports violations to the
+// coordinator's -mgmt endpoint over a lease-based RemoteLink (sealed
+// management frames on the same wire protocol). While the coordinator is
+// unreachable the link degrades up → suspect → partitioned, violations
+// park in a bounded buffer, and after the partition heals they flush
+// exactly once; -catchup picks how many blind MAPE cycles to make up
+// (skip none, latest one, all of them bounded).
 //
 // The daemon runs until SIGINT/SIGTERM (graceful: in-flight execs finish,
 // listener closes) or until -timeout expires. -telemetry serves /metrics
@@ -31,11 +41,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/cmd/internal/flags"
+	"repro/internal/contract"
+	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/simclock"
 	"repro/internal/skel"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -50,6 +66,8 @@ func main() {
 	labels := flag.String("labels", "", "comma-separated k=v placement labels advertised in the handshake")
 	scale := flag.Float64("scale", 200, "time scale dividing the modelled work carried by exec frames")
 	traceSpans := flag.Bool("trace-spans", true, "record a workerd-side span for exec frames the coordinator sampled")
+	parent := flag.String("parent", "", "coordinator management-plane address (-mgmt): run a local manager reporting over a RemoteLink")
+	catchup := flag.String("catchup", "latest", "downtime catch-up policy after a partition heals: skip, latest or all")
 	timeout := flags.RegisterTimeout()
 	telemetryAddr := flags.RegisterTelemetry()
 	flag.Parse()
@@ -112,6 +130,57 @@ func main() {
 	ctx, cancel := flags.Context(*timeout)
 	defer cancel()
 
+	// Remote management plane: a local manager monitoring this workerd's
+	// served-exec rate reports to the coordinator's parent endpoint over a
+	// RemoteLink. Violations raised while the coordinator is unreachable
+	// park in the bounded buffer and flush exactly once after reattach;
+	// the -catchup policy sizes the extra MAPE cycles run to make up for
+	// the blind window. A freshly restarted workerd sees the parent's old
+	// acknowledgement watermark and runs catch-up on its first attach.
+	var mgmtLink *manager.RemoteLink
+	var mgmtMgr *manager.Manager
+	if *parent != "" {
+		pol, err := manager.ParseCatchUpPolicy(*catchup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workerd:", err)
+			os.Exit(1)
+		}
+		mgmtLog := trace.NewLog()
+		mgmtMgr, err = manager.New(manager.Config{
+			Name: "AM_" + *name, Concern: "performance",
+			Clock: &simclock.Real{}, Period: time.Second,
+			Controller: &servedRate{srv: srv, clock: &simclock.Real{}},
+			Log:        mgmtLog,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workerd:", err)
+			os.Exit(1)
+		}
+		fac, err := wire.NewFactory(wire.DerivePSK(*psk), 10*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workerd:", err)
+			os.Exit(1)
+		}
+		defer fac.CloseControls()
+		addr := *parent
+		mgmtLink, err = manager.NewRemoteLink(manager.RemoteLinkConfig{
+			Child:  mgmtMgr,
+			Policy: pol,
+			Transport: func(req []byte) ([]byte, error) {
+				return fac.Mgmt(addr, req)
+			},
+			Heartbeat: 500 * time.Millisecond, Lease: 2 * time.Second,
+			Clock: &simclock.Real{}, Log: mgmtLog,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workerd:", err)
+			os.Exit(1)
+		}
+		go func() { _ = mgmtMgr.Run(ctx) }()
+		go func() { _ = mgmtLink.Run(ctx) }()
+		fmt.Printf("workerd %s: management link to %s (catch-up policy %s)\n", *name, addr, pol)
+	}
+
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
 		reg.AddCounter("repro_workerd_served_total",
@@ -126,6 +195,22 @@ func main() {
 		reg.AddHistogram("repro_farm_seal_seconds",
 			"Result encode share of the frame path.", nil, farmIns.Seal)
 		reg.SetTaskTracer(tracer) // no-op when -trace-spans=false
+		if mgmtLink != nil {
+			l, m := mgmtLink, mgmtMgr
+			lbl := telemetry.Labels{"manager": m.Name()}
+			reg.AddGauge("repro_manager_link_state",
+				"Manager-link failure-detection state: 0 up, 1 suspect, 2 partitioned, 3 reattached.",
+				lbl, func() float64 { return float64(l.State()) })
+			reg.AddCounter("repro_manager_link_reattach_total",
+				"Times the manager link re-established after a partition.",
+				lbl, func() float64 { return float64(l.Reattaches()) })
+			reg.AddCounter("repro_manager_catchup_cycles_total",
+				"Downtime catch-up MAPE cycles run after link reattach.",
+				lbl, func() float64 { return float64(m.CatchUpCycles()) })
+			reg.AddGauge("repro_manager_buffered_violations",
+				"Violations parked in the bounded buffer while the parent is unreachable.",
+				lbl, func() float64 { return float64(m.BufferedViolations()) })
+		}
 		tsrv := telemetry.NewServer(*telemetryAddr, reg)
 		if err := tsrv.Listen(); err != nil {
 			fmt.Fprintln(os.Stderr, "workerd:", err)
@@ -139,4 +224,36 @@ func main() {
 	srv.Close()
 	fmt.Printf("workerd %s: served %d execs, rejected %d peers\n",
 		*name, srv.Served(), srv.Rejected())
+	if mgmtLink != nil {
+		fmt.Printf("workerd %s: mgmt link state=%s reattaches=%d catch-up cycles=%d buffered=%d\n",
+			*name, mgmtLink.State(), mgmtLink.Reattaches(),
+			mgmtMgr.CatchUpCycles(), mgmtMgr.BufferedViolations())
+	}
 }
+
+// servedRate adapts the wire server's served-exec counter into the
+// contract snapshot a local manager monitors: throughput is the exec rate
+// since the previous MAPE cycle, in execs per wall-clock second.
+type servedRate struct {
+	srv   *wire.Server
+	clock simclock.Clock
+	last  uint64
+	lastT time.Time
+}
+
+func (c *servedRate) Beans() []rules.Bean { return nil }
+
+func (c *servedRate) Snapshot() contract.Snapshot {
+	now := c.clock.Now()
+	served := c.srv.Served()
+	var rate float64
+	if !c.lastT.IsZero() {
+		if dt := now.Sub(c.lastT).Seconds(); dt > 0 {
+			rate = float64(served-c.last) / dt
+		}
+	}
+	c.last, c.lastT = served, now
+	return contract.Snapshot{Throughput: rate}
+}
+
+func (c *servedRate) Execute(op string) (string, error) { return "", nil }

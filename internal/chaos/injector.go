@@ -63,6 +63,10 @@ type Targets struct {
 	// Remote binds the cross-process dispatch plane's link as a victim of
 	// the remote fault kinds. Nil (the loopback default) skips them.
 	Remote *RemoteTarget
+	// MgrLink binds a remote management link (a manager.RemoteLink in
+	// practice) as a victim of the manager-link fault kinds. Nil skips
+	// them.
+	MgrLink *MgrLinkTarget
 }
 
 // RemoteTarget binds a remote dispatch link (an internal/wire.Factory in
@@ -78,6 +82,19 @@ type RemoteTarget struct {
 	Delay func(latency, window time.Duration)
 	// Partition stalls all traffic for the window.
 	Partition func(window time.Duration)
+}
+
+// MgrLinkTarget binds a remote management link as a chaos victim.
+// Durations passed to Partition are WALL time, like RemoteTarget's: the
+// link's lease machinery runs on its own clock, so the injector converts
+// the plan's modelled windows before calling.
+type MgrLinkTarget struct {
+	Name string
+	// Partition makes every management exchange fail for the window; the
+	// child's lease expires and violations buffer until reattach.
+	Partition func(window time.Duration)
+	// Drop fails the next n exchanges outright (a cut connection).
+	Drop func(n int)
 }
 
 // ManagerTarget binds one management loop as a chaos victim. Crash is
@@ -438,6 +455,18 @@ func (in *Injector) apply(ev Event) bool {
 		}
 		in.t.Remote.Partition(in.real(ev.Dur))
 		in.record(ev, fmt.Sprintf("%s partitioned %v", in.t.Remote.Name, ev.Dur))
+	case ManagerPartition:
+		if in.t.MgrLink == nil || in.t.MgrLink.Partition == nil {
+			return false
+		}
+		in.t.MgrLink.Partition(in.real(ev.Dur))
+		in.record(ev, fmt.Sprintf("%s partitioned %v", in.t.MgrLink.Name, ev.Dur))
+	case ManagerLinkDrop:
+		if in.t.MgrLink == nil || in.t.MgrLink.Drop == nil {
+			return false
+		}
+		in.t.MgrLink.Drop(2)
+		in.record(ev, fmt.Sprintf("%s dropped 2 exchanges", in.t.MgrLink.Name))
 	default:
 		return false
 	}

@@ -75,6 +75,21 @@ const (
 	RemotePartition Kind = "remotePartition"
 )
 
+// The manager-link fault taxonomy: faults of the remote management plane
+// (internal/manager's RemoteLink), enabled per-plan by
+// StormConfig.IncludeManagerLinks for the same golden-stability reason as
+// the remote taxonomy.
+const (
+	// ManagerPartition makes every management exchange fail for Dur: the
+	// child's lease expires, the link declares a partition, violations
+	// buffer, and reattach triggers catch-up cycles.
+	ManagerPartition Kind = "managerPartition"
+	// ManagerLinkDrop fails the next few management exchanges outright —
+	// a cut connection rather than a window. Inside a live lease the link
+	// only degrades to suspect.
+	ManagerLinkDrop Kind = "managerLinkDrop"
+)
+
 // Kinds lists the base taxonomy in canonical order. Committed golden
 // schedules derive from this list: it must only ever grow behind a new
 // StormConfig flag (see RemoteKinds).
@@ -89,6 +104,11 @@ func Kinds() []Kind {
 // RemoteKinds lists the remote-link taxonomy in canonical order.
 func RemoteKinds() []Kind {
 	return []Kind{RemoteDrop, RemoteDelay, RemotePartition}
+}
+
+// ManagerLinkKinds lists the management-plane taxonomy in canonical order.
+func ManagerLinkKinds() []Kind {
+	return []Kind{ManagerPartition, ManagerLinkDrop}
 }
 
 // Event is one scheduled fault.
@@ -146,6 +166,11 @@ type StormConfig struct {
 	// bit-for-bit what they were before the remote taxonomy existed, which
 	// is what keeps the committed loopback goldens valid.
 	IncludeRemote bool
+	// IncludeManagerLinks extends the taxonomy with ManagerLinkKinds(),
+	// for runs with a remote management plane (a child manager linked to
+	// its parent over the wire). Same golden-stability contract as
+	// IncludeRemote.
+	IncludeManagerLinks bool
 }
 
 func (c StormConfig) normalized() StormConfig {
@@ -156,6 +181,9 @@ func (c StormConfig) normalized() StormConfig {
 		c.EventsPerStorm = len(Kinds())
 		if c.IncludeRemote {
 			c.EventsPerStorm += len(RemoteKinds())
+		}
+		if c.IncludeManagerLinks {
+			c.EventsPerStorm += len(ManagerLinkKinds())
 		}
 	}
 	if c.Warmup <= 0 {
@@ -184,6 +212,9 @@ func NewPlan(seed int64, cfg StormConfig) Plan {
 	kinds := Kinds()
 	if cfg.IncludeRemote {
 		kinds = append(kinds, RemoteKinds()...)
+	}
+	if cfg.IncludeManagerLinks {
+		kinds = append(kinds, ManagerLinkKinds()...)
 	}
 	p := Plan{Seed: seed}
 	base := cfg.Warmup
@@ -228,6 +259,10 @@ func NewPlan(seed int64, cfg StormConfig) Plan {
 				ev.Dur = millis(rng, 3000, 8000)
 			case RemotePartition:
 				ev.Dur = millis(rng, 1000, 4000)
+			case ManagerPartition:
+				ev.Dur = millis(rng, 2000, 6000)
+			case ManagerLinkDrop:
+				// instantaneous, no magnitude
 			}
 			events = append(events, ev)
 		}

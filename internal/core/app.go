@@ -97,6 +97,12 @@ type App struct {
 	taskTracer      *telemetry.TaskTracer
 	telemetryServer *telemetry.Server
 
+	// Remote management plane (see AttachManagerLink /
+	// AttachManagerEndpoint): child-side links reporting into this app and
+	// parent-side endpoints tracking remote children.
+	managerLinks     []*manager.RemoteLink
+	managerEndpoints []*manager.ParentEndpoint
+
 	// Self-healing plane (see supervision.go): per-loop supervisors for
 	// the concern managers and the shared restart-downtime histogram.
 	gmSuper, secSuper, faultSuper, migSuper *runtime.Supervisor

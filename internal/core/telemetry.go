@@ -29,11 +29,17 @@ type ManagerNode struct {
 	// Self-healing surfaces: supervised restarts of this manager's loop,
 	// the cause of the most recent one, and the child-side violation
 	// buffer state across parent outages.
-	Restarts           uint64         `json:"restarts,omitempty"`
-	LastRestartCause   string         `json:"last_restart_cause,omitempty"`
-	BufferedViolations int            `json:"buffered_violations,omitempty"`
-	ViolationDrops     uint64         `json:"violation_drops,omitempty"`
-	Children           []*ManagerNode `json:"children,omitempty"`
+	Restarts           uint64 `json:"restarts,omitempty"`
+	LastRestartCause   string `json:"last_restart_cause,omitempty"`
+	BufferedViolations int    `json:"buffered_violations,omitempty"`
+	ViolationDrops     uint64 `json:"violation_drops,omitempty"`
+	// Remote management plane surfaces: the link's failure-detection state
+	// (up/suspect/partitioned/reattached), reattach count and downtime
+	// catch-up cycles of a manager reporting over a RemoteLink.
+	Link           string         `json:"link,omitempty"`
+	LinkReattaches uint64         `json:"link_reattaches,omitempty"`
+	CatchUpCycles  uint64         `json:"catchup_cycles,omitempty"`
+	Children       []*ManagerNode `json:"children,omitempty"`
 }
 
 // ManagersView is the /managers payload: the performance hierarchy plus
@@ -42,6 +48,11 @@ type ManagersView struct {
 	App      string         `json:"app"`
 	Root     *ManagerNode   `json:"root,omitempty"`
 	Concerns []*ManagerNode `json:"concerns,omitempty"`
+	// Linked lists managers reporting to this app over a RemoteLink (the
+	// child side of the remote management plane); Remote lists the remote
+	// children a parent endpoint is tracking, with their lease state.
+	Linked []*ManagerNode `json:"linked,omitempty"`
+	Remote []*ManagerNode `json:"remote,omitempty"`
 }
 
 // Telemetry returns the application's instrument registry.
@@ -107,6 +118,10 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 			"Buffered child violations dropped oldest-first during a parent outage.",
 			telemetry.Labels{"manager": m.Name()},
 			func() float64 { return float64(mm.ViolationDrops()) })
+		reg.AddGauge("repro_manager_buffered_violations",
+			"Violations parked in the bounded buffer while the parent is unreachable.",
+			telemetry.Labels{"manager": m.Name()},
+			func() float64 { return float64(mm.BufferedViolations()) })
 	})
 	for name, sup := range a.Supervisors {
 		s := sup
@@ -207,6 +222,57 @@ func (a *App) initTelemetry(farmIns *skel.FarmInstruments) {
 	reg.SetManagersFunc(func() any { return a.managersView() })
 }
 
+// AttachManagerLink registers a child-side remote management link with
+// the introspection plane: /metrics gains the link's failure-detection
+// state, reattach and catch-up counters and the linked manager's
+// buffered-violation depth; /managers gains the manager under "linked".
+// Call after the builder assembled the app (the registry exists then).
+func (a *App) AttachManagerLink(l *manager.RemoteLink) {
+	a.managerLinks = append(a.managerLinks, l)
+	if a.telemetry == nil {
+		return
+	}
+	ll := l
+	name := l.Child().Name()
+	a.telemetry.AddGauge("repro_manager_link_state",
+		"Manager-link failure-detection state: 0 up, 1 suspect, 2 partitioned, 3 reattached.",
+		telemetry.Labels{"manager": name},
+		func() float64 { return float64(ll.State()) })
+	a.telemetry.AddCounter("repro_manager_link_reattach_total",
+		"Times the manager link re-established after a partition.",
+		telemetry.Labels{"manager": name},
+		func() float64 { return float64(ll.Reattaches()) })
+	a.telemetry.AddCounter("repro_manager_catchup_cycles_total",
+		"Downtime catch-up MAPE cycles run after link reattach.",
+		telemetry.Labels{"manager": name},
+		func() float64 { return float64(ll.Child().CatchUpCycles()) })
+	a.telemetry.AddGauge("repro_manager_buffered_violations",
+		"Violations parked in the bounded buffer while the parent is unreachable.",
+		telemetry.Labels{"manager": name},
+		func() float64 { return float64(ll.Child().BufferedViolations()) })
+}
+
+// AttachManagerEndpoint registers a parent-side management endpoint with
+// the introspection plane: /metrics gains the endpoint's delivery and
+// dedup counters, /managers lists its remote children with their lease
+// state.
+func (a *App) AttachManagerEndpoint(ep *manager.ParentEndpoint) {
+	a.managerEndpoints = append(a.managerEndpoints, ep)
+	if a.telemetry == nil {
+		return
+	}
+	e := ep
+	a.telemetry.AddCounter("repro_manager_link_delivered_total",
+		"Violations accepted from remote children over the management plane.", nil,
+		func() float64 { return float64(e.Delivered()) })
+	a.telemetry.AddCounter("repro_manager_link_duplicates_total",
+		"Duplicate violation reports suppressed by causality-id dedup.", nil,
+		func() float64 { return float64(e.Duplicates()) })
+	a.telemetry.AddGauge("repro_manager_link_children",
+		"Remote child managers the endpoint has leases for.", nil,
+		func() float64 { return float64(len(e.Children())) })
+}
+
 // eachManager visits every manager in the performance hierarchy.
 func (a *App) eachManager(fn func(*manager.Manager)) {
 	var walk func(m *manager.Manager)
@@ -268,6 +334,25 @@ func (a *App) managersView() *ManagersView {
 	if a.Migration != nil {
 		view.Concerns = append(view.Concerns,
 			node(a.Migration.Name(), "migration", "active", ""))
+	}
+	for _, l := range a.managerLinks {
+		c := l.Child()
+		n := node(c.Name(), c.Concern(), c.State().String(), c.Contract().Describe())
+		n.Link = l.State().String()
+		n.LinkReattaches = l.Reattaches()
+		n.CatchUpCycles = c.CatchUpCycles()
+		n.BufferedViolations = c.BufferedViolations()
+		n.ViolationDrops = c.ViolationDrops()
+		view.Linked = append(view.Linked, n)
+	}
+	for _, ep := range a.managerEndpoints {
+		for _, child := range ep.Children() {
+			state := "up"
+			if ep.ChildPartitioned(child) {
+				state = "partitioned"
+			}
+			view.Remote = append(view.Remote, &ManagerNode{Name: child, State: state, Link: state})
+		}
 	}
 	return view
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/rules"
 	"repro/internal/skel"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -47,6 +48,14 @@ type ChaosOptions struct {
 	// gains a batch marker so batched goldens never collide with unbatched
 	// ones.
 	Batch int
+	// ManagerLinks runs the soak with a remote management plane: a
+	// sentinel child manager whose contract is permanently violated
+	// reports to the root manager over a manager.RemoteLink, the fault
+	// plan extends to the manager-link taxonomy (partition, drop), and
+	// the soak invariants additionally assert that no violation raised
+	// during a partition goes permanently unnoticed (buffer drained,
+	// catch-up ran) and that each one reached the parent exactly once.
+	ManagerLinks bool
 }
 
 func (c ChaosOptions) normalized() ChaosOptions {
@@ -82,8 +91,12 @@ type ChaosSummary struct {
 	// on it marks the canonical header line, so a batched golden never
 	// collides with an unbatched one — and an unbatched summary renders
 	// byte-identically to the pre-batching format.
-	Batch  int
-	ByKind map[chaos.Kind]int
+	Batch int
+	// ManagerLinks records that the plan covered the manager-link
+	// taxonomy; it widens the plan and invariant lines, so a manager-link
+	// golden never collides with any other.
+	ManagerLinks bool
+	ByKind       map[chaos.Kind]int
 
 	Lost          int
 	Duplicates    int
@@ -99,6 +112,15 @@ type ChaosSummary struct {
 	// ReissueBounded: the GM never re-issued more two-phase intents than
 	// it aborted — the at-most-once guarantee of the abort/reissue path.
 	ReissueBounded bool
+	// LinkCaughtUp (manager-link runs): the link partitioned and
+	// reattached at least once, catch-up cycles ran, and the sentinel's
+	// violation buffer drained — no violation went permanently unnoticed
+	// because its manager was partitioned.
+	LinkCaughtUp bool
+	// LinkExactlyOnce (manager-link runs): every violation the parent
+	// endpoint accepted carried a distinct causality id — a reattach
+	// flush racing a live delivery never double-applied a cause.
+	LinkExactlyOnce bool
 }
 
 // String renders the summary in a canonical byte-stable form.
@@ -115,13 +137,20 @@ func (s ChaosSummary) String() string {
 	if s.Remote {
 		kinds = append(kinds, chaos.RemoteKinds()...)
 	}
+	if s.ManagerLinks {
+		kinds = append(kinds, chaos.ManagerLinkKinds()...)
+	}
 	for _, k := range kinds {
 		fmt.Fprintf(&b, " %s=%d", k, s.ByKind[k])
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "invariants: lost=%d dups=%d leaks=%d unrecovered=%d goroutine_leak=%v mttr_sampled=%v manager_healed=%v reissue_bounded=%v\n",
+	fmt.Fprintf(&b, "invariants: lost=%d dups=%d leaks=%d unrecovered=%d goroutine_leak=%v mttr_sampled=%v manager_healed=%v reissue_bounded=%v",
 		s.Lost, s.Duplicates, s.Leaks, s.Unrecovered, s.GoroutineLeak, s.MTTRSampled,
 		s.ManagerHealed, s.ReissueBounded)
+	if s.ManagerLinks {
+		fmt.Fprintf(&b, " link_caught_up=%v link_exactly_once=%v", s.LinkCaughtUp, s.LinkExactlyOnce)
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 
@@ -152,6 +181,14 @@ func (s ChaosSummary) Invariants() []string {
 	}
 	if !s.ReissueBounded {
 		v = append(v, "GM re-issued more intents than it aborted (at-most-once broken)")
+	}
+	if s.ManagerLinks {
+		if !s.LinkCaughtUp {
+			v = append(v, "a partitioned manager's violations went unnoticed (no reattach/catch-up or buffer not drained)")
+		}
+		if !s.LinkExactlyOnce {
+			v = append(v, "a violation crossed the manager link more than once (exactly-once broken)")
+		}
 	}
 	return v
 }
@@ -198,6 +235,15 @@ type ChaosResult struct {
 	// remote run (zero value on loopback runs): dials count the initial
 	// recruitments plus every re-dial after an injected drop.
 	RemoteStats wire.StatsSnapshot
+	// Manager-link diagnostics (zero on runs without ManagerLinks):
+	// run-dependent counters of the remote management plane — timing
+	// decides how many violations a partition window catches, so they
+	// stay out of the golden.
+	LinkReattaches    uint64
+	LinkCatchUpCycles uint64
+	LinkDelivered     uint64
+	LinkDuplicates    uint64
+	LinkBufferedDown  uint64
 }
 
 // ChaosSoak is the robustness acceptance harness: a secured two-domain
@@ -215,8 +261,9 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 	env := opts.env()
 
 	plan := chaos.NewPlan(copts.Seed, chaos.StormConfig{
-		Storms:        copts.Storms,
-		IncludeRemote: copts.Remote,
+		Storms:              copts.Storms,
+		IncludeRemote:       copts.Remote,
+		IncludeManagerLinks: copts.ManagerLinks,
 	})
 
 	// The stream must outlast the plan (plus recovery probes), or late
@@ -416,6 +463,72 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 			Partition: factory.InjectPartition,
 		}
 	}
+
+	// The remote management plane under test: a sentinel child manager
+	// whose throughput contract can never be satisfied (its controller
+	// reports a permanently starved snapshot), linked to the root manager
+	// over a RemoteLink. Every sentinel MAPE cycle escalates a violation
+	// across the link; injected partitions expire its lease, park the
+	// violations in the bounded buffer, and reattach must flush them
+	// exactly once and run catch-up cycles.
+	var mgrLinkTarget *chaos.MgrLinkTarget
+	var sentinel *manager.Manager
+	var linkEp *manager.ParentEndpoint
+	var mlink *manager.RemoteLink
+	var sentinelStop func()
+	if copts.ManagerLinks {
+		sentinel, err = manager.New(manager.Config{
+			Name: "AM_edge", Concern: "performance", Clock: env.Clock,
+			Period: real(time.Second), Controller: linkSentinel{}, Log: app.Log,
+			Policy: manager.Policy{
+				OnVerdict: func(m *manager.Manager, v contract.Verdict, snap contract.Snapshot) {
+					if !v.OK() {
+						m.Escalate(rules.TagNotEnoughTasks, snap)
+					}
+				},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sentinel.SetTracer(app.Tracer())
+		if err := sentinel.AssignContract(contract.MinThroughput(0.5)); err != nil {
+			return nil, err
+		}
+		linkEp, err = manager.NewParentEndpoint(manager.ParentEndpointConfig{
+			Parent: app.RootManager, Lease: real(time.Second),
+			Clock: env.Clock, Log: app.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mlink, err = manager.NewRemoteLink(manager.RemoteLinkConfig{
+			Child:     sentinel,
+			Transport: func(req []byte) ([]byte, error) { return linkEp.Handle(req), nil },
+			Heartbeat: real(250 * time.Millisecond), Lease: real(time.Second),
+			Clock: env.Clock, Log: app.Log, Seed: copts.Seed,
+			// The sentinel manages its own edge concern: its locally
+			// assigned contract must survive the parent's P_spl answer.
+			KeepContract: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.AttachManagerLink(mlink)
+		app.AttachManagerEndpoint(linkEp)
+		sctx, scancel := context.WithCancel(ctx)
+		var swg sync.WaitGroup
+		swg.Add(2)
+		go func() { defer swg.Done(); _ = sentinel.Run(sctx) }()
+		go func() { defer swg.Done(); _ = mlink.Run(sctx) }()
+		sentinelStop = func() { scancel(); swg.Wait() }
+		mgrLinkTarget = &chaos.MgrLinkTarget{
+			Name:      "mgrlink",
+			Partition: mlink.InjectPartition,
+			Drop:      mlink.InjectDrop,
+		}
+	}
+
 	inj := chaos.NewInjector(chaos.Targets{
 		Farm:       fa.Farm(),
 		Remote:     remoteTarget,
@@ -431,6 +544,7 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		MTTR:       mttr,
 		MaxRecover: copts.MaxRecover,
 		Managers:   mgrs,
+		MgrLink:    mgrLinkTarget,
 	})
 
 	injCtx, cancelInj := context.WithCancel(ctx)
@@ -448,6 +562,9 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 	cancelInj()
 	<-injDone
 	inj.Close()
+	if sentinelStop != nil {
+		sentinelStop()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -482,22 +599,31 @@ func ChaosSoak(ctx context.Context, opts Options, copts ChaosOptions) (*ChaosRes
 		restarts += s.Restarts()
 	}
 	mgrMTTRSampled := app.ManagerMTTR() != nil && app.ManagerMTTR().Count() > 0
+	linkCaughtUp, linkExactlyOnce := false, false
+	if copts.ManagerLinks {
+		linkCaughtUp = mlink.Reattaches() > 0 && sentinel.CatchUpCycles() > 0 &&
+			sentinel.BufferedViolations() == 0
+		linkExactlyOnce = linkEp.Delivered() > 0 && linkEp.Delivered() == linkEp.UniqueCauses()
+	}
 	summary := ChaosSummary{
-		Seed:          copts.Seed,
-		Fingerprint:   plan.Fingerprint(),
-		Tasks:         tasks,
-		Storms:        copts.Storms,
-		Remote:        copts.Remote,
-		Batch:         copts.Batch,
-		ByKind:        plan.ByKind(),
-		Lost:          tasks - distinct,
-		Duplicates:    collected - distinct,
-		Leaks:         leaks,
-		Unrecovered:    rep.Unrecovered,
-		GoroutineLeak:  leaked,
-		MTTRSampled:    mttr.Count() > 0,
-		ManagerHealed:  restarts > 0 && mgrMTTRSampled,
-		ReissueBounded: app.GM.ReissuedIntents() <= app.GM.AbortedIntents(),
+		Seed:            copts.Seed,
+		Fingerprint:     plan.Fingerprint(),
+		Tasks:           tasks,
+		Storms:          copts.Storms,
+		Remote:          copts.Remote,
+		Batch:           copts.Batch,
+		ByKind:          plan.ByKind(),
+		Lost:            tasks - distinct,
+		Duplicates:      collected - distinct,
+		Leaks:           leaks,
+		Unrecovered:     rep.Unrecovered,
+		GoroutineLeak:   leaked,
+		MTTRSampled:     mttr.Count() > 0,
+		ManagerHealed:   restarts > 0 && mgrMTTRSampled,
+		ReissueBounded:  app.GM.ReissuedIntents() <= app.GM.AbortedIntents(),
+		ManagerLinks:    copts.ManagerLinks,
+		LinkCaughtUp:    linkCaughtUp,
+		LinkExactlyOnce: linkExactlyOnce,
 	}
 
 	var farmErrs []string
@@ -537,6 +663,13 @@ drainErrs:
 	if factory != nil {
 		out.RemoteStats = factory.Snapshot()
 	}
+	if copts.ManagerLinks {
+		out.LinkReattaches = mlink.Reattaches()
+		out.LinkCatchUpCycles = sentinel.CatchUpCycles()
+		out.LinkDelivered = linkEp.Delivered()
+		out.LinkDuplicates = linkEp.Duplicates()
+		out.LinkBufferedDown = mlink.BufferedWhileDown()
+	}
 	if opts.Out != nil {
 		writeChaos(opts.Out, out)
 	}
@@ -556,6 +689,15 @@ func (r *ChaosResult) Golden() string {
 	b.WriteString(r.Summary.String())
 	return b.String()
 }
+
+// linkSentinel is the sentinel child's controller: a permanently starved
+// snapshot, so every MAPE cycle violates the sentinel's throughput
+// contract and escalates over the manager link.
+type linkSentinel struct{}
+
+func (linkSentinel) Beans() []rules.Bean            { return nil }
+func (linkSentinel) Snapshot() contract.Snapshot    { return contract.Snapshot{} }
+func (linkSentinel) Execute(string) (string, error) { return "", nil }
 
 // takeFault atomically consumes one pending one-shot manager fault.
 func takeFault(c *atomic.Int32) bool {
@@ -581,6 +723,9 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 	if r.Summary.Remote {
 		kinds = append(kinds, chaos.RemoteKinds()...)
 	}
+	if r.Summary.ManagerLinks {
+		kinds = append(kinds, chaos.ManagerLinkKinds()...)
+	}
 	applied := make([]string, 0, len(r.Report.Applied))
 	for _, k := range kinds {
 		if n := r.Report.Applied[k]; n > 0 {
@@ -602,6 +747,11 @@ func writeChaos(w io.Writer, r *ChaosResult) {
 		fmt.Fprintf(w, "remote link: dials=%d execs=%d rekeys=%d frames=%d drops=%d\n",
 			r.RemoteStats.Dials, r.RemoteStats.Execs, r.RemoteStats.Rekeys,
 			r.RemoteStats.FramesOut, r.RemoteStats.Drops)
+	}
+	if r.Summary.ManagerLinks {
+		fmt.Fprintf(w, "manager link: reattaches=%d catchup=%d delivered=%d dup_suppressed=%d buffered_down=%d\n",
+			r.LinkReattaches, r.LinkCatchUpCycles, r.LinkDelivered,
+			r.LinkDuplicates, r.LinkBufferedDown)
 	}
 	for _, e := range r.FarmErrors {
 		fmt.Fprintf(w, "farm error: %s\n", e)

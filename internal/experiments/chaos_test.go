@@ -83,3 +83,42 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		t.Errorf("same-seed summaries differ:\n--- run1\n%s--- run2\n%s", sum1, sum2)
 	}
 }
+
+// TestChaosSoakManagerLinks soaks the remote management plane: the plan
+// extends to the manager-link taxonomy (partitions, dropped exchanges on
+// the parent/child channel) and the run must show the link partitioning
+// and reattaching, catch-up cycles running, the sentinel's violation
+// buffer draining to zero, and every violation reaching the parent
+// exactly once — no contract violation goes permanently unnoticed because
+// its manager was partitioned.
+func TestChaosSoakManagerLinks(t *testing.T) {
+	defer leaktest.Check(t)()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	res, err := ChaosSoak(ctx, Options{Scale: 400}, ChaosOptions{Seed: 1, Storms: 2, ManagerLinks: true})
+	if err != nil {
+		t.Fatalf("ChaosSoak: %v", err)
+	}
+	for _, k := range []chaos.Kind{chaos.ManagerPartition, chaos.ManagerLinkDrop} {
+		if !res.Plan.Contains(k) {
+			t.Errorf("plan misses kind %s; the storm should cover the manager-link taxonomy", k)
+		}
+		if res.Report.Applied[k] == 0 {
+			t.Errorf("kind %s planned but never applied (skipped %d)", k, res.Report.Skipped[k])
+		}
+	}
+	if v := res.Summary.Invariants(); len(v) > 0 {
+		t.Fatalf("soak invariants violated:\n  %s\nsummary:\n%s",
+			strings.Join(v, "\n  "), res.Summary)
+	}
+	if res.LinkReattaches == 0 {
+		t.Errorf("link never reattached: partitions were planned but the lease never expired")
+	}
+	if res.LinkCatchUpCycles == 0 {
+		t.Errorf("no catch-up cycles ran after reattach")
+	}
+	if res.LinkDelivered == 0 {
+		t.Errorf("no violation crossed the manager link")
+	}
+}

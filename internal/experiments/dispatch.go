@@ -46,6 +46,13 @@ type DispatchOptions struct {
 	// scrapes every workerd's tracing state over the control plane.
 	TraceSample uint64
 	TraceSeed   uint64
+	// MgmtListen, when set, hosts the remote management plane: a
+	// manager.ParentEndpoint over the app's root manager served on this
+	// address behind a wire.Server (":0" for an ephemeral port). Remote
+	// child managers — workerds started with -parent — report violations,
+	// receive P_spl sub-contracts and run two-phase prepares against it
+	// over sealed management frames.
+	MgmtListen string
 }
 
 func (d DispatchOptions) normalized() (DispatchOptions, error) {
@@ -90,6 +97,12 @@ type DispatchResult struct {
 	// /cluster serves live.
 	TaskTracer *telemetry.TaskTracer
 	Cluster    *telemetry.ClusterReport
+	// MgmtAddr is the bound management-plane address (empty unless
+	// MgmtListen was set); MgmtDelivered / MgmtDuplicates the endpoint's
+	// exactly-once counters at end of run.
+	MgmtAddr       string
+	MgmtDelivered  uint64
+	MgmtDuplicates uint64
 }
 
 // RemoteFarm runs the coordinator side of the cross-process dispatch
@@ -209,6 +222,33 @@ func RemoteFarm(ctx context.Context, opts Options, dopts DispatchOptions) (*Disp
 		app.Telemetry().SetClusterFunc(cluster)
 		defer factory.CloseControls()
 	}
+	var mgmtEp *manager.ParentEndpoint
+	var mgmtSrv *wire.Server
+	if dopts.MgmtListen != "" {
+		mgmtEp, err = manager.NewParentEndpoint(manager.ParentEndpointConfig{
+			Parent: app.RootManager, Security: app.Security,
+			Clock: env.Clock, Log: app.Log,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.AttachManagerEndpoint(mgmtEp)
+		mgmtSrv, err = wire.NewServer(wire.ServerConfig{
+			PSK: wire.DerivePSK(dopts.PSK),
+			Hello: wire.Hello{
+				Name: "coordinator", Domain: local.Name, Trusted: true,
+				Cores: dopts.LocalCores, Speed: 1,
+			},
+			Mgmt: mgmtEp.Handle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := mgmtSrv.Listen(dopts.MgmtListen); err != nil {
+			return nil, fmt.Errorf("experiments: management plane: %w", err)
+		}
+		defer mgmtSrv.Close()
+	}
 	if err := enableTelemetry(app, opts); err != nil {
 		return nil, err
 	}
@@ -254,6 +294,11 @@ func RemoteFarm(ctx context.Context, opts Options, dopts DispatchOptions) (*Disp
 		rep := cluster()
 		out.Cluster = &rep
 	}
+	if mgmtSrv != nil {
+		out.MgmtAddr = mgmtSrv.Addr()
+		out.MgmtDelivered = mgmtEp.Delivered()
+		out.MgmtDuplicates = mgmtEp.Duplicates()
+	}
 	if app.Auditor != nil {
 		out.SecurityTotal = app.Auditor.Total()
 		out.SecuritySecured = app.Auditor.Secured()
@@ -278,6 +323,10 @@ func writeDispatch(w io.Writer, r *DispatchResult, dopts DispatchOptions) {
 		r.RemoteStats.FramesOut, r.RemoteStats.Drops)
 	fmt.Fprintf(w, "security: sends=%d secured=%d leaks=%d\n",
 		r.SecurityTotal, r.SecuritySecured, r.SecurityLeaks)
+	if r.MgmtAddr != "" {
+		fmt.Fprintf(w, "management plane: addr=%s delivered=%d dup_suppressed=%d\n",
+			r.MgmtAddr, r.MgmtDelivered, r.MgmtDuplicates)
+	}
 	if r.Cluster != nil {
 		fmt.Fprintf(w, "tracing: %d node(s), %d span(s) retained\n",
 			len(r.Cluster.Nodes), clusterSpanCount(r.Cluster))

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestMgmtLinkOverWireAttach exercises the production management-plane
+// path end to end: a parent endpoint served behind a wire.Server (the
+// coordinator's -mgmt side) and a RemoteLink dialing through a
+// wire.Factory (the workerd's -parent side) must reach the up state on a
+// real TCP loopback under real clocks.
+func TestMgmtLinkOverWireAttach(t *testing.T) {
+	clock := &simclock.Real{}
+	log := trace.NewLog()
+	parent, err := manager.New(manager.Config{Name: "P", Clock: clock, Period: time.Second, Controller: linkSentinel{}, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := manager.NewParentEndpoint(manager.ParentEndpointConfig{Parent: parent, Clock: clock, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		PSK:   wire.DerivePSK("smoke"),
+		Hello: wire.Hello{Name: "coordinator", Domain: "coordinator.local", Trusted: true, Cores: 2, Speed: 1},
+		Mgmt:  ep.Handle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	child, err := manager.New(manager.Config{Name: "C", Clock: clock, Period: time.Second, Controller: linkSentinel{}, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := wire.NewFactory(wire.DerivePSK("smoke"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fac.CloseControls()
+	addr := srv.Addr()
+	link, err := manager.NewRemoteLink(manager.RemoteLinkConfig{
+		Child:     child,
+		Transport: func(req []byte) ([]byte, error) { return fac.Mgmt(addr, req) },
+		Heartbeat: 100 * time.Millisecond, Lease: 400 * time.Millisecond,
+		Clock: clock, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { _ = link.Run(ctx) }()
+	deadline := time.Now().Add(4 * time.Second)
+	for time.Now().Before(deadline) && link.State() != manager.LinkUp {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if link.State() != manager.LinkUp {
+		t.Fatalf("link never attached over the wire:\n%s", log.Timeline())
+	}
+	if ep.Children()[0] != "C" {
+		t.Fatalf("endpoint children = %v, want [C]", ep.Children())
+	}
+}

@@ -76,6 +76,10 @@ type Policy struct {
 	// Split derives the children's sub-contracts when a contract is
 	// assigned (P_spl). n is the number of children.
 	Split func(c contract.Contract, n int) ([]contract.Contract, error)
+	// OnVerdict observes every analyse-phase contract verdict, violating
+	// or not. Sentinel managers (cmd/workerd's remote child) use it to
+	// escalate boolean violations that carry no rule-engine reaction.
+	OnVerdict func(m *Manager, v contract.Verdict, snap contract.Snapshot)
 }
 
 // Config parameterizes a Manager.
@@ -105,6 +109,11 @@ type Config struct {
 	// implements abc.WakeSource, leaving only the periodic tick. It exists
 	// as the baseline for the wake-up latency benchmark.
 	PollOnly bool
+	// Skew is the tolerance applied when the manager compares timestamps
+	// that may originate on different processes (the warm-up window after
+	// a cross-process checkpoint restore, link lease math). Nil installs a
+	// per-manager tolerance of simclock.DefaultSkew.
+	Skew *simclock.Tolerance
 }
 
 // Instruments are the phase-latency histograms of one MAPE loop, in
@@ -137,6 +146,7 @@ type Manager struct {
 	log     *trace.Log
 	created time.Time
 	inst    Instruments
+	skew    *simclock.Tolerance
 
 	mu       sync.Mutex
 	contract contract.Contract
@@ -144,6 +154,10 @@ type Manager struct {
 	state    State
 	parent   *Manager
 	children []*Manager
+	// link, when set, replaces the direct in-process parent path: the
+	// child's violations travel the link and failure detection is the
+	// link's lease, not parent.Crashed().
+	link Link
 
 	violations chan Violation
 
@@ -162,6 +176,12 @@ type Manager struct {
 	actFailures atomic.Uint64
 	// escalations counts violations reported to the parent.
 	escalations atomic.Uint64
+	// cycleSeq counts completed MAPE cycles; ackedCycle is the parent's
+	// delivery watermark over the link. Their difference at reattach sizes
+	// the catch-up debt; catchUpCycles counts the cycles actually re-run.
+	cycleSeq      atomic.Uint64
+	ackedCycle    atomic.Uint64
+	catchUpCycles atomic.Uint64
 
 	// Self-healing state (selfheal.go): the chaos fault hook, the crashed
 	// flag set between a crash wipe and the checkpoint replay, the last
@@ -180,6 +200,7 @@ type Manager struct {
 	// per-RunOnce scratch (single goroutine)
 	cycleLocalAction bool
 	cycleViolation   bool
+	cycleCatchUp     bool
 	seenErrsDropped  uint64 // high-water mark of Snapshot.ErrorsDropped
 	cycleOpen        bool
 	cycleCause       uint64
@@ -210,11 +231,15 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Period <= 0 {
 		cfg.Period = 100 * time.Millisecond
 	}
+	if cfg.Skew == nil {
+		cfg.Skew = &simclock.Tolerance{Max: simclock.DefaultSkew}
+	}
 	return &Manager{
 		cfg:        cfg,
 		clock:      cfg.Clock,
 		log:        cfg.Log,
 		inst:       newInstruments(),
+		skew:       cfg.Skew,
 		contract:   contract.BestEffort{},
 		engine:     cfg.Engine,
 		violations: make(chan Violation, 256),
@@ -321,6 +346,22 @@ func (m *Manager) warmUpDeadline() time.Time {
 	return m.created.Add(m.cfg.WarmUp)
 }
 
+// warmedUp reports whether the sensor warm-up window has elapsed. The
+// elapsed-since-creation measurement goes through the skew tolerance:
+// after a cross-process restore `created` may carry a peer clock slightly
+// ahead of ours, and the small negative elapsed that produces must read
+// as "just created" — not as a window that never opens.
+func (m *Manager) warmedUp() bool {
+	m.mu.Lock()
+	created, warm := m.created, m.cfg.WarmUp
+	m.mu.Unlock()
+	return m.skew.Elapsed(created, m.clock.Now()) >= warm
+}
+
+// SkewClamps reports how many cross-process timestamp comparisons the
+// manager's skew tolerance has absorbed.
+func (m *Manager) SkewClamps() uint64 { return m.skew.Clamped() }
+
 // SetEngine replaces the manager's rule engine (used when a new contract
 // re-parameterizes the rules).
 func (m *Manager) SetEngine(e *rules.Engine) {
@@ -420,13 +461,23 @@ func (m *Manager) reportViolation(tag string, snap contract.Snapshot) {
 	}
 	m.event(trace.RaiseViol, tag)
 	parent := m.Parent()
-	if parent == nil {
+	link := m.Link()
+	if parent == nil && link == nil {
 		return
 	}
 	m.escalations.Add(1)
 	v := Violation{
 		From: m.cfg.Name, Tag: tag, Snapshot: snap,
 		When: m.clock.Now(), CauseID: m.cycleCause,
+	}
+	if link != nil {
+		// Over a link the parent may live in another process; delivery
+		// failure (partition, drop mid-send) parks the violation in the
+		// same bounded buffer an in-process parent crash uses.
+		if link.Down() || link.Deliver(v) != nil {
+			m.bufferViolation(v)
+		}
+		return
 	}
 	if parent.Crashed() {
 		m.bufferViolation(v)
@@ -551,6 +602,9 @@ drained:
 	case contract.Violated:
 		m.event(trace.ContrLow, "boolean concern violated")
 	}
+	if m.cfg.Policy.OnVerdict != nil {
+		m.cfg.Policy.OnVerdict(m, verdict, snap)
+	}
 	analyzeDur := time.Since(analyzeStart)
 	m.inst.Analyze.ObserveDuration(analyzeDur)
 
@@ -560,7 +614,7 @@ drained:
 	var ruleEvals []telemetry.RuleEval
 	engStart := time.Now()
 	engine := m.Engine()
-	if engine != nil && !m.clock.Now().Before(m.warmUpDeadline()) {
+	if engine != nil && m.warmedUp() {
 		if m.tracer != nil {
 			_, verdicts, err := engine.CycleExplain(m.cfg.Controller.Beans(), m, 0)
 			for _, v := range verdicts {
@@ -616,6 +670,7 @@ drained:
 			Cause:    m.cycleCause,
 			Snapshot: snap,
 			Verdict:  verdict.String(),
+			CatchUp:  m.cycleCatchUp,
 			Rules:    ruleEvals,
 			Phases: telemetry.PhaseNanos{
 				Sense:   int64(analyzeStart.Sub(senseStart)),
@@ -636,7 +691,9 @@ drained:
 		m.tracer.Record(rec)
 	}
 	// Persist the autonomic state this cycle ended in: the restart path
-	// replays the latest completed MAPE cycle, never a partial one.
+	// replays the latest completed MAPE cycle, never a partial one. The
+	// cycle counter moves first so the checkpointed watermark covers it.
+	m.cycleSeq.Add(1)
 	m.takeCheckpoint()
 	return nil
 }
@@ -707,6 +764,9 @@ func (m *Manager) Run(ctx context.Context) error {
 		if err := m.RunOnce(); err != nil {
 			m.log.Record(m.clock.Now(), m.cfg.Name, trace.Kind("error"), err.Error())
 		}
+		// A link reattach may owe catch-up cycles covering the partition
+		// window; they run here, distinctly flagged in the trace.
+		m.runCatchUp(ctx)
 	}
 }
 

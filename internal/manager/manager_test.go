@@ -483,8 +483,15 @@ func TestSecurityManagerReactiveLoop(t *testing.T) {
 func TestGeneralManagerModes(t *testing.T) {
 	log := trace.NewLog()
 	sec, _ := NewSecurityManager(SecurityConfig{Log: log})
-	if _, err := NewGeneralManager("GM", nil, log, nil, TwoPhase); err == nil {
-		t.Fatal("two-phase without security manager accepted")
+	if _, err := NewGeneralManager("GM", nil, log, nil, Reactive); err == nil {
+		t.Fatal("reactive without security manager accepted")
+	}
+	// Two-phase without a local security manager is allowed: the
+	// participant may arrive later via SetParticipant (a remote link).
+	if bare, err := NewGeneralManager("GM", nil, log, nil, TwoPhase); err != nil {
+		t.Fatalf("two-phase with deferred participant rejected: %v", err)
+	} else if bare.Participant() != nil {
+		t.Fatal("participant should be unset without a security manager")
 	}
 	if _, err := NewGeneralManager("GM", nil, nil, nil, Unmanaged); err == nil {
 		t.Fatal("GM without log accepted")

@@ -296,6 +296,17 @@ func (s *SecurityManager) Start() { s.life.Start(s.Run) }
 // idempotent.
 func (s *SecurityManager) Stop() { _ = s.life.Stop() }
 
+// SecurityParticipant is the GM's two-phase participant seam: the local
+// SecurityManager by default, or a RemoteParticipant when the security
+// concern lives across a manager link. The GM's abort/re-issue machinery
+// is written against this interface, so a partitioned link and a crashed
+// local manager take the same ErrManagerDown path.
+type SecurityParticipant interface {
+	Name() string
+	Available() bool
+	prepareWorker(cause uint64, id string, node *grid.Node, setCodec func(security.Codec)) error
+}
+
 // GeneralManager is the GM of §3.2: it owns the per-concern managers and
 // wires the cross-concern coordination protocol into the farms' actuator
 // paths.
@@ -304,6 +315,7 @@ type GeneralManager struct {
 	clock  simclock.Clock
 	log    *trace.Log
 	sec    *SecurityManager
+	part   SecurityParticipant // two-phase participant; defaults to sec
 	mode   CoordinationMode
 	tracer *telemetry.Tracer
 
@@ -341,15 +353,31 @@ func NewGeneralManager(name string, sec *SecurityManager, log *trace.Log, clock 
 	if clock == nil {
 		clock = simclock.NewReal()
 	}
-	if sec == nil && mode != Unmanaged {
+	if sec == nil && mode == Reactive {
 		return nil, fmt.Errorf("manager: %s coordination needs a security manager", mode)
 	}
-	return &GeneralManager{
+	g := &GeneralManager{
 		name: name, clock: clock, log: log, sec: sec, mode: mode,
 		period:  100 * time.Millisecond,
 		pending: map[*abc.FarmABC]int{},
-	}, nil
+	}
+	if sec != nil {
+		g.part = sec
+	}
+	return g, nil
 }
+
+// SetParticipant replaces the GM's two-phase participant — the seam that
+// routes prepare/commit over a manager link instead of the in-process
+// SecurityManager. Call before Coordinate/Run.
+func (g *GeneralManager) SetParticipant(p SecurityParticipant) {
+	if p != nil {
+		g.part = p
+	}
+}
+
+// Participant returns the two-phase participant in force.
+func (g *GeneralManager) Participant() SecurityParticipant { return g.part }
 
 // SetPeriod changes the GM loop period (clock time, already scaled by the
 // caller). Call before Run.
@@ -393,6 +421,11 @@ func (g *GeneralManager) decision(cause uint64, kind trace.Kind, detail string) 
 func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 	switch g.mode {
 	case TwoPhase:
+		if g.part == nil {
+			g.log.Record(g.clock.Now(), g.name, trace.Kind("error"),
+				"two-phase coordination without a participant; farm left unmanaged")
+			return
+		}
 		farm.SetPrepare(func(id string, node *grid.Node, setCodec func(security.Codec)) error {
 			// One causality id spans the whole intent -> prepare -> commit
 			// chain, so /trace?cause=N reconstructs the protocol run.
@@ -403,7 +436,7 @@ func (g *GeneralManager) Coordinate(farm *abc.FarmABC) {
 			detail := fmt.Sprintf("add %s on %s (%s)", id, node.ID, node.Domain.Name)
 			g.log.Record(g.clock.Now(), g.name, trace.Intent, detail)
 			g.decision(cause, trace.Intent, detail)
-			if err := g.sec.prepareWorker(cause, id, node, setCodec); err != nil {
+			if err := g.part.prepareWorker(cause, id, node, setCodec); err != nil {
 				// Abort: the farm rolls the prepared worker back (node
 				// released, never dispatched to), so no plaintext binding
 				// can survive the failure. A participant-down abort is
@@ -472,7 +505,7 @@ func (g *GeneralManager) InjectCrash() bool {
 // farm can no longer service (stream ended, pool exhausted) are dropped.
 // It returns how many intents committed.
 func (g *GeneralManager) ReissueOnce() int {
-	if g.mode != TwoPhase || (g.sec != nil && !g.sec.Available()) {
+	if g.mode != TwoPhase || (g.part != nil && !g.part.Available()) {
 		return 0
 	}
 	g.pendingMu.Lock()

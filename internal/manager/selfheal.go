@@ -61,7 +61,12 @@ type Checkpoint struct {
 	WarmUpRemaining time.Duration
 	ActFailures     uint64
 	Escalations     uint64
-	Taken           time.Time
+	// CycleSeq and AckedCycle persist the MAPE cycle counter and the
+	// parent's delivery watermark, so a restarted manager knows how many
+	// cycles its parent missed and the catch-up policy can size the debt.
+	CycleSeq   uint64
+	AckedCycle uint64
+	Taken      time.Time
 }
 
 // takeCheckpoint snapshots the autonomic state; called after every
@@ -79,6 +84,8 @@ func (m *Manager) takeCheckpoint() {
 		WarmUpRemaining: rem,
 		ActFailures:     m.actFailures.Load(),
 		Escalations:     m.escalations.Load(),
+		CycleSeq:        m.cycleSeq.Load(),
+		AckedCycle:      m.ackedCycle.Load(),
 		Taken:           now,
 	}
 	m.hasCheckpoint = true
@@ -157,6 +164,8 @@ func (m *Manager) Restore(cp Checkpoint) error {
 	m.state = cp.State
 	m.mu.Unlock()
 	m.escalations.Store(cp.Escalations)
+	m.cycleSeq.Store(cp.CycleSeq)
+	m.ackedCycle.Store(cp.AckedCycle)
 	m.crashed.Store(false)
 	m.log.Record(now, m.cfg.Name, trace.Restored,
 		fmt.Sprintf("contract=%q state=%s warmup=%v", cp.Contract.Describe(), cp.State, cp.WarmUpRemaining))
@@ -204,35 +213,86 @@ func (m *Manager) resplitChild(child *Manager) error {
 	return nil
 }
 
-// bufferViolation queues v while the parent is down: bounded, oldest
-// dropped first (and counted), duplicates of an already-buffered causality
-// id coalesced — re-raising the same violation every cycle of a parent
-// outage must not flush the distinct evidence out of the queue.
+// bufferViolation queues v while the parent is down: bounded, duplicates
+// of an already-buffered causality id dropped, re-raises of the same
+// (From, Tag) coalesced onto their first buffered cause, and only then the
+// oldest distinct cause evicted — counted and traced, never silent.
+//
+// The coalescing step is what keeps a long outage honest: every MAPE
+// cycle re-raises a standing violation under a *fresh* causality id
+// (cycleCause is per-cycle), so CauseID dedup alone lets a single
+// persistent violation flood the 64-slot queue and push every other cause
+// out one eviction at a time. Coalescing keeps the entry's original
+// CauseID — the id the parent-side dedup and the decision chain anchor on
+// — while refreshing its evidence to the newest snapshot.
 func (m *Manager) bufferViolation(v Violation) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if v.CauseID != 0 {
 		for _, q := range m.violBuf {
 			if q.CauseID == v.CauseID {
+				m.mu.Unlock()
 				return
 			}
 		}
 	}
+	for i := range m.violBuf {
+		if m.violBuf[i].From == v.From && m.violBuf[i].Tag == v.Tag {
+			m.violBuf[i].Snapshot = v.Snapshot
+			m.violBuf[i].When = v.When
+			m.mu.Unlock()
+			return
+		}
+	}
+	var dropped Violation
+	evicted := false
 	if len(m.violBuf) >= violBufCap {
+		dropped = m.violBuf[0]
+		evicted = true
 		copy(m.violBuf, m.violBuf[1:])
 		m.violBuf = m.violBuf[:len(m.violBuf)-1]
 		m.violDrops.Add(1)
 	}
 	m.violBuf = append(m.violBuf, v)
+	m.mu.Unlock()
+	if evicted {
+		m.log.Record(m.clock.Now(), m.cfg.Name, trace.ViolDropped,
+			fmt.Sprintf("buffer full: evicted %s from %s (cause %d)",
+				dropped.Tag, dropped.From, dropped.CauseID))
+	}
 }
 
 // flushBuffered re-delivers violations buffered across a parent outage
-// once the parent is back. Called at the top of every RunOnce.
+// once the parent is back. Called at the top of every RunOnce. Over a
+// link, a delivery failure mid-flush re-parks the remainder in order.
 func (m *Manager) flushBuffered() {
 	m.mu.Lock()
 	n := len(m.violBuf)
 	m.mu.Unlock()
 	if n == 0 {
+		return
+	}
+	if l := m.Link(); l != nil {
+		if l.Down() {
+			return
+		}
+		m.mu.Lock()
+		buf := m.violBuf
+		m.violBuf = nil
+		m.mu.Unlock()
+		sent := 0
+		for i, v := range buf {
+			if err := l.Deliver(v); err != nil {
+				m.mu.Lock()
+				m.violBuf = append(buf[i:], m.violBuf...)
+				m.mu.Unlock()
+				break
+			}
+			sent++
+		}
+		if sent > 0 {
+			m.log.Record(m.clock.Now(), m.cfg.Name, trace.RaiseViol,
+				fmt.Sprintf("re-delivered %d buffered violations", sent))
+		}
 		return
 	}
 	parent := m.Parent()

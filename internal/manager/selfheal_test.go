@@ -3,6 +3,7 @@ package manager
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -183,9 +184,12 @@ func TestViolationBufferDedupeAndDropOldest(t *testing.T) {
 		t.Fatalf("duplicate CauseID buffered twice: %d", got)
 	}
 
-	// Overflow drops oldest-first and counts the drops.
+	// Overflow of *distinct* causes drops oldest-first and counts the
+	// drops (distinct tags: same-tag re-raises coalesce, tested below).
 	for i := 0; i < violBufCap+2; i++ {
-		m.bufferViolation(Violation{From: "C", CauseID: uint64(100 + i)})
+		m.bufferViolation(Violation{
+			From: "C", Tag: fmt.Sprintf("tag%d", i), CauseID: uint64(100 + i),
+		})
 	}
 	if got := m.BufferedViolations(); got != violBufCap {
 		t.Fatalf("buffer size = %d, want cap %d", got, violBufCap)
@@ -399,5 +403,62 @@ func TestSecurityUnavailablePrepareInstallsNothing(t *testing.T) {
 	}
 	if !installed {
 		t.Fatal("recovered manager installed no codec on the untrusted node")
+	}
+}
+
+// TestViolationBufferCoalescesSameTagReRaises is the regression test for
+// the long-partition starvation bug: every MAPE cycle of an outage
+// re-raises a standing violation under a fresh causality id, and before
+// coalescing those re-raises marched through the bounded buffer evicting
+// every *distinct* older cause silently. Now same-(From, Tag) re-raises
+// fold onto their first buffered entry — original CauseID kept, evidence
+// refreshed — and genuine evictions are counted and traced.
+func TestViolationBufferCoalescesSameTagReRaises(t *testing.T) {
+	m, log := newTestManager(t, "C", &stub{}, nil, Policy{})
+
+	// A distinct early cause that the old behavior would have evicted.
+	m.bufferViolation(Violation{From: "C", Tag: rules.TagTooMuchTasks, CauseID: 1})
+
+	// violBufCap+8 re-raises of the same tag, each with a fresh CauseID —
+	// the shape a real outage produces.
+	for i := 0; i < violBufCap+8; i++ {
+		m.bufferViolation(Violation{
+			From: "C", Tag: rules.TagNotEnoughTasks, CauseID: uint64(10 + i),
+			Snapshot: contract.Snapshot{ParDegree: i},
+		})
+	}
+
+	if got := m.BufferedViolations(); got != 2 {
+		t.Fatalf("buffer size = %d, want 2 (one per distinct cause)", got)
+	}
+	if got := m.ViolationDrops(); got != 0 {
+		t.Fatalf("ViolationDrops = %d, want 0: nothing should have been evicted", got)
+	}
+	m.mu.Lock()
+	early, coalesced := m.violBuf[0], m.violBuf[1]
+	m.mu.Unlock()
+	if early.CauseID != 1 {
+		t.Fatalf("distinct early cause evicted: buffer head cause=%d", early.CauseID)
+	}
+	if coalesced.CauseID != 10 {
+		t.Fatalf("coalesced entry lost its original CauseID: %d, want 10", coalesced.CauseID)
+	}
+	if coalesced.Snapshot.ParDegree != violBufCap+7 {
+		t.Fatalf("coalesced entry carries stale evidence: pardegree=%d", coalesced.Snapshot.ParDegree)
+	}
+
+	// Genuine evictions (distinct tags beyond the cap) are traced, not
+	// silent: one violDropped event per evicted cause.
+	for i := 0; i < violBufCap; i++ {
+		m.bufferViolation(Violation{
+			From: "C", Tag: fmt.Sprintf("distinct%d", i), CauseID: uint64(1000 + i),
+		})
+	}
+	wantDrops := 2 // cap 64, had 2, added 64 distinct
+	if got := m.ViolationDrops(); got != uint64(wantDrops) {
+		t.Fatalf("ViolationDrops = %d, want %d", got, wantDrops)
+	}
+	if got := log.Count("C", trace.ViolDropped); got != wantDrops {
+		t.Fatalf("violDropped trace events = %d, want %d", got, wantDrops)
 	}
 }

@@ -76,6 +76,14 @@ func AppendDecode(c Codec, dst, wire []byte) ([]byte, error) {
 	return append(dst, plain...), nil
 }
 
+// Canonical codec names, as returned by Codec.Name. The remote management
+// plane ships them in prepare replies so the far side can rebuild the
+// binding codec from its key material.
+const (
+	PlainName  = "plain"
+	AESGCMName = "aes-gcm"
+)
+
 // Plain is the pass-through codec modelling plain TCP/IP sockets.
 type Plain struct{}
 

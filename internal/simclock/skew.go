@@ -1,0 +1,63 @@
+package simclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tolerance is the skew policy applied wherever two timestamps that may
+// originate on different processes are compared. In a single process every
+// Clock is monotone per construction, but once managers live on both ends
+// of a wire link a sensor window, a warm-up deadline or a quarantine cooldown
+// can see `to` slightly before `from`: not because time ran backwards, but
+// because two hosts disagree by a few milliseconds. A naive Sub would turn
+// that into a negative elapsed and misfire (a window that never closes, a
+// cooldown that re-arms forever).
+//
+// The policy is deliberately simple: negative elapsed within Max is clamped
+// to zero and counted; negative elapsed beyond Max is surfaced untouched, so
+// a genuinely broken clock still trips whatever guard sits above. The zero
+// value tolerates nothing (every negative passes through), preserving the
+// pre-skew behaviour byte for byte.
+type Tolerance struct {
+	// Max is the largest negative elapsed treated as cross-process skew
+	// rather than an error. Zero disables clamping.
+	Max time.Duration
+
+	clamped atomic.Uint64
+}
+
+// DefaultSkew is the tolerance used by the managers when none is injected:
+// generous enough for same-rack NTP drift, far below any MAPE period.
+const DefaultSkew = 250 * time.Millisecond
+
+// Elapsed returns to.Sub(from), clamping small negative results to zero per
+// the policy. The clamp counter feeds the skew observability gauges.
+func (t *Tolerance) Elapsed(from, to time.Time) time.Duration {
+	d := to.Sub(from)
+	if d < 0 && t != nil && t.Max > 0 && -d <= t.Max {
+		t.clamped.Add(1)
+		return 0
+	}
+	return d
+}
+
+// Expired reports whether deadline has passed at now, treating a deadline
+// up to Max in the future as "not yet" only through the usual comparison —
+// the skew case it absorbs is now sitting *before* an already-armed
+// deadline because the deadline was stamped by a fast peer clock. A
+// deadline within Max after now is still pending; the clamp only fires on
+// the elapsed side, so Expired stays a plain comparison and the policy
+// keeps a single behaviour knob.
+func (t *Tolerance) Expired(deadline, now time.Time) bool {
+	return t.Elapsed(deadline, now) > 0
+}
+
+// Clamped reports how many comparisons the policy has absorbed. A non-zero
+// value under a single-process run means a clock bug, not skew.
+func (t *Tolerance) Clamped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.clamped.Load()
+}

@@ -1,0 +1,79 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// Skew injection is deterministic: two Manual clocks, one running `skew`
+// ahead, stand in for two processes whose NTP disagrees. Timestamps taken
+// on the fast clock and compared on the slow one produce the negative
+// elapsed the policy must absorb.
+func TestToleranceClampsSmallSkew(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	slow := NewManual(base)
+	fast := NewManual(base.Add(100 * time.Millisecond)) // peer runs 100ms ahead
+
+	tol := &Tolerance{Max: DefaultSkew}
+	stamp := fast.Now() // remote timestamp
+	if got := tol.Elapsed(stamp, slow.Now()); got != 0 {
+		t.Fatalf("Elapsed under tolerable skew = %v, want clamp to 0", got)
+	}
+	if tol.Clamped() != 1 {
+		t.Fatalf("Clamped = %d, want 1", tol.Clamped())
+	}
+
+	// Once local time catches up past the stamp, elapsed is positive and
+	// untouched.
+	slow.Advance(250 * time.Millisecond)
+	if got := tol.Elapsed(stamp, slow.Now()); got != 150*time.Millisecond {
+		t.Fatalf("Elapsed after catch-up = %v, want 150ms", got)
+	}
+	if tol.Clamped() != 1 {
+		t.Fatalf("Clamped moved on a positive elapsed: %d", tol.Clamped())
+	}
+}
+
+func TestToleranceSurfacesLargeSkew(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	slow := NewManual(base)
+	fast := NewManual(base.Add(2 * time.Second)) // beyond any tolerance
+
+	tol := &Tolerance{Max: DefaultSkew}
+	got := tol.Elapsed(fast.Now(), slow.Now())
+	if got != -2*time.Second {
+		t.Fatalf("Elapsed under broken clock = %v, want -2s surfaced", got)
+	}
+	if tol.Clamped() != 0 {
+		t.Fatalf("large skew must not be absorbed silently (clamped=%d)", tol.Clamped())
+	}
+}
+
+func TestToleranceZeroValueIsTransparent(t *testing.T) {
+	var tol Tolerance
+	from := time.Date(2026, 1, 1, 0, 0, 0, 50e6, time.UTC)
+	to := from.Add(-10 * time.Millisecond)
+	if got := tol.Elapsed(from, to); got != -10*time.Millisecond {
+		t.Fatalf("zero-value tolerance clamped: %v", got)
+	}
+	var nilTol *Tolerance
+	if got := nilTol.Elapsed(from, to); got != -10*time.Millisecond {
+		t.Fatalf("nil tolerance clamped: %v", got)
+	}
+	if nilTol.Clamped() != 0 {
+		t.Fatal("nil tolerance counter")
+	}
+}
+
+func TestToleranceExpired(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tol := &Tolerance{Max: DefaultSkew}
+	deadline := base.Add(100 * time.Millisecond) // stamped by a fast peer
+
+	if tol.Expired(deadline, base) {
+		t.Fatal("deadline within skew window reported expired")
+	}
+	if !tol.Expired(deadline, base.Add(300*time.Millisecond)) {
+		t.Fatal("past deadline not expired")
+	}
+}

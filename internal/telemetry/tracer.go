@@ -72,6 +72,9 @@ type DecisionRecord struct {
 	// WakeNs is the wake-to-decision latency when the iteration was
 	// triggered by a skeleton edge rather than the periodic tick.
 	WakeNs int64 `json:"wake_ns,omitempty"`
+	// CatchUp marks a cycle re-run after a manager-link reattach to cover
+	// MAPE iterations the parent missed during the partition.
+	CatchUp bool `json:"catch_up,omitempty"`
 }
 
 // Tracer accumulates decision records in a bounded ring. Overflow evicts

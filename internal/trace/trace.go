@@ -49,6 +49,11 @@ const (
 	Restarted   Kind = "restarted"   // the supervisor relaunched a dead management loop
 	Restored    Kind = "restored"    // manager state replayed from its checkpoint
 	Reissued    Kind = "reissued"    // two-phase intent re-issued after participant recovery
+	ViolDropped Kind = "violDropped" // a buffered violation was evicted, its cause lost
+	LinkSuspect Kind = "linkSuspect" // manager link missed a heartbeat, lease still live
+	LinkDown    Kind = "linkDown"    // manager link lease expired: partitioned
+	LinkUp      Kind = "linkUp"      // manager link (re)attached after a partition
+	CatchUp     Kind = "catchUp"     // MAPE cycles re-run to cover a partition window
 )
 
 // Event is one timestamped autonomic event emitted by a manager.

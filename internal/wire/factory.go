@@ -28,8 +28,12 @@ type Factory struct {
 	// controls are the long-lived per-address scrape sessions: the
 	// /cluster aggregation rides the wire protocol (a control frame over a
 	// cached session), not an HTTP fan-out. Redialed lazily on failure.
+	// mgmts are the per-address management-plane sessions; unlike scrape
+	// sessions they register on the chaos fault surface, because the whole
+	// point of the management link is that a partition takes it down.
 	mu       sync.Mutex
 	controls map[string]*Session
+	mgmts    map[string]*Session
 }
 
 // NewFactory builds a factory over the link's pre-shared key. timeout
@@ -138,13 +142,60 @@ func (f *Factory) Scrape(addr string) ([]byte, error) {
 	return report, nil
 }
 
-// CloseControls releases every cached scrape session.
+// Mgmt runs one management-plane exchange against addr over the factory's
+// cached mgmt session for that address, dialing one on first use or after
+// a failure. Mgmt sessions ride the chaos fault surface: an injected
+// partition stalls the exchange and a link drop severs it mid-flight, so
+// the remote management plane sees exactly the faults the data plane does.
+func (f *Factory) Mgmt(addr string, req []byte) ([]byte, error) {
+	f.mu.Lock()
+	s := f.mgmts[addr]
+	f.mu.Unlock()
+	if s == nil || s.closed.Load() {
+		fresh, err := dialSession(addr, f.master, f.timeout, f.faults, &f.stats)
+		if err != nil {
+			return nil, err
+		}
+		f.faults.register(fresh)
+		f.mu.Lock()
+		if f.mgmts == nil {
+			f.mgmts = map[string]*Session{}
+		}
+		if old := f.mgmts[addr]; old != nil && !old.closed.Load() {
+			// Another exchange redialed concurrently; keep its session.
+			f.mu.Unlock()
+			_ = fresh.Close()
+			return f.Mgmt(addr, req)
+		}
+		f.mgmts[addr] = fresh
+		f.mu.Unlock()
+		s = fresh
+	}
+	reply, err := s.Mgmt(req)
+	if err != nil {
+		_ = s.Close()
+		f.mu.Lock()
+		if f.mgmts[addr] == s {
+			delete(f.mgmts, addr)
+		}
+		f.mu.Unlock()
+		return nil, err
+	}
+	return reply, nil
+}
+
+// CloseControls releases every cached scrape and management session.
 func (f *Factory) CloseControls() {
 	f.mu.Lock()
 	controls := f.controls
+	mgmts := f.mgmts
 	f.controls = nil
+	f.mgmts = nil
 	f.mu.Unlock()
 	for _, s := range controls {
+		_ = s.Close()
+	}
+	for _, s := range mgmts {
 		_ = s.Close()
 	}
 }

@@ -48,6 +48,12 @@ type ServerConfig struct {
 	// node report — typically a telemetry.NodeReport in JSON. The reply is
 	// sealed under the link's master codec. Nil refuses scrapes.
 	Stats func() []byte
+	// Mgmt, when set, answers management-plane frames (0x08): violation
+	// reports, lease renewals, contract re-splits, two-phase prepares from
+	// a remote child manager. Request and reply are opaque to the wire
+	// layer and sealed under the link's master codec. Nil refuses
+	// management traffic (a data-plane-only workerd).
+	Mgmt func(req []byte) []byte
 }
 
 // Server is the workerd side of the transport: it accepts framed
@@ -377,6 +383,30 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			if err := writeFrame(conn, frameStatsReply, sealed); err != nil {
+				return
+			}
+		case frameMgmt:
+			// Management plane: authenticate under the link's master codec
+			// (fail-secure — a forged violation report or lease renewal
+			// must cut the connection, not reach the manager), hand the
+			// plaintext to the endpoint, seal the reply the same way.
+			req, err := s.master.Decode(body)
+			if err != nil {
+				s.rejected.Add(1)
+				s.logf("wire: %s: mgmt request did not authenticate: %v", conn.RemoteAddr(), err)
+				return
+			}
+			if s.cfg.Mgmt == nil {
+				s.rejected.Add(1)
+				s.logf("wire: %s: mgmt frame refused: no management endpoint", conn.RemoteAddr())
+				return
+			}
+			sealed, err := s.master.Encode(s.cfg.Mgmt(req))
+			if err != nil {
+				s.logf("wire: sealing mgmt reply: %v", err)
+				return
+			}
+			if err := writeFrame(conn, frameMgmtReply, sealed); err != nil {
 				return
 			}
 		default:

@@ -328,6 +328,51 @@ func (s *Session) ScrapeStats() ([]byte, error) {
 	return plain, nil
 }
 
+// Mgmt runs one management-plane exchange over this session: the request
+// bytes sealed under the link's master codec (management traffic is
+// control traffic — violation reports, lease renewals, contract re-splits
+// and two-phase prepares must neither be forged nor read without the
+// PSK), answered by the peer's sealed reply. The wire layer does not
+// interpret either side; internal/manager owns the message schema.
+// Unlike the scrape path, mgmt sessions ride the Factory's fault surface:
+// a chaos partition or link drop takes the management plane down with the
+// data plane, which is the point of this PR.
+func (s *Session) Mgmt(req []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	if err := s.faults.apply(s); err != nil {
+		return nil, err
+	}
+	if s.closed.Load() { // a drop may have landed during the fault window
+		return nil, ErrSessionClosed
+	}
+	sealed, err := s.master.Encode(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: sealing mgmt request: %w", err)
+	}
+	if err := s.writeLocked(frameMgmt, sealed); err != nil {
+		return nil, err
+	}
+	typ, body, err := readFrame(s.conn)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: reading mgmt reply: %w", err)
+	}
+	if typ != frameMgmtReply {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: unexpected frame %#x awaiting mgmt reply", typ)
+	}
+	plain, err := s.master.Decode(body)
+	if err != nil {
+		s.closeLocked()
+		return nil, fmt.Errorf("wire: mgmt reply did not authenticate: %w", err)
+	}
+	return plain, nil
+}
+
 // writeLocked writes one frame; any error poisons the session. Callers
 // hold s.mu.
 func (s *Session) writeLocked(typ byte, body []byte) error {

@@ -54,6 +54,8 @@ const (
 	frameExecBatch  byte = 0x05 // client→server multi-task batch envelope
 	frameStats      byte = 0x06 // client→server observability scrape request
 	frameStatsReply byte = 0x07 // server→client sealed node report
+	frameMgmt       byte = 0x08 // client→server sealed management-plane request
+	frameMgmtReply  byte = 0x09 // server→client sealed management-plane reply
 )
 
 // maxFrame bounds a frame body so a corrupt or hostile length prefix
